@@ -1,0 +1,314 @@
+package spammass_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// the ablations DESIGN.md calls out. Each benchmark regenerates its
+// experiment end to end (given a shared generated world) and reports
+// the same rows/series the paper does when run with -v via the
+// experiment binary; here they serve as repeatable timing targets:
+//
+//	go test -bench=. -benchmem
+//
+// The world scale is reduced (20k hosts) so a full bench sweep stays
+// in the seconds; cmd/experiments runs the same code at full scale.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"spammass/internal/experiments"
+	"spammass/internal/pagerank"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func benchEnvironment(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.Hosts = 20000
+		cfg.SampleFrac = 0.9
+		benchEnv, benchErr = experiments.NewEnv(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkFigure1 regenerates the Figure 1 naïve-scheme comparison.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure1(io.Discard, []int{0, 1, 2, 3, 5, 10}, pagerank.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the Figure 2 contribution analysis.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure2(io.Discard, pagerank.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (all six columns for the twelve
+// Figure 2 nodes).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(io.Discard, pagerank.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataSetStats regenerates the Section 4.1 dataset statistics.
+func BenchmarkDataSetStats(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunDataSet(io.Discard)
+	}
+}
+
+// BenchmarkPageRankDistribution regenerates the Section 4.3 analysis.
+func BenchmarkPageRankDistribution(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunPRDist(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the 20 sample groups of Table 2.
+func BenchmarkTable2(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunTable2(io.Discard)
+	}
+}
+
+// BenchmarkFigure3 regenerates the sample composition of Figure 3.
+func BenchmarkFigure3(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunFigure3(io.Discard)
+	}
+}
+
+// BenchmarkFigure4 regenerates the precision-vs-threshold curves.
+func BenchmarkFigure4(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunFigure4(io.Discard)
+	}
+}
+
+// BenchmarkFigure5 regenerates the core size/coverage comparison
+// (five extra core-based PageRank solves per iteration).
+func BenchmarkFigure5(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunFigure5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the absolute-mass distribution.
+func BenchmarkFigure6(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunFigure6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnomalyElimination regenerates the Section 4.4.2 core-fix
+// experiment (one extra core-based PageRank solve per iteration).
+func BenchmarkAnomalyElimination(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunAnomalyFix(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAbsoluteMass regenerates the Section 4.6 top-list analysis.
+func BenchmarkAbsoluteMass(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunAbsMass(io.Discard, 20)
+	}
+}
+
+// BenchmarkScalingAblation measures the Section 3.5 jump-scaling
+// ablation (one unscaled PageRank solve per iteration).
+func BenchmarkScalingAblation(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunScaling(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdSweep measures the (ρ, τ) grid sweep of Algorithm 2.
+func BenchmarkThresholdSweep(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunSweep(io.Discard)
+	}
+}
+
+// BenchmarkCombinedEstimators measures the white+black combination
+// experiment.
+func BenchmarkCombinedEstimators(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunCombined(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineComparison measures the detector comparison
+// (TrustRank, degree outliers, SpamRank-style).
+func BenchmarkBaselineComparison(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunBaselines(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolvers measures the three PageRank solvers on the world
+// graph.
+func BenchmarkSolvers(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunSolvers(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFarmForensics measures candidate explanation: reverse
+// contribution solves plus alliance grouping for 10 candidates.
+func BenchmarkFarmForensics(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunForensics(io.Discard, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnomalyDiscovery measures the automated Section 4.4.2 loop
+// (clustering plus one core-based PageRank solve).
+func BenchmarkAnomalyDiscovery(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunAnomalyDiscovery(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentFilter measures content synthesis, classifier
+// training, and candidate filtering.
+func BenchmarkContentFilter(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunContentFilter(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdversarial measures the link-purchase sweep (six full
+// re-estimations on modified graphs).
+func BenchmarkAdversarial(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunAdversarial(io.Discard, []int{0, 10, 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreGrowth measures the incremental-core curve (six
+// core-based PageRank solves).
+func BenchmarkCoreGrowth(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunCoreGrowth(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndPipeline measures the full production flow on a
+// fresh world: generate, assemble the core, estimate, detect.
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultConfig()
+		cfg.Hosts = 10000
+		cfg.SampleFrac = 0.9
+		if _, err := experiments.NewEnv(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStability measures the estimate-stability ablation (four
+// half-core re-estimations plus bucketing).
+func BenchmarkStability(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunStability(io.Discard, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemporal measures one spam-churn step plus the full
+// re-estimation at t1.
+func BenchmarkTemporal(b *testing.B) {
+	e := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunTemporal(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

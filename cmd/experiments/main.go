@@ -1,0 +1,298 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section on a synthetic host graph, plus the
+// ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-hosts n] [-seed s] [-run list] [-rho r] [-gamma g]
+//
+// -run selects experiments by name (comma separated) from:
+//
+//	fig1 fig2 table1 walkthrough dataset core prdist table2 fig3
+//	anomaly fig4 fig5 fig6 absmass expired scaling sweep combined
+//	baselines solvers forensics discovery contentfilter adversarial
+//	coregrowth stability temporal search granularity trseeds
+//
+// or "all" (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spammass/internal/eval"
+	"spammass/internal/experiments"
+	"spammass/internal/stats"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 150000, "number of hosts in the synthetic graph")
+	seed := flag.Int64("seed", 1, "generator seed")
+	run := flag.String("run", "all", "comma-separated experiment names, or 'all'")
+	rho := flag.Float64("rho", 10, "scaled PageRank threshold defining T")
+	gamma := flag.Float64("gamma", 0.85, "estimated good fraction for jump scaling")
+	sampleFrac := flag.Float64("sample", 0.4, "evaluation sample fraction of T")
+	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	reportPath := flag.String("report", "", "write a markdown reproduction report to this file")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Hosts = *hosts
+	cfg.Seed = *seed
+	cfg.Rho = *rho
+	cfg.Gamma = *gamma
+	cfg.SampleFrac = *sampleFrac
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	out := os.Stdout
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "experiment %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	// The worked examples need no generated world.
+	if want("fig1") {
+		if _, err := experiments.RunFigure1(out, []int{0, 1, 2, 3, 5, 10}, cfg.Solver); err != nil {
+			fail("fig1", err)
+		}
+	}
+	if want("fig2") {
+		if _, err := experiments.RunFigure2(out, cfg.Solver); err != nil {
+			fail("fig2", err)
+		}
+	}
+	if want("table1") {
+		if _, err := experiments.RunTable1(out, cfg.Solver); err != nil {
+			fail("table1", err)
+		}
+	}
+	if want("walkthrough") {
+		if _, err := experiments.RunAlgorithm2Walkthrough(out, cfg.Solver); err != nil {
+			fail("walkthrough", err)
+		}
+	}
+
+	if *reportPath != "" {
+		selected["dataset"] = true // force environment setup
+	}
+	needEnv := false
+	for _, name := range []string{"dataset", "core", "prdist", "table2", "fig3", "anomaly",
+		"fig4", "fig5", "fig6", "absmass", "expired", "scaling", "sweep", "combined",
+		"baselines", "solvers", "forensics", "discovery", "contentfilter", "adversarial",
+		"coregrowth", "stability", "temporal", "search", "granularity", "trseeds"} {
+		if want(name) {
+			needEnv = true
+		}
+	}
+	if !needEnv {
+		return
+	}
+
+	fmt.Fprintf(out, "\ngenerating synthetic host graph (n = %d, seed = %d)...\n", cfg.Hosts, cfg.Seed)
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fail("setup", err)
+	}
+
+	if want("dataset") {
+		env.RunDataSet(out)
+	}
+	if want("core") {
+		env.RunCore(out)
+	}
+	if want("prdist") {
+		if _, err := env.RunPRDist(out); err != nil {
+			fail("prdist", err)
+		}
+	}
+	if want("table2") {
+		env.RunTable2(out)
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(env, *csvDir); err != nil {
+			fail("csv", err)
+		}
+		fmt.Fprintf(out, "wrote CSV figure data to %s\n", *csvDir)
+	}
+	if want("fig3") {
+		env.RunFigure3(out)
+	}
+	if want("anomaly") {
+		if _, err := env.RunAnomalyFix(out); err != nil {
+			fail("anomaly", err)
+		}
+	}
+	if want("fig4") {
+		env.RunFigure4(out)
+	}
+	if want("fig5") {
+		if _, err := env.RunFigure5(out); err != nil {
+			fail("fig5", err)
+		}
+	}
+	if want("fig6") {
+		if _, err := env.RunFigure6(out); err != nil {
+			fail("fig6", err)
+		}
+	}
+	if want("absmass") {
+		env.RunAbsMass(out, 20)
+	}
+	if want("expired") {
+		if _, _, err := env.RunExpired(out); err != nil {
+			fail("expired", err)
+		}
+	}
+	if want("scaling") {
+		if _, err := env.RunScaling(out); err != nil {
+			fail("scaling", err)
+		}
+	}
+	if want("sweep") {
+		env.RunSweep(out)
+	}
+	if want("combined") {
+		if _, err := env.RunCombined(out); err != nil {
+			fail("combined", err)
+		}
+	}
+	if want("baselines") {
+		if _, err := env.RunBaselines(out); err != nil {
+			fail("baselines", err)
+		}
+	}
+	if want("solvers") {
+		if _, err := env.RunSolvers(out); err != nil {
+			fail("solvers", err)
+		}
+	}
+	if want("forensics") {
+		if _, err := env.RunForensics(out, 40); err != nil {
+			fail("forensics", err)
+		}
+	}
+	if want("discovery") {
+		if _, err := env.RunAnomalyDiscovery(out); err != nil {
+			fail("discovery", err)
+		}
+	}
+	if want("contentfilter") {
+		if _, err := env.RunContentFilter(out); err != nil {
+			fail("contentfilter", err)
+		}
+	}
+	if want("adversarial") {
+		if _, err := env.RunAdversarial(out, []int{0, 5, 10, 25, 50, 100, 250}); err != nil {
+			fail("adversarial", err)
+		}
+	}
+	if want("coregrowth") {
+		if _, err := env.RunCoreGrowth(out); err != nil {
+			fail("coregrowth", err)
+		}
+	}
+	if want("stability") {
+		if _, err := env.RunStability(out, 5); err != nil {
+			fail("stability", err)
+		}
+	}
+	if want("temporal") {
+		if _, err := env.RunTemporal(out); err != nil {
+			fail("temporal", err)
+		}
+	}
+	if want("search") {
+		if _, err := env.RunSearchImpact(out); err != nil {
+			fail("search", err)
+		}
+	}
+	if want("granularity") {
+		if _, err := env.RunGranularity(out); err != nil {
+			fail("granularity", err)
+		}
+	}
+	if want("trseeds") {
+		if _, err := env.RunTrustRankSeeds(out, 30); err != nil {
+			fail("trseeds", err)
+		}
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fail("report", err)
+		}
+		if err := env.WriteReport(f, time.Now()); err != nil {
+			fail("report", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("report", err)
+		}
+		fmt.Fprintf(out, "wrote reproduction report to %s\n", *reportPath)
+	}
+}
+
+// writeCSVs dumps the figure data (groups, precision curves, mass
+// histogram, judged sample) for external plotting.
+func writeCSVs(env *experiments.Env, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fill func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fill(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("groups.csv", func(f *os.File) error {
+		return eval.WriteGroupsCSV(f, env.Groups)
+	}); err != nil {
+		return err
+	}
+	if err := write("sample.csv", func(f *os.File) error {
+		return eval.WriteSampleCSV(f, env.Sample)
+	}); err != nil {
+		return err
+	}
+	curves := map[string][]eval.PrecisionPoint{
+		"full-core": eval.PrecisionCurve(env.Sample, eval.GroupThresholds(env.Groups)),
+	}
+	if variants, err := env.RunFigure5(discard{}); err == nil {
+		for _, v := range variants {
+			curves[v.Name] = v.Points
+		}
+	}
+	if err := write("precision.csv", func(f *os.File) error {
+		return eval.WritePrecisionCSV(f, curves)
+	}); err != nil {
+		return err
+	}
+	dist, err := eval.AnalyzeMassDistribution(env.Est, eval.DefaultMassDistributionConfig())
+	if err != nil {
+		return err
+	}
+	return write("mass_histogram.csv", func(f *os.File) error {
+		return eval.WriteHistogramCSV(f, map[string][]stats.Bin{
+			"positive": dist.Positive,
+			"negative": dist.Negative,
+		})
+	})
+}
+
+// discard is a no-allocation io.Writer for silent experiment reruns.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

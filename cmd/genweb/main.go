@@ -1,0 +1,122 @@
+// Command genweb generates a synthetic host-level web graph with
+// ground-truth spam labels and writes it to disk: the graph in the
+// compact binary format, host names, labels, and the assembled good
+// core as plain text companions.
+//
+// Usage:
+//
+//	genweb -hosts 150000 -seed 1 -out web
+//
+// writes web.graph, web.names, web.labels, and web.core.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"spammass/internal/goodcore"
+	"spammass/internal/graph"
+	"spammass/internal/webgen"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 150000, "number of hosts")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "web", "output path prefix")
+	text := flag.Bool("text", false, "write the graph in text format instead of binary")
+	configPath := flag.String("config", "", "read the generator configuration from this JSON file")
+	dumpConfig := flag.Bool("dumpconfig", false, "print the default configuration as JSON and exit")
+	flag.Parse()
+
+	cfg := webgen.DefaultConfig(*hosts)
+	cfg.Seed = *seed
+	if *dumpConfig {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg); err != nil {
+			die("dump config: %v", err)
+		}
+		return
+	}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			die("read config: %v", err)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			die("parse config: %v", err)
+		}
+		if err := cfg.Validate(); err != nil {
+			die("config: %v", err)
+		}
+	}
+	w, err := webgen.Generate(cfg)
+	if err != nil {
+		die("generate: %v", err)
+	}
+	st := graph.ComputeStats(w.Graph)
+	fmt.Printf("generated %d hosts, %d edges (no-in %.1f%%, no-out %.1f%%, isolated %.1f%%)\n",
+		st.Nodes, st.Edges, 100*st.FracNoInlinks(), 100*st.FracNoOutlinks(), 100*st.FracIsolated())
+
+	writeFile(*out+".graph", func(f *bufio.Writer) error {
+		if *text {
+			return graph.WriteText(f, w.Graph)
+		}
+		return graph.WriteBinary(f, w.Graph)
+	})
+	writeFile(*out+".names", func(f *bufio.Writer) error {
+		for _, name := range w.Names {
+			if _, err := fmt.Fprintln(f, name); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	writeFile(*out+".labels", func(f *bufio.Writer) error {
+		for x, info := range w.Info {
+			if _, err := fmt.Fprintf(f, "%d %s %s\n", x, info.Kind, info.Community); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	core, err := goodcore.Assemble(w.Names, w.DirectoryMembers)
+	if err != nil {
+		die("assemble core: %v", err)
+	}
+	writeFile(*out+".core", func(f *bufio.Writer) error {
+		for _, x := range core.Nodes {
+			if _, err := fmt.Fprintln(f, x); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	fmt.Printf("wrote %s.graph, %s.names, %s.labels, %s.core (core %d hosts)\n",
+		*out, *out, *out, *out, core.Size())
+}
+
+func writeFile(path string, fill func(*bufio.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		die("create %s: %v", path, err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := fill(bw); err != nil {
+		die("write %s: %v", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		die("flush %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		die("close %s: %v", path, err)
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,221 @@
+// Command spammass runs the full mass-based link-spam detection
+// pipeline (Algorithm 2) over a graph file and a good-core file, and
+// prints the spam candidates sorted by decreasing relative mass.
+//
+// Usage:
+//
+//	spammass -graph web.graph -core web.core [-names web.names]
+//	         [-tau 0.98] [-rho 10] [-gamma 0.85] [-top 50] [-explain k]
+//
+// With -explain k, the boosting structure behind the top k candidates
+// is extracted (reverse PageRank contributions) and allied candidates
+// are grouped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spammass/internal/forensics"
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "graph file (binary or text format)")
+	corePath := flag.String("core", "", "good-core file: one node ID per line")
+	namesPath := flag.String("names", "", "optional host-name file: one name per line")
+	tau := flag.Float64("tau", 0.98, "relative mass threshold τ")
+	rho := flag.Float64("rho", 10, "scaled PageRank threshold ρ")
+	gamma := flag.Float64("gamma", 0.85, "core jump scaling ‖w‖ = γ")
+	damping := flag.Float64("damping", 0.85, "damping factor c")
+	top := flag.Int("top", 50, "print at most this many candidates (0 = all)")
+	explain := flag.Int("explain", 0, "for the top-k candidates, extract the boosting structure behind them")
+	jsonOut := flag.Bool("json", false, "emit candidates as JSON lines instead of a table")
+	flag.Parse()
+	if *graphPath == "" || *corePath == "" {
+		die("missing -graph or -core")
+	}
+
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		die("load graph: %v", err)
+	}
+	core, err := loadCore(*corePath, g.NumNodes())
+	if err != nil {
+		die("load core: %v", err)
+	}
+	var names []string
+	if *namesPath != "" {
+		if names, err = loadLines(*namesPath); err != nil {
+			die("load names: %v", err)
+		}
+		if len(names) != g.NumNodes() {
+			die("%d names for %d nodes", len(names), g.NumNodes())
+		}
+	}
+
+	opts := mass.Options{
+		Solver: pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000},
+		Gamma:  *gamma,
+	}
+	est, err := mass.EstimateFromCore(g, core, opts)
+	if err != nil {
+		die("estimate: %v", err)
+	}
+	cands := mass.Detect(est, mass.DetectConfig{
+		RelMassThreshold:        *tau,
+		ScaledPageRankThreshold: *rho,
+	})
+	fmt.Fprintf(os.Stderr, "%d spam candidates (tau=%.2f, rho=%.1f, core %d hosts)\n",
+		len(cands), *tau, *rho, len(core))
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		shown := 0
+		for _, c := range cands {
+			if *top > 0 && shown >= *top {
+				break
+			}
+			row := struct {
+				Node     graph.NodeID `json:"node"`
+				Host     string       `json:"host,omitempty"`
+				ScaledPR float64      `json:"scaled_pagerank"`
+				RelMass  float64      `json:"rel_mass"`
+			}{Node: c.Node, ScaledPR: c.ScaledPageRank, RelMass: c.RelMass}
+			if names != nil {
+				row.Host = names[c.Node]
+			}
+			if err := enc.Encode(row); err != nil {
+				die("encode: %v", err)
+			}
+			shown++
+		}
+		return
+	}
+	fmt.Fprintf(w, "%-10s %12s %10s", "node", "scaled PR", "rel mass")
+	if names != nil {
+		fmt.Fprintf(w, "  %s", "host")
+	}
+	fmt.Fprintln(w)
+	shown := 0
+	for _, c := range cands {
+		if *top > 0 && shown >= *top {
+			break
+		}
+		fmt.Fprintf(w, "%-10d %12.2f %10.4f", c.Node, c.ScaledPageRank, c.RelMass)
+		if names != nil {
+			fmt.Fprintf(w, "  %s", names[c.Node])
+		}
+		fmt.Fprintln(w)
+		shown++
+	}
+
+	if *explain > 0 {
+		nameOf := func(x graph.NodeID) string {
+			if names != nil {
+				return names[x]
+			}
+			return fmt.Sprint(x)
+		}
+		fcfg := forensics.DefaultConfig()
+		fcfg.Solver = opts.Solver
+		limit := *explain
+		if limit > len(cands) {
+			limit = len(cands)
+		}
+		farms, alliances, err := forensics.ExtractAll(g, est, cands[:limit], fcfg)
+		if err != nil {
+			die("explain: %v", err)
+		}
+		fmt.Fprintln(w, "\nforensics:")
+		for _, f := range farms {
+			fmt.Fprintf(w, "%s: booster share %.2f, %d supporters", nameOf(f.Target), f.BoosterShare, len(f.Members))
+			show := 3
+			if show > len(f.Members) {
+				show = len(f.Members)
+			}
+			for _, m := range f.Members[:show] {
+				fmt.Fprintf(w, " | %s %.0f%%", nameOf(m.Node), 100*m.Share)
+			}
+			fmt.Fprintln(w)
+		}
+		for _, a := range alliances {
+			if len(a.Targets) < 2 {
+				continue
+			}
+			fmt.Fprintf(w, "alliance:")
+			for _, t := range a.Targets {
+				fmt.Fprintf(w, " %s", nameOf(t))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	magic, err := br.Peek(4)
+	if err == nil && string(magic) == "SMGR" {
+		return graph.ReadBinary(br)
+	}
+	return graph.ReadText(br)
+}
+
+func loadCore(path string, n int) ([]graph.NodeID, error) {
+	lines, err := loadLines(path)
+	if err != nil {
+		return nil, err
+	}
+	var core []graph.NodeID
+	for _, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, err := strconv.ParseUint(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad node ID %q: %w", line, err)
+		}
+		if int(id) >= n {
+			return nil, fmt.Errorf("core node %d outside graph of %d nodes", id, n)
+		}
+		core = append(core, graph.NodeID(id))
+	}
+	if len(core) == 0 {
+		return nil, fmt.Errorf("empty core file %s", path)
+	}
+	return core, nil
+}
+
+func loadLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		out = append(out, strings.TrimSpace(sc.Text()))
+	}
+	return out, sc.Err()
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

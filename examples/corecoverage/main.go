@@ -1,0 +1,86 @@
+// Core coverage: the Figure 5 lesson of the paper, replayed on a
+// synthetic host graph. Detection precision is compared for the full
+// good core, random sub-cores of 10%, 1%, and 0.1%, and a core made of
+// a single country's educational hosts — which loses to a random core
+// 19 times smaller, because breadth of coverage matters more than
+// size.
+//
+//	go run ./examples/corecoverage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spammass"
+	"spammass/internal/goodcore"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+)
+
+func main() {
+	const hosts = 100000
+	fmt.Printf("generating a %d-host synthetic web...\n", hosts)
+	w, err := spammass.GenerateWorld(spammass.DefaultWorldConfig(hosts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := goodcore.Assemble(w.Names, w.DirectoryMembers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	solver := pagerank.Config{Damping: 0.85, Epsilon: 1e-10, MaxIter: 300}
+	p, err := pagerank.Jacobi(w.Graph, pagerank.UniformJump(w.Graph.NumNodes()), solver)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evaluate := func(name string, core []spammass.NodeID) {
+		wJump := pagerank.ScaledCoreJump(w.Graph.NumNodes(), core, 0.85)
+		pc, err := pagerank.Jacobi(w.Graph, wJump, solver)
+		if err != nil {
+			log.Fatal(err)
+		}
+		est := mass.Derive(p.Scores, pc.Scores, 0.85)
+		cands := mass.Detect(est, mass.DetectConfig{RelMassThreshold: 0.9, ScaledPageRankThreshold: 10})
+		spam := 0
+		for _, c := range cands {
+			if w.IsSpam(c.Node) || w.Info[c.Node].Anomalous {
+				spam++
+			}
+		}
+		precision := 0.0
+		if len(cands) > 0 {
+			precision = float64(spam) / float64(len(cands))
+		}
+		fmt.Printf("%-14s %7d hosts   candidates %5d   precision %5.1f%%\n",
+			name, len(core), len(cands), 100*precision)
+	}
+
+	fmt.Println("\ndetection at tau=0.9, rho=10 (precision counts known anomalies as hits):")
+	evaluate("full core", full.Nodes)
+	for _, frac := range []float64{0.10, 0.01, 0.001} {
+		sub, err := goodcore.Subsample(full, frac, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evaluate(fmt.Sprintf("%.1f%% core", 100*frac), sub.Nodes)
+	}
+	it, err := goodcore.CountryEduCore(w.Names, "it")
+	if err != nil {
+		log.Fatal(err)
+	}
+	evaluate(".it edu core", it.Nodes)
+	// The cleanest statement of the paper's lesson: a random core of
+	// the SAME size as the Italian one, but spread across the whole
+	// good population, detects spam better.
+	sameSize, err := goodcore.Subsample(full, float64(len(it.Nodes))/float64(full.Size()), 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evaluate("random=|.it|", sameSize.Nodes)
+
+	fmt.Println("\nthe .it-only core covers one national web, so every host endorsed")
+	fmt.Println("only by the rest of the world looks spammy: breadth beats size.")
+}

@@ -1,0 +1,3 @@
+module spammass
+
+go 1.22

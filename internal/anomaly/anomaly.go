@@ -1,0 +1,149 @@
+// Package anomaly implements the core-maintenance procedure of
+// Section 4.4.2 as an algorithm. The paper describes the loop a search
+// engine runs by hand:
+//
+//  1. identify good nodes with large relative mass (by sampling or
+//     editorial feedback on search results);
+//  2. determine the anomalies in the core that cause them — in
+//     practice, whole communities the core cannot reach well;
+//  3. devise and execute correction measures, by priority — e.g. add
+//     a few key hosts of the community to the good core.
+//
+// Step 2 is automated here by clustering the high-mass good hosts
+// through their induced link structure: members of one under-covered
+// community (the paper's Alibaba cluster, Brazilian blogs, Polish web)
+// interlink, while unrelated false positives do not. Step 3's "key
+// hosts" are proposed as each cluster's most-linked members.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+)
+
+// Judgment is the editorial verdict on a host: only hosts judged good
+// participate in anomaly discovery (spam with high mass is working as
+// intended). Unknown hosts are skipped.
+type Judgment int
+
+// Judgments.
+const (
+	Good Judgment = iota
+	Spam
+	Unknown
+)
+
+// Oracle provides editorial judgment for a host.
+type Oracle func(graph.NodeID) Judgment
+
+// Config tunes discovery.
+type Config struct {
+	// RelMassThreshold selects the suspicious good hosts (the paper's
+	// gray population concentrates near 1).
+	RelMassThreshold float64
+	// ScaledPageRankThreshold is the ρ filter of the detection
+	// pipeline; anomalies only matter where detection looks.
+	ScaledPageRankThreshold float64
+	// MinClusterSize drops clusters too small to be a community
+	// (scattered false positives are individual judgment calls, not
+	// core anomalies).
+	MinClusterSize int
+	// SuggestedFixes is how many key hosts to propose per community.
+	SuggestedFixes int
+}
+
+// DefaultConfig matches the paper's setting: high-mass (τ = 0.9) good
+// hosts among the high-PageRank population, communities of at least 3,
+// and 12 suggested hosts (the number the paper added for Alibaba).
+func DefaultConfig() Config {
+	return Config{
+		RelMassThreshold:        0.9,
+		ScaledPageRankThreshold: 10,
+		MinClusterSize:          3,
+		SuggestedFixes:          12,
+	}
+}
+
+// Community is one discovered core anomaly.
+type Community struct {
+	// Members are the high-mass good hosts in the cluster.
+	Members []graph.NodeID
+	// TotalScaledPageRank sums the members' scaled PageRank — the
+	// priority order of Section 4.4.2's correction step.
+	TotalScaledPageRank float64
+	// SuggestedCoreFix lists the key hosts to add to the good core:
+	// the community members with the most inlinks, i.e. its natural
+	// entry points (the paper's www.alibaba.com, china.alibaba.com…).
+	SuggestedCoreFix []graph.NodeID
+}
+
+// Discover runs the automated Section 4.4.2 loop: filter the judged
+// sample to suspicious good hosts, cluster them by induced link
+// structure, and propose core fixes, ordered by priority.
+func Discover(g *graph.Graph, est *mass.Estimates, oracle Oracle, cfg Config) ([]Community, error) {
+	if cfg.MinClusterSize < 1 {
+		return nil, fmt.Errorf("anomaly: MinClusterSize must be ≥ 1")
+	}
+	if cfg.SuggestedFixes < 1 {
+		return nil, fmt.Errorf("anomaly: SuggestedFixes must be ≥ 1")
+	}
+	var suspicious []graph.NodeID
+	for x := 0; x < est.N(); x++ {
+		id := graph.NodeID(x)
+		if est.ScaledPageRank(id) < cfg.ScaledPageRankThreshold {
+			continue
+		}
+		if est.Rel[x] < cfg.RelMassThreshold {
+			continue
+		}
+		if oracle(id) != Good {
+			continue
+		}
+		suspicious = append(suspicious, id)
+	}
+	if len(suspicious) == 0 {
+		return nil, nil
+	}
+	clusters := graph.ClusterInduced(g, suspicious)
+	var out []Community
+	for _, members := range clusters {
+		if len(members) < cfg.MinClusterSize {
+			continue
+		}
+		c := Community{Members: members}
+		for _, x := range members {
+			c.TotalScaledPageRank += est.ScaledPageRank(x)
+		}
+		c.SuggestedCoreFix = topByInDegree(g, members, cfg.SuggestedFixes)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalScaledPageRank != out[j].TotalScaledPageRank {
+			return out[i].TotalScaledPageRank > out[j].TotalScaledPageRank
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out, nil
+}
+
+// topByInDegree returns up to k members sorted by decreasing in-degree
+// (ties by ID). High in-degree members are the community's hubs — the
+// hosts whose admission to the core lets core-based PageRank flow into
+// the whole community.
+func topByInDegree(g *graph.Graph, members []graph.NodeID, k int) []graph.NodeID {
+	sorted := append([]graph.NodeID(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := g.InDegree(sorted[i]), g.InDegree(sorted[j])
+		if di != dj {
+			return di > dj
+		}
+		return sorted[i] < sorted[j]
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}

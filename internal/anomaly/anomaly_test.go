@@ -1,0 +1,248 @@
+package anomaly
+
+import (
+	"testing"
+
+	"spammass/internal/goodcore"
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+	"spammass/internal/webgen"
+)
+
+// handWorld builds a small scene: a covered good web, an uncovered
+// interlinked community whose hosts will show high relative mass, a
+// spam farm, and a lone high-mass good host (too small to be a
+// community).
+type handWorld struct {
+	g         *graph.Graph
+	est       *mass.Estimates
+	community []graph.NodeID
+	hub       graph.NodeID // the community's natural entry point
+	farm      graph.NodeID
+	loner     graph.NodeID
+	judge     Oracle
+}
+
+func buildHandWorld(t *testing.T) *handWorld {
+	t.Helper()
+	b := graph.NewBuilder(0)
+	w := &handWorld{}
+
+	// Covered good web: core hub + 12 sites.
+	core := b.AddNode()
+	var coreSet []graph.NodeID
+	coreSet = append(coreSet, core)
+	for i := 0; i < 12; i++ {
+		site := b.AddNode()
+		b.AddEdge(site, core)
+		b.AddEdge(core, site)
+	}
+
+	// Uncovered community: hub + 20 members, members link to the hub
+	// and to each other; nothing links in from the covered web.
+	w.hub = b.AddNode()
+	w.community = append(w.community, w.hub)
+	var members []graph.NodeID
+	for i := 0; i < 20; i++ {
+		m := b.AddNode()
+		members = append(members, m)
+		w.community = append(w.community, m)
+		b.AddEdge(m, w.hub)
+	}
+	for i, m := range members {
+		b.AddEdge(w.hub, m)
+		b.AddEdge(m, members[(i+1)%len(members)])
+	}
+
+	// Spam farm: high mass but judged spam, must be ignored.
+	w.farm = b.AddNode()
+	for i := 0; i < 15; i++ {
+		booster := b.AddNode()
+		b.AddEdge(booster, w.farm)
+	}
+
+	// Lone high-mass good host: boosted by isolated fans, but below
+	// MinClusterSize as a cluster of one.
+	w.loner = b.AddNode()
+	for i := 0; i < 12; i++ {
+		fan := b.AddNode()
+		b.AddEdge(fan, w.loner)
+	}
+
+	w.g = b.Build()
+	est, err := mass.EstimateFromCore(w.g, coreSet, mass.Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.est = est
+	w.judge = func(x graph.NodeID) Judgment {
+		if x == w.farm {
+			return Spam
+		}
+		return Good
+	}
+	return w
+}
+
+func TestDiscoverFindsCommunity(t *testing.T) {
+	w := buildHandWorld(t)
+	cfg := DefaultConfig()
+	cfg.ScaledPageRankThreshold = 2
+	cfg.SuggestedFixes = 3
+	communities, err := Discover(w.g, w.est, w.judge, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(communities) == 0 {
+		t.Fatal("no communities discovered")
+	}
+	top := communities[0]
+	inCommunity := map[graph.NodeID]bool{}
+	for _, x := range w.community {
+		inCommunity[x] = true
+	}
+	for _, m := range top.Members {
+		if !inCommunity[m] {
+			t.Errorf("top community contains foreign node %d", m)
+		}
+	}
+	if len(top.SuggestedCoreFix) == 0 || top.SuggestedCoreFix[0] != w.hub {
+		t.Errorf("suggested fix %v, want the hub %d first (highest in-degree)", top.SuggestedCoreFix, w.hub)
+	}
+	// The farm (judged spam) and the loner (cluster of one) must not
+	// appear in any community.
+	for _, c := range communities {
+		for _, m := range c.Members {
+			if m == w.farm {
+				t.Error("spam farm surfaced as an anomaly")
+			}
+			if m == w.loner {
+				t.Error("singleton host surfaced as a community")
+			}
+		}
+	}
+}
+
+func TestDiscoverFixWorks(t *testing.T) {
+	w := buildHandWorld(t)
+	cfg := DefaultConfig()
+	cfg.ScaledPageRankThreshold = 2
+	communities, err := Discover(w.g, w.est, w.judge, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(communities) == 0 {
+		t.Fatal("no communities discovered")
+	}
+	// Applying the suggested fix must collapse the community's mass.
+	core := &goodcore.Core{Nodes: []graph.NodeID{0}}
+	for i := 1; i <= 12; i++ {
+		core.Nodes = append(core.Nodes, graph.NodeID(i))
+	}
+	fixed := goodcore.WithExtra(core, communities[0].SuggestedCoreFix)
+	est2, err := mass.EstimateFromCore(w.g, fixed.Nodes, mass.Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range communities[0].Members {
+		if est2.Rel[m] >= 0.9 && w.est.Rel[m] >= 0.9 {
+			t.Errorf("member %d still at m~ %.3f after the fix (was %.3f)", m, est2.Rel[m], w.est.Rel[m])
+		}
+	}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	w := buildHandWorld(t)
+	cfg := DefaultConfig()
+	cfg.MinClusterSize = 0
+	if _, err := Discover(w.g, w.est, w.judge, cfg); err == nil {
+		t.Error("MinClusterSize 0 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SuggestedFixes = 0
+	if _, err := Discover(w.g, w.est, w.judge, cfg); err == nil {
+		t.Error("SuggestedFixes 0 accepted")
+	}
+}
+
+func TestDiscoverNothingSuspicious(t *testing.T) {
+	// A world where every high-PR host is well covered yields no
+	// communities (and no error).
+	b := graph.NewBuilder(0)
+	core := b.AddNode()
+	var coreSet []graph.NodeID
+	coreSet = append(coreSet, core)
+	for i := 0; i < 10; i++ {
+		site := b.AddNode()
+		coreSet = append(coreSet, site)
+		b.AddEdge(site, core)
+		b.AddEdge(core, site)
+	}
+	g := b.Build()
+	est, err := mass.EstimateFromCore(g, coreSet, mass.Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	communities, err := Discover(g, est, func(graph.NodeID) Judgment { return Good }, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(communities) != 0 {
+		t.Errorf("clean world produced %d communities", len(communities))
+	}
+}
+
+// TestDiscoverOnGeneratedWorld: on the synthetic world, discovery must
+// surface the planted anomalous communities with high purity.
+func TestDiscoverOnGeneratedWorld(t *testing.T) {
+	w, err := webgen.Generate(webgen.DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := goodcore.Assemble(w.Names, w.DirectoryMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mass.EstimateFromCore(w.Graph, core.Nodes, mass.Options{
+		Solver: pagerank.Config{Damping: 0.85, Epsilon: 1e-10, MaxIter: 300},
+		Gamma:  0.85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(x graph.NodeID) Judgment {
+		if w.Info[x].Kind.Spam() {
+			return Spam
+		}
+		if w.Info[x].Kind == webgen.KindFrontier || w.Info[x].Kind == webgen.KindIsolated {
+			return Unknown
+		}
+		return Good
+	}
+	communities, err := Discover(w.Graph, est, oracle, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(communities) == 0 {
+		t.Fatal("no anomalies discovered on a world with planted anomalous communities")
+	}
+	// The top community must be dominated by one planted anomalous
+	// community (alibaba or brblogs).
+	counts := map[string]int{}
+	for _, m := range communities[0].Members {
+		counts[w.Info[m].Community]++
+	}
+	best, bestCount := "", 0
+	for name, c := range counts {
+		if c > bestCount {
+			best, bestCount = name, c
+		}
+	}
+	if best != "alibaba" && best != "brblogs" {
+		t.Errorf("top community dominated by %q, want a planted anomaly", best)
+	}
+	if purity := float64(bestCount) / float64(len(communities[0].Members)); purity < 0.9 {
+		t.Errorf("top community purity %.2f, want ≥ 0.9", purity)
+	}
+}

@@ -1,0 +1,197 @@
+// Package content implements the complementary textual analysis the
+// paper's conclusion proposes as future work: "we conjecture that many
+// false positives could be eliminated by complementary (textual)
+// content analysis". It provides a synthetic per-host content model
+// (the substitute for crawled page text, which the Yahoo! corpus does
+// not ship with), a from-scratch logistic-regression classifier over
+// the content features, and a combined detector that keeps a mass
+// candidate only when the content model does not confidently vouch
+// for it.
+package content
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spammass/internal/graph"
+	"spammass/internal/webgen"
+)
+
+// Features summarizes the text of one host. The three signals mirror
+// the classic content-spam indicators (Ntoulas et al., Fetterly et
+// al.): page volume, query-keyword stuffing, and boilerplate
+// duplication across the host's pages.
+type Features struct {
+	// LogWordCount is log10 of the average words per page.
+	LogWordCount float64
+	// KeywordDensity is the fraction of words that are high-value
+	// query keywords (stuffing pushes this up).
+	KeywordDensity float64
+	// Duplication is the shingle overlap between the host's pages
+	// (template-generated spam is nearly identical page to page).
+	Duplication float64
+}
+
+// Vector returns the feature values in a fixed order, with a leading
+// bias term, for the classifier.
+func (f Features) Vector() [4]float64 {
+	return [4]float64{1, f.LogWordCount, f.KeywordDensity, f.Duplication}
+}
+
+// SynthesisConfig tunes the synthetic content model.
+type SynthesisConfig struct {
+	Seed int64
+	// MimicFrac is the fraction of spam hosts whose content mimics
+	// reputable pages (Section 5 stresses that sophisticated spammers
+	// do exactly this): for them, content analysis is blind and only
+	// the link signal works.
+	MimicFrac float64
+	// SeoFrac is the fraction of good hosts with aggressively
+	// optimized (spammy-looking) content.
+	SeoFrac float64
+}
+
+// DefaultSynthesisConfig matches the rates used by the experiments.
+func DefaultSynthesisConfig() SynthesisConfig {
+	return SynthesisConfig{Seed: 5, MimicFrac: 0.2, SeoFrac: 0.05}
+}
+
+// Synthesize generates content features for every host in the world
+// from its ground truth. Frontier and isolated hosts get zeroed
+// features (there is no crawled content to analyze).
+func Synthesize(w *webgen.World, cfg SynthesisConfig) ([]Features, error) {
+	if cfg.MimicFrac < 0 || cfg.MimicFrac > 1 || cfg.SeoFrac < 0 || cfg.SeoFrac > 1 {
+		return nil, fmt.Errorf("content: fractions outside [0,1]: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Features, len(w.Info))
+	for x, info := range w.Info {
+		switch {
+		case info.Kind == webgen.KindFrontier || info.Kind == webgen.KindIsolated:
+			// no content
+		case info.Kind.Spam():
+			if rng.Float64() < cfg.MimicFrac {
+				out[x] = goodContent(rng)
+			} else {
+				out[x] = spamContent(rng, info.Kind)
+			}
+		default:
+			if rng.Float64() < cfg.SeoFrac {
+				out[x] = spamContent(rng, webgen.KindSpamTarget)
+			} else {
+				out[x] = goodContent(rng)
+			}
+		}
+	}
+	return out, nil
+}
+
+func goodContent(rng *rand.Rand) Features {
+	return Features{
+		LogWordCount:   clamp(2.9+0.35*rng.NormFloat64(), 1, 5),
+		KeywordDensity: clamp(0.02+0.012*rng.NormFloat64(), 0, 1),
+		Duplication:    clamp(0.20+0.10*rng.NormFloat64(), 0, 1),
+	}
+}
+
+func spamContent(rng *rand.Rand, kind webgen.Kind) Features {
+	f := Features{
+		LogWordCount:   clamp(2.4+0.4*rng.NormFloat64(), 1, 5),
+		KeywordDensity: clamp(0.14+0.05*rng.NormFloat64(), 0, 1),
+		Duplication:    clamp(0.75+0.12*rng.NormFloat64(), 0, 1),
+	}
+	if kind == webgen.KindSpamTarget {
+		// Targets are keyword-stuffed long pages.
+		f.LogWordCount = clamp(3.2+0.3*rng.NormFloat64(), 1, 5)
+	}
+	return f
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Classifier is a logistic-regression spam classifier over Features,
+// trained with plain gradient descent. Positive output = spam.
+type Classifier struct {
+	Weights [4]float64
+}
+
+// TrainConfig tunes training.
+type TrainConfig struct {
+	Epochs       int
+	LearningRate float64
+	L2           float64
+}
+
+// DefaultTrainConfig returns settings adequate for the 3-feature model.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 400, LearningRate: 0.5, L2: 1e-4}
+}
+
+// Train fits the classifier on labeled examples (label true = spam).
+func Train(feats []Features, labels []bool, cfg TrainConfig) (*Classifier, error) {
+	if len(feats) == 0 || len(feats) != len(labels) {
+		return nil, fmt.Errorf("content: %d features for %d labels", len(feats), len(labels))
+	}
+	if cfg.Epochs <= 0 || cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("content: invalid training config %+v", cfg)
+	}
+	c := &Classifier{}
+	n := float64(len(feats))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var grad [4]float64
+		for i, f := range feats {
+			x := f.Vector()
+			p := c.prob(x)
+			y := 0.0
+			if labels[i] {
+				y = 1
+			}
+			err := p - y
+			for j := range grad {
+				grad[j] += err * x[j]
+			}
+		}
+		for j := range c.Weights {
+			c.Weights[j] -= cfg.LearningRate * (grad[j]/n + cfg.L2*c.Weights[j])
+		}
+	}
+	return c, nil
+}
+
+func (c *Classifier) prob(x [4]float64) float64 {
+	z := 0.0
+	for j, w := range c.Weights {
+		z += w * x[j]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// SpamProbability returns the classifier's spam probability for one
+// host's features.
+func (c *Classifier) SpamProbability(f Features) float64 {
+	return c.prob(f.Vector())
+}
+
+// FilterCandidates keeps only the candidates whose content the
+// classifier does NOT confidently call clean: a candidate is dropped
+// when its spam probability falls below keepAbove. This is the
+// combination the paper's conclusion proposes: link evidence detects,
+// content evidence eliminates false positives.
+func (c *Classifier) FilterCandidates(candidates []graph.NodeID, feats []Features, keepAbove float64) []graph.NodeID {
+	var out []graph.NodeID
+	for _, x := range candidates {
+		if c.SpamProbability(feats[x]) >= keepAbove {
+			out = append(out, x)
+		}
+	}
+	return out
+}

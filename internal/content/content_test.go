@@ -1,0 +1,137 @@
+package content
+
+import (
+	"math/rand"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/webgen"
+)
+
+func TestSynthesizeShapes(t *testing.T) {
+	w, err := webgen.Generate(webgen.DefaultConfig(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, err := Synthesize(w, DefaultSynthesisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != w.Graph.NumNodes() {
+		t.Fatalf("%d feature rows for %d hosts", len(feats), w.Graph.NumNodes())
+	}
+	var spamDup, goodDup float64
+	var spamN, goodN int
+	for x, f := range feats {
+		switch w.Info[x].Kind {
+		case webgen.KindFrontier, webgen.KindIsolated:
+			if f != (Features{}) {
+				t.Fatalf("uncrawled host %d has content %+v", x, f)
+			}
+		case webgen.KindSpamTarget, webgen.KindBooster, webgen.KindExpiredSpam:
+			spamDup += f.Duplication
+			spamN++
+		default:
+			goodDup += f.Duplication
+			goodN++
+		}
+		if f.KeywordDensity < 0 || f.KeywordDensity > 1 || f.Duplication < 0 || f.Duplication > 1 {
+			t.Fatalf("host %d features out of range: %+v", x, f)
+		}
+	}
+	if spamDup/float64(spamN) < goodDup/float64(goodN)+0.2 {
+		t.Errorf("spam duplication mean %.3f not clearly above good %.3f",
+			spamDup/float64(spamN), goodDup/float64(goodN))
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	w, err := webgen.Generate(webgen.DefaultConfig(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(w, SynthesisConfig{MimicFrac: 1.5}); err == nil {
+		t.Error("MimicFrac > 1 accepted")
+	}
+}
+
+func TestTrainSeparable(t *testing.T) {
+	// Clearly separable synthetic data: the classifier must reach high
+	// accuracy and order probabilities correctly.
+	rng := rand.New(rand.NewSource(1))
+	var feats []Features
+	var labels []bool
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			feats = append(feats, goodContent(rng))
+			labels = append(labels, false)
+		} else {
+			feats = append(feats, spamContent(rng, webgen.KindBooster))
+			labels = append(labels, true)
+		}
+	}
+	clf, err := Train(feats, labels, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, f := range feats {
+		if (clf.SpamProbability(f) >= 0.5) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(feats)); acc < 0.95 {
+		t.Errorf("training accuracy %.3f, want ≥ 0.95 on separable data", acc)
+	}
+	if clf.SpamProbability(spamContent(rng, webgen.KindBooster)) <= clf.SpamProbability(goodContent(rng)) {
+		t.Error("spam content not scored above good content")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultTrainConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([]Features{{}}, []bool{true, false}, DefaultTrainConfig()); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := Train([]Features{{}}, []bool{true}, TrainConfig{Epochs: 0, LearningRate: 1}); err == nil {
+		t.Error("zero epochs accepted")
+	}
+}
+
+func TestFilterCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	feats := []Features{
+		goodContent(rng),                        // 0: clean
+		spamContent(rng, webgen.KindSpamTarget), // 1: spammy
+		goodContent(rng),                        // 2: clean
+	}
+	var trainF []Features
+	var trainY []bool
+	for i := 0; i < 200; i++ {
+		trainF = append(trainF, goodContent(rng))
+		trainY = append(trainY, false)
+		trainF = append(trainF, spamContent(rng, webgen.KindSpamTarget))
+		trainY = append(trainY, true)
+	}
+	clf, err := Train(trainF, trainY, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := clf.FilterCandidates([]graph.NodeID{0, 1, 2}, feats, 0.5)
+	if len(kept) != 1 || kept[0] != 1 {
+		t.Errorf("filter kept %v, want only the spammy candidate 1", kept)
+	}
+	// keepAbove 0 keeps everything.
+	if got := clf.FilterCandidates([]graph.NodeID{0, 1, 2}, feats, 0); len(got) != 3 {
+		t.Errorf("keepAbove 0 kept %d of 3", len(got))
+	}
+}
+
+func TestFeatureVectorHasBias(t *testing.T) {
+	v := Features{LogWordCount: 2, KeywordDensity: 0.1, Duplication: 0.5}.Vector()
+	if v[0] != 1 || v[1] != 2 || v[2] != 0.1 || v[3] != 0.5 {
+		t.Errorf("vector = %v", v)
+	}
+}

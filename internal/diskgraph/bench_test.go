@@ -1,0 +1,42 @@
+package diskgraph
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spammass/internal/pagerank"
+	"spammass/internal/testutil"
+)
+
+func BenchmarkDiskPageRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := testutil.RandomGraph(rng, 100000, 8)
+	path := filepath.Join(b.TempDir(), "bench.smdg")
+	if err := Build(path, g); err != nil {
+		b.Fatal(err)
+	}
+	dg, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := pagerank.UniformJump(g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dg.PageRank(v, pagerank.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildDiskGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := testutil.RandomGraph(rng, 100000, 8)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Build(filepath.Join(dir, "g.smdg"), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package diskgraph runs PageRank on graphs whose adjacency does not
+// fit in memory — the regime of the paper's actual deployment, where
+// the host graph had 979M edges and the page graph billions. The
+// layout keeps only what the pull-based Jacobi sweep needs resident
+// (the out-degree array and the two score vectors, 12 bytes per node)
+// and streams the in-neighbor lists sequentially from disk once per
+// iteration, the classic out-of-core PageRank access pattern.
+//
+// File layout (little-endian varints):
+//
+//	magic "SMDG", version, n, m
+//	out-degree of every node (uvarint each)
+//	for every node y: in-degree, then gap-encoded in-neighbors
+package diskgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"spammass/internal/graph"
+	"spammass/internal/pagerank"
+)
+
+const (
+	magic   = "SMDG"
+	version = 1
+)
+
+// Build writes g into the disk-graph format at path.
+func Build(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("diskgraph: create: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	n := g.NumNodes()
+	for _, v := range []uint64{version, uint64(n), uint64(g.NumEdges())} {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	for x := 0; x < n; x++ {
+		if err := put(uint64(g.OutDegree(graph.NodeID(x)))); err != nil {
+			return err
+		}
+	}
+	for y := 0; y < n; y++ {
+		in := g.InNeighbors(graph.NodeID(y))
+		if err := put(uint64(len(in))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i, x := range in {
+			gap := uint64(x) - prev
+			if i == 0 {
+				gap = uint64(x)
+			}
+			if err := put(gap); err != nil {
+				return err
+			}
+			prev = uint64(x)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// DiskGraph is an opened on-disk graph. It is safe for sequential use
+// by one goroutine.
+type DiskGraph struct {
+	path  string
+	n     int
+	m     int64
+	inv   []float64 // 1/out-degree, 0 for dangling
+	start int64     // file offset of the in-adjacency section
+}
+
+// Open reads the header and out-degree array of a disk graph.
+func Open(path string) (*DiskGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskgraph: open: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("diskgraph: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("diskgraph: bad magic %q", head)
+	}
+	consumed := int64(len(magic))
+	get := func() (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		consumed += int64(uvarintLen(v))
+		return v, nil
+	}
+	ver, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("diskgraph: version: %w", err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("diskgraph: unsupported version %d", ver)
+	}
+	n64, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("diskgraph: node count: %w", err)
+	}
+	if n64 > 1<<32 {
+		return nil, fmt.Errorf("diskgraph: node count %d exceeds ID space", n64)
+	}
+	m, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("diskgraph: edge count: %w", err)
+	}
+	dg := &DiskGraph{path: path, n: int(n64), m: int64(m)}
+	dg.inv = make([]float64, dg.n)
+	for x := 0; x < dg.n; x++ {
+		d, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("diskgraph: out-degree of %d: %w", x, err)
+		}
+		if d > 0 {
+			dg.inv[x] = 1 / float64(d)
+		}
+	}
+	dg.start = consumed
+	return dg, nil
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// NumNodes returns the node count.
+func (dg *DiskGraph) NumNodes() int { return dg.n }
+
+// NumEdges returns the edge count.
+func (dg *DiskGraph) NumEdges() int64 { return dg.m }
+
+// sweep performs one pull-based Jacobi iteration, streaming the
+// in-adjacency from r (positioned at the adjacency section).
+func (dg *DiskGraph) sweep(br *bufio.Reader, cur, next pagerank.Vector, c float64, v pagerank.Vector) error {
+	edgesSeen := int64(0)
+	for y := 0; y < dg.n; y++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("diskgraph: in-degree of %d: %w", y, err)
+		}
+		sum := 0.0
+		prev := uint64(0)
+		for i := uint64(0); i < deg; i++ {
+			gap, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("diskgraph: in-neighbors of %d: %w", y, err)
+			}
+			x := prev + gap
+			if i == 0 {
+				x = gap
+			}
+			if x >= uint64(dg.n) {
+				return fmt.Errorf("diskgraph: node %d references %d outside [0,%d)", y, x, dg.n)
+			}
+			sum += cur[x] * dg.inv[x]
+			prev = x
+			edgesSeen++
+		}
+		next[y] = c*sum + (1-c)*v[y]
+	}
+	if edgesSeen != dg.m {
+		return fmt.Errorf("diskgraph: saw %d edges, header says %d", edgesSeen, dg.m)
+	}
+	return nil
+}
+
+// PageRank solves the linear PageRank system over the on-disk graph
+// with the Jacobi iteration, reading the adjacency once per iteration.
+func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank.Result, error) {
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-12
+	}
+	if cfg.MaxIter == 0 {
+		cfg.MaxIter = 1000
+	}
+	if cfg.Damping <= 0 || cfg.Damping >= 1 || cfg.Epsilon <= 0 {
+		return nil, fmt.Errorf("diskgraph: invalid solver config %+v", cfg)
+	}
+	if len(v) != dg.n {
+		return nil, fmt.Errorf("diskgraph: jump vector has length %d, want %d", len(v), dg.n)
+	}
+	f, err := os.Open(dg.path)
+	if err != nil {
+		return nil, fmt.Errorf("diskgraph: reopen: %w", err)
+	}
+	defer f.Close()
+
+	cur := v.Clone()
+	if cfg.WarmStart != nil {
+		if len(cfg.WarmStart) != dg.n {
+			return nil, fmt.Errorf("diskgraph: warm start has length %d, want %d", len(cfg.WarmStart), dg.n)
+		}
+		cur = cfg.WarmStart.Clone()
+	}
+	next := make(pagerank.Vector, dg.n)
+	res := &pagerank.Result{}
+	br := bufio.NewReaderSize(f, 1<<20)
+	for res.Iterations = 1; res.Iterations <= cfg.MaxIter; res.Iterations++ {
+		if _, err := f.Seek(dg.start, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("diskgraph: seek: %w", err)
+		}
+		br.Reset(f)
+		if err := dg.sweep(br, cur, next, cfg.Damping, v); err != nil {
+			return nil, err
+		}
+		res.Residual = next.Diff1(cur)
+		cur, next = next, cur
+		if res.Residual < cfg.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	if res.Iterations > cfg.MaxIter {
+		res.Iterations = cfg.MaxIter
+	}
+	res.Scores = cur
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// The paper's precision numbers are estimates from a ~900-host sample;
+// bootstrap resampling quantifies the sampling error those estimates
+// carry (the paper reports point estimates only).
+
+// ConfidenceInterval is a two-sided bootstrap interval for a precision
+// estimate.
+type ConfidenceInterval struct {
+	Point, Lo, Hi float64
+}
+
+// BootstrapPrecision estimates prec(τ) together with a bootstrap
+// percentile confidence interval at the given level (e.g. 0.95), by
+// resampling the usable hosts above the threshold with replacement.
+func BootstrapPrecision(sample []SampleHost, tau float64, level float64, iters int, seed int64) (ConfidenceInterval, error) {
+	if level <= 0 || level >= 1 {
+		return ConfidenceInterval{}, fmt.Errorf("eval: confidence level %v outside (0,1)", level)
+	}
+	if iters < 10 {
+		return ConfidenceInterval{}, fmt.Errorf("eval: need at least 10 bootstrap iterations, got %d", iters)
+	}
+	var above []bool // true = spam, over usable hosts with m̃ ≥ τ
+	for _, h := range sample {
+		if h.RelMass < tau {
+			continue
+		}
+		switch h.Judgment {
+		case JudgedSpam:
+			above = append(above, true)
+		case JudgedGood:
+			above = append(above, false)
+		}
+	}
+	if len(above) == 0 {
+		return ConfidenceInterval{}, fmt.Errorf("eval: no usable hosts above τ = %v", tau)
+	}
+	spam := 0
+	for _, s := range above {
+		if s {
+			spam++
+		}
+	}
+	ci := ConfidenceInterval{Point: float64(spam) / float64(len(above))}
+
+	rng := rand.New(rand.NewSource(seed))
+	precs := make([]float64, iters)
+	for it := range precs {
+		hits := 0
+		for i := 0; i < len(above); i++ {
+			if above[rng.Intn(len(above))] {
+				hits++
+			}
+		}
+		precs[it] = float64(hits) / float64(len(above))
+	}
+	sort.Float64s(precs)
+	alpha := (1 - level) / 2
+	lo := int(alpha * float64(iters))
+	hi := int((1 - alpha) * float64(iters))
+	if hi >= iters {
+		hi = iters - 1
+	}
+	ci.Lo, ci.Hi = precs[lo], precs[hi]
+	return ci, nil
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"spammass/internal/stats"
+)
+
+// CSV writers for the figure data, so the paper's plots can be
+// regenerated in any external plotting tool from the suite's output.
+
+// WriteGroupsCSV writes the Table 2 / Figure 3 data: one row per
+// sample group with bounds and composition.
+func WriteGroupsCSV(w io.Writer, groups []Group) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "smallest_rel_mass", "largest_rel_mass",
+		"good", "anomalous", "spam", "unknown", "nonexistent"}); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if err := cw.Write([]string{
+			strconv.Itoa(g.Index),
+			formatFloat(g.SmallestRel),
+			formatFloat(g.LargestRel),
+			strconv.Itoa(g.Good),
+			strconv.Itoa(g.Anomalous),
+			strconv.Itoa(g.Spam),
+			strconv.Itoa(g.Unknown),
+			strconv.Itoa(g.Nonexist),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePrecisionCSV writes Figure 4/5 curve data: one row per
+// threshold per named curve.
+func WritePrecisionCSV(w io.Writer, curves map[string][]PrecisionPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"curve", "threshold", "precision_included",
+		"precision_excluded", "spam_above", "usable_above"}); err != nil {
+		return err
+	}
+	for name, points := range curves {
+		for _, p := range points {
+			if err := cw.Write([]string{
+				name,
+				formatFloat(p.Threshold),
+				formatFloat(p.Included),
+				formatFloat(p.Excluded),
+				strconv.Itoa(p.SpamAbove),
+				strconv.Itoa(p.UsableAbove),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHistogramCSV writes Figure 6 branch data: one row per bin.
+func WriteHistogramCSV(w io.Writer, branches map[string][]stats.Bin) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"branch", "lo", "hi", "count", "density"}); err != nil {
+		return err
+	}
+	for name, bins := range branches {
+		for _, b := range bins {
+			if b.Count == 0 {
+				continue
+			}
+			if err := cw.Write([]string{
+				name,
+				formatFloat(b.Lo),
+				formatFloat(b.Hi),
+				strconv.FormatInt(b.Count, 10),
+				formatFloat(b.Density),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}
+
+// WriteSampleCSV dumps the judged sample itself for external analysis.
+func WriteSampleCSV(w io.Writer, sample []SampleHost) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "scaled_pagerank", "rel_mass", "abs_mass", "judgment", "anomalous"}); err != nil {
+		return err
+	}
+	for _, h := range sample {
+		if err := cw.Write([]string{
+			fmt.Sprint(h.Node),
+			formatFloat(h.ScaledPR),
+			formatFloat(h.RelMass),
+			formatFloat(h.AbsMass),
+			h.Judgment.String(),
+			strconv.FormatBool(h.Anomalous),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

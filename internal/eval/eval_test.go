@@ -1,0 +1,377 @@
+package eval
+
+import (
+	"encoding/csv"
+	"sort"
+	"strings"
+	"testing"
+
+	"spammass/internal/goodcore"
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+	"spammass/internal/stats"
+	"spammass/internal/webgen"
+)
+
+// worldFixture builds a small world with mass estimates once per test
+// binary run.
+type fixture struct {
+	world *webgen.World
+	est   *mass.Estimates
+	T     []graph.NodeID
+}
+
+var shared *fixture
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	w, err := webgen.Generate(webgen.DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := goodcore.Assemble(w.Names, w.DirectoryMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mass.EstimateFromCore(w.Graph, core.Nodes, mass.Options{
+		Solver: pagerank.Config{Damping: 0.85, Epsilon: 1e-10, MaxIter: 300},
+		Gamma:  0.85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared = &fixture{world: w, est: est, T: mass.FilterByPageRank(est, 10)}
+	return shared
+}
+
+func sampleFixture(t *testing.T) []SampleHost {
+	f := getFixture(t)
+	s, err := Sample(f.T, len(f.T)*3/4, f.est, f.world, DefaultJudgeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSampleSortedAndJudged(t *testing.T) {
+	s := sampleFixture(t)
+	if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].RelMass < s[j].RelMass }) {
+		t.Error("sample not sorted by relative mass")
+	}
+	f := getFixture(t)
+	for _, h := range s {
+		switch h.Judgment {
+		case JudgedSpam:
+			if !f.world.IsSpam(h.Node) {
+				t.Fatalf("host %d judged spam but ground truth is good", h.Node)
+			}
+		case JudgedGood:
+			if f.world.IsSpam(h.Node) {
+				t.Fatalf("host %d judged good but ground truth is spam", h.Node)
+			}
+		case JudgedNonexistent:
+			kind := f.world.Info[h.Node].Kind
+			if kind != webgen.KindFrontier && kind != webgen.KindIsolated {
+				t.Fatalf("host %d judged nonexistent but kind is %v", h.Node, kind)
+			}
+		}
+	}
+}
+
+func TestSampleComposition(t *testing.T) {
+	s := sampleFixture(t)
+	c := Compose(s)
+	if c.Total() != len(s) {
+		t.Fatalf("composition total %d, sample %d", c.Total(), len(s))
+	}
+	// The judge config targets the paper's rates loosely.
+	unknownFrac := float64(c.Unknown) / float64(c.Total())
+	if unknownFrac < 0.02 || unknownFrac > 0.12 {
+		t.Errorf("unknown fraction %.3f far from the configured 6.1%%", unknownFrac)
+	}
+	if c.Spam == 0 || c.Good == 0 {
+		t.Error("sample has no spam or no good hosts")
+	}
+	if got := len(Usable(s)); got != c.Good+c.Spam {
+		t.Errorf("Usable returned %d, want %d", got, c.Good+c.Spam)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := Sample(nil, 1, f.est, f.world, DefaultJudgeConfig()); err == nil {
+		t.Error("empty T accepted")
+	}
+	if _, err := Sample(f.T, 0, f.est, f.world, DefaultJudgeConfig()); err == nil {
+		t.Error("zero sample size accepted")
+	}
+	if _, err := Sample(f.T, len(f.T)+1, f.est, f.world, DefaultJudgeConfig()); err == nil {
+		t.Error("oversized sample accepted")
+	}
+}
+
+func TestSplitGroups(t *testing.T) {
+	s := sampleFixture(t)
+	groups, err := SplitGroups(s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 20 {
+		t.Fatalf("%d groups, want 20", len(groups))
+	}
+	total := 0
+	for i, g := range groups {
+		total += g.Size + g.Unknown + g.Nonexist
+		if g.Index != i+1 {
+			t.Errorf("group %d has index %d", i, g.Index)
+		}
+		if g.SmallestRel > g.LargestRel {
+			t.Errorf("group %d bounds inverted: [%v, %v]", g.Index, g.SmallestRel, g.LargestRel)
+		}
+		if i > 0 && g.SmallestRel < groups[i-1].LargestRel-1e-12 {
+			t.Errorf("group %d overlaps group %d", g.Index, groups[i-1].Index)
+		}
+	}
+	if total != len(s) {
+		t.Errorf("groups cover %d hosts, sample has %d", total, len(s))
+	}
+	// Group sizes near-equal: within 1 of each other.
+	for _, g := range groups {
+		sz := g.Size + g.Unknown + g.Nonexist
+		if sz < len(s)/20-1 || sz > len(s)/20+1 {
+			t.Errorf("group %d size %d far from %d", g.Index, sz, len(s)/20)
+		}
+	}
+}
+
+func TestSplitGroupsErrors(t *testing.T) {
+	s := sampleFixture(t)
+	if _, err := SplitGroups(s, 0); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, err := SplitGroups(s, len(s)+1); err == nil {
+		t.Error("more groups than hosts accepted")
+	}
+	shuffled := append([]SampleHost(nil), s...)
+	shuffled[0], shuffled[len(shuffled)-1] = shuffled[len(shuffled)-1], shuffled[0]
+	if _, err := SplitGroups(shuffled, 5); err == nil {
+		t.Error("unsorted sample accepted")
+	}
+}
+
+func TestPrecisionCurveMonotoneCounts(t *testing.T) {
+	s := sampleFixture(t)
+	groups, err := SplitGroups(s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresholds := GroupThresholds(groups)
+	points := PrecisionCurve(s, thresholds)
+	if len(points) != len(thresholds) {
+		t.Fatalf("%d points for %d thresholds", len(points), len(thresholds))
+	}
+	for i := range points {
+		if points[i].Included < 0 || points[i].Included > 1 || points[i].Excluded < 0 || points[i].Excluded > 1 {
+			t.Errorf("point %d precision outside [0,1]: %+v", i, points[i])
+		}
+		if points[i].Excluded < points[i].Included-1e-12 {
+			t.Errorf("point %d: excluding anomalies lowered precision", i)
+		}
+		if i > 0 && points[i].UsableAbove < points[i-1].UsableAbove {
+			t.Errorf("point %d: usable count decreased as threshold decreased", i)
+		}
+	}
+	// Thresholds strictly descending and ending at 0.
+	for i := 1; i < len(thresholds); i++ {
+		if thresholds[i] >= thresholds[i-1] {
+			t.Errorf("thresholds not strictly descending at %d: %v", i, thresholds)
+		}
+	}
+	if thresholds[len(thresholds)-1] != 0 {
+		t.Error("threshold list does not end at 0")
+	}
+}
+
+func TestCountAbove(t *testing.T) {
+	rel := []float64{0.5, -0.1, 0.9, 0.2}
+	ok := []bool{true, true, true, false}
+	// Node 3 (rel 0.2) is filtered out by pageRankOK.
+	got := CountAbove(rel, ok, []float64{0.9, 0.3, 0})
+	want := []int{1, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CountAbove[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAnalyzeMassDistribution(t *testing.T) {
+	f := getFixture(t)
+	d, err := AnalyzeMassDistribution(f.est, DefaultMassDistributionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MinMass >= 0 {
+		t.Error("no negative mass estimates; core members must go negative under the scaled jump")
+	}
+	if d.MaxMass <= 0 {
+		t.Error("no positive mass estimates")
+	}
+	if d.PositiveExponent >= 0 {
+		t.Errorf("positive branch exponent %v, want negative (decaying power law)", d.PositiveExponent)
+	}
+	// The paper reports −2.31; the synthetic tail should land in a
+	// plausible band around a decaying power law.
+	if d.PositiveExponent < -4.5 || d.PositiveExponent > -1.0 {
+		t.Errorf("positive branch exponent %v outside plausible band [-4.5, -1.0]", d.PositiveExponent)
+	}
+	if len(d.Negative) == 0 {
+		t.Error("negative branch empty")
+	}
+}
+
+func TestAnalyzeMassDistributionErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := AnalyzeMassDistribution(f.est, MassDistributionConfig{BinsPerDecade: 0}); err == nil {
+		t.Error("zero bins per decade accepted")
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	s := sampleFixture(t)
+	groups, err := SplitGroups(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderGroupTable(&sb, groups); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderComposition(&sb, groups); err != nil {
+		t.Fatal(err)
+	}
+	points := PrecisionCurve(s, GroupThresholds(groups))
+	if err := RenderPrecisionCurve(&sb, points, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderCompositionSummary(&sb, Compose(s)); err != nil {
+		t.Fatal(err)
+	}
+	f := getFixture(t)
+	d, err := AnalyzeMassDistribution(f.est, DefaultMassDistributionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderHistogram(&sb, d.Positive, "positive"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Group", "Spam%", "Threshold", "sample:", "positive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestJudgmentString(t *testing.T) {
+	names := map[Judgment]string{
+		JudgedGood: "good", JudgedSpam: "spam",
+		JudgedUnknown: "unknown", JudgedNonexistent: "nonexistent",
+	}
+	for j, want := range names {
+		if j.String() != want {
+			t.Errorf("Judgment(%d).String() = %q, want %q", j, j.String(), want)
+		}
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	s := sampleFixture(t)
+	groups, err := SplitGroups(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteGroupsCSV(&sb, groups); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 11 { // header + 10 groups
+		t.Errorf("groups CSV has %d lines, want 11", lines)
+	}
+	sb.Reset()
+	points := PrecisionCurve(s, GroupThresholds(groups))
+	if err := WritePrecisionCSV(&sb, map[string][]PrecisionPoint{"full": points}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != len(points)+1 {
+		t.Errorf("precision CSV has %d lines, want %d", got, len(points)+1)
+	}
+	sb.Reset()
+	f := getFixture(t)
+	d, err := AnalyzeMassDistribution(f.est, DefaultMassDistributionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHistogramCSV(&sb, map[string][]stats.Bin{"positive": d.Positive, "negative": d.Negative}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "positive") || !strings.Contains(sb.String(), "negative") {
+		t.Error("histogram CSV missing branches")
+	}
+	sb.Reset()
+	if err := WriteSampleCSV(&sb, s[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 6 {
+		t.Errorf("sample CSV has %d lines, want 6", got)
+	}
+	// Every CSV parses back cleanly.
+	for _, data := range []string{sb.String()} {
+		if _, err := csv.NewReader(strings.NewReader(data)).ReadAll(); err != nil {
+			t.Errorf("CSV does not re-parse: %v", err)
+		}
+	}
+}
+
+func TestBootstrapPrecision(t *testing.T) {
+	s := sampleFixture(t)
+	ci, err := BootstrapPrecision(s, 0.9, 0.95, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Point > ci.Hi {
+		t.Errorf("interval [%v, %v] does not bracket the point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Lo < 0 || ci.Hi > 1 {
+		t.Errorf("interval [%v, %v] outside [0,1]", ci.Lo, ci.Hi)
+	}
+	// A wider level must give a narrower interval... inverted: 0.5 vs 0.95.
+	narrow, err := BootstrapPrecision(s, 0.9, 0.5, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Hi-narrow.Lo > ci.Hi-ci.Lo {
+		t.Errorf("50%% interval wider than 95%%: %v vs %v", narrow.Hi-narrow.Lo, ci.Hi-ci.Lo)
+	}
+	// Validation.
+	if _, err := BootstrapPrecision(s, 0.9, 1.5, 100, 1); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := BootstrapPrecision(s, 0.9, 0.95, 5, 1); err == nil {
+		t.Error("too few iterations accepted")
+	}
+	if _, err := BootstrapPrecision(s, 2.0, 0.95, 100, 1); err == nil {
+		t.Error("threshold above all masses accepted")
+	}
+	// Determinism.
+	a, _ := BootstrapPrecision(s, 0.5, 0.95, 200, 42)
+	b, _ := BootstrapPrecision(s, 0.5, 0.95, 200, 42)
+	if a != b {
+		t.Error("bootstrap not deterministic for a fixed seed")
+	}
+}

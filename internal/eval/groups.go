@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is one of the relative-mass sample groups of Table 2 /
+// Figure 3: a contiguous slice of the sample ordered by relative mass,
+// together with its composition.
+type Group struct {
+	Index             int // 1-based, as in the paper
+	SmallestRel       float64
+	LargestRel        float64
+	Size              int // judged-usable hosts in the group
+	Good, Spam        int
+	Anomalous         int // good hosts in the gray anomaly classes
+	Unknown, Nonexist int
+}
+
+// SpamFrac returns the fraction of spam among the group's usable
+// hosts (the percentage printed atop each Figure 3 bar is the good
+// fraction; this is its complement together with the anomalies).
+func (g Group) SpamFrac() float64 {
+	usable := g.Good + g.Spam + g.Anomalous
+	if usable == 0 {
+		return 0
+	}
+	return float64(g.Spam) / float64(usable)
+}
+
+// SplitGroups splits a sample (sorted ascending by relative mass —
+// Sample returns it that way) into count groups of near-equal size,
+// the Section 4.4.1 procedure ("a compromise between approximately
+// equal group sizes and relevant thresholds"). All sample hosts count
+// toward group sizes; unknown and nonexistent hosts are tallied but
+// excluded from the good/spam splits, mirroring Figure 3's discarding.
+func SplitGroups(sample []SampleHost, count int) ([]Group, error) {
+	if count <= 0 || count > len(sample) {
+		return nil, fmt.Errorf("eval: cannot split %d hosts into %d groups", len(sample), count)
+	}
+	if !sort.SliceIsSorted(sample, func(i, j int) bool { return sample[i].RelMass < sample[j].RelMass }) {
+		return nil, fmt.Errorf("eval: sample not sorted by relative mass")
+	}
+	groups := make([]Group, 0, count)
+	for gi := 0; gi < count; gi++ {
+		lo := gi * len(sample) / count
+		hi := (gi + 1) * len(sample) / count
+		g := Group{Index: gi + 1, SmallestRel: sample[lo].RelMass, LargestRel: sample[hi-1].RelMass}
+		for _, h := range sample[lo:hi] {
+			switch h.Judgment {
+			case JudgedGood:
+				if h.Anomalous {
+					g.Anomalous++
+				} else {
+					g.Good++
+				}
+				g.Size++
+			case JudgedSpam:
+				g.Spam++
+				g.Size++
+			case JudgedUnknown:
+				g.Unknown++
+			default:
+				g.Nonexist++
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// PrecisionPoint is one point of the Figure 4 / Figure 5 curves.
+type PrecisionPoint struct {
+	Threshold float64
+	// Included counts anomalous good hosts as false positives;
+	// Excluded disregards them (the two curves of Figure 4).
+	Included, Excluded float64
+	// SpamAbove / UsableAbove are the raw counts behind the estimate.
+	SpamAbove, UsableAbove int
+}
+
+// PrecisionCurve evaluates prec(τ) over the sample for each threshold:
+// the fraction of spam among usable sample hosts with m̃ ≥ τ.
+func PrecisionCurve(sample []SampleHost, thresholds []float64) []PrecisionPoint {
+	out := make([]PrecisionPoint, 0, len(thresholds))
+	for _, tau := range thresholds {
+		var spam, usable, anom int
+		for _, h := range sample {
+			if h.RelMass < tau {
+				continue
+			}
+			switch h.Judgment {
+			case JudgedSpam:
+				spam++
+				usable++
+			case JudgedGood:
+				usable++
+				if h.Anomalous {
+					anom++
+				}
+			}
+		}
+		pt := PrecisionPoint{Threshold: tau, SpamAbove: spam, UsableAbove: usable}
+		if usable > 0 {
+			pt.Included = float64(spam) / float64(usable)
+		}
+		if usable-anom > 0 {
+			pt.Excluded = float64(spam) / float64(usable-anom)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// GroupThresholds derives a descending threshold list from group
+// boundaries, the way the Figure 4 horizontal axis is built from the
+// sample group boundaries of Table 2: the smallest relative mass of
+// each group with a positive lower bound, then 0.
+func GroupThresholds(groups []Group) []float64 {
+	var out []float64
+	for i := len(groups) - 1; i >= 0; i-- {
+		t := groups[i].SmallestRel
+		if t > 0 && (len(out) == 0 || t < out[len(out)-1]) {
+			out = append(out, t)
+		}
+	}
+	out = append(out, 0)
+	return out
+}
+
+// CountAbove returns, for each threshold, how many of the full node
+// set's relative-mass estimates lie at or above it — the "total number
+// of hosts above threshold" row along the top of Figure 4.
+func CountAbove(rel []float64, pageRankOK []bool, thresholds []float64) []int {
+	out := make([]int, len(thresholds))
+	for i, tau := range thresholds {
+		c := 0
+		for x, r := range rel {
+			if pageRankOK[x] && r >= tau {
+				c++
+			}
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spammass/internal/stats"
+)
+
+// Rendering helpers: plain-text tables and bar charts that let the
+// experiment binaries print Table 2, Figure 3, Figure 4/5 curves, and
+// Figure 6 histograms on a terminal.
+
+// RenderGroupTable writes Table 2: relative-mass thresholds and sizes
+// for the sample groups.
+func RenderGroupTable(w io.Writer, groups []Group) error {
+	if _, err := fmt.Fprintf(w, "%-8s %12s %12s %6s\n", "Group", "Smallest m~", "Largest m~", "Size"); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		sz := g.Size + g.Unknown + g.Nonexist
+		if _, err := fmt.Fprintf(w, "%-8d %12.2f %12.2f %6d\n", g.Index, g.SmallestRel, g.LargestRel, sz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderComposition writes the Figure 3 bar data: per group, the
+// number of good / anomalous-good / spam hosts and the spam share.
+func RenderComposition(w io.Writer, groups []Group) error {
+	if _, err := fmt.Fprintf(w, "%-8s %6s %6s %6s %8s  %s\n", "Group", "Good", "Anom", "Spam", "Spam%", "Composition"); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		usable := g.Good + g.Anomalous + g.Spam
+		bar := compositionBar(g, 40)
+		if _, err := fmt.Fprintf(w, "%-8d %6d %6d %6d %7.0f%%  %s\n",
+			g.Index, g.Good, g.Anomalous, g.Spam, 100*g.SpamFrac(), bar); err != nil {
+			return err
+		}
+		_ = usable
+	}
+	return nil
+}
+
+// compositionBar draws a stacked bar: '.' good, 'o' anomalous good,
+// '#' spam, matching Figure 3's white/gray/black stacking.
+func compositionBar(g Group, width int) string {
+	usable := g.Good + g.Anomalous + g.Spam
+	if usable == 0 {
+		return ""
+	}
+	goodW := g.Good * width / usable
+	anomW := g.Anomalous * width / usable
+	spamW := width - goodW - anomW
+	return strings.Repeat(".", goodW) + strings.Repeat("o", anomW) + strings.Repeat("#", spamW)
+}
+
+// RenderPrecisionCurve writes Figure 4/5-style data: one line per
+// threshold with both precision variants and the host counts.
+func RenderPrecisionCurve(w io.Writer, points []PrecisionPoint, countsAbove []int) error {
+	header := fmt.Sprintf("%-10s %10s %10s %10s", "Threshold", "Prec(incl)", "Prec(excl)", "Sample>=")
+	if countsAbove != nil {
+		header += fmt.Sprintf(" %12s", "Hosts>=")
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i, pt := range points {
+		line := fmt.Sprintf("%-10.2f %10.3f %10.3f %10d", pt.Threshold, pt.Included, pt.Excluded, pt.UsableAbove)
+		if countsAbove != nil && i < len(countsAbove) {
+			line += fmt.Sprintf(" %12d", countsAbove[i])
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderHistogram writes a log-binned histogram as an ASCII chart with
+// one row per non-empty bin, bar length proportional to log density.
+func RenderHistogram(w io.Writer, bins []stats.Bin, title string) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	maxCount := int64(0)
+	for _, b := range bins {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	if maxCount == 0 {
+		_, err := fmt.Fprintln(w, "  (empty)")
+		return err
+	}
+	for _, b := range bins {
+		if b.Count == 0 {
+			continue
+		}
+		width := int(40 * float64(b.Count) / float64(maxCount))
+		if width < 1 {
+			width = 1
+		}
+		if _, err := fmt.Fprintf(w, "  [%11.1f, %11.1f) %9d %s\n", b.Lo, b.Hi, b.Count, strings.Repeat("*", width)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCompositionSummary writes the Section 4.4.1 sample breakdown.
+func RenderCompositionSummary(w io.Writer, c Composition) error {
+	total := c.Total()
+	if total == 0 {
+		_, err := fmt.Fprintln(w, "empty sample")
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"sample: %d hosts — good %d (%.1f%%), spam %d (%.1f%%), unknown %d (%.1f%%), nonexistent %d (%.1f%%)\n",
+		total,
+		c.Good, 100*float64(c.Good)/float64(total),
+		c.Spam, 100*float64(c.Spam)/float64(total),
+		c.Unknown, 100*float64(c.Unknown)/float64(total),
+		c.Nonexistent, 100*float64(c.Nonexistent)/float64(total))
+	return err
+}

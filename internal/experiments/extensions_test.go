@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunForensics(t *testing.T) {
+	e := env(t)
+	r, err := e.RunForensics(io.Discard, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TargetsAnalyzed == 0 {
+		t.Fatal("no candidates analyzed")
+	}
+	if r.BoosterPrecision < 0.9 {
+		t.Errorf("booster spam-precision %.3f, want ≥ 0.9", r.BoosterPrecision)
+	}
+	if r.BoosterRecall < 0.5 {
+		t.Errorf("booster recall %.3f, want ≥ 0.5", r.BoosterRecall)
+	}
+}
+
+func TestRunAnomalyDiscovery(t *testing.T) {
+	e := env(t)
+	r, err := e.RunAnomalyDiscovery(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Communities == 0 {
+		t.Fatal("no communities discovered on a world with planted anomalies")
+	}
+	if r.TopCommunity != "alibaba" && r.TopCommunity != "brblogs" {
+		t.Errorf("top community %q, want a planted anomaly", r.TopCommunity)
+	}
+	if r.TopPurity < 0.9 {
+		t.Errorf("top community purity %.2f, want ≥ 0.9", r.TopPurity)
+	}
+	if r.PrecisionAfter <= r.PrecisionBefore {
+		t.Errorf("precision did not improve after the automated fix: %.3f -> %.3f",
+			r.PrecisionBefore, r.PrecisionAfter)
+	}
+}
+
+func TestRunContentFilter(t *testing.T) {
+	e := env(t)
+	r, err := e.RunContentFilter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.After.Precision <= r.Before.Precision {
+		t.Errorf("content filter did not raise precision: %.3f -> %.3f",
+			r.Before.Precision, r.After.Precision)
+	}
+	if r.After.Recall > r.Before.Recall {
+		t.Errorf("filtering cannot raise recall: %.3f -> %.3f", r.Before.Recall, r.After.Recall)
+	}
+	// The mimicking spam bounds the cost: recall must not collapse.
+	if r.After.Recall < 0.5*r.Before.Recall {
+		t.Errorf("content filter destroyed recall: %.3f -> %.3f", r.Before.Recall, r.After.Recall)
+	}
+}
+
+func TestRunAdversarial(t *testing.T) {
+	e := env(t)
+	pts, err := e.RunAdversarial(io.Discard, []int{0, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 { // two farms × three steps
+		t.Fatalf("%d points, want 6", len(pts))
+	}
+	median, largest := pts[:3], pts[3:]
+	// Relative mass must fall monotonically with purchased links.
+	for _, series := range [][]AdversarialPoint{median, largest} {
+		for i := 1; i < len(series); i++ {
+			if series[i].RelMass > series[i-1].RelMass+1e-9 {
+				t.Errorf("relative mass rose with more purchased links: %+v", series)
+			}
+		}
+		if !series[0].Detected {
+			t.Error("unmodified farm target not detected")
+		}
+	}
+	// The evasion price grows with farm size: at every step the larger
+	// farm retains at least as much relative mass.
+	for i := range median {
+		if largest[i].RelMass < median[i].RelMass-1e-9 {
+			t.Errorf("step %d: larger farm lost more mass (%.3f) than the median farm (%.3f)",
+				i, largest[i].RelMass, median[i].RelMass)
+		}
+	}
+}
+
+func TestRunCoreGrowth(t *testing.T) {
+	e := env(t)
+	pts, err := e.RunCoreGrowth(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("%d growth points, want 6", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CoreSize < pts[i-1].CoreSize {
+			t.Error("core sizes not increasing")
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.Precision < first.Precision-0.05 {
+		t.Errorf("precision fell as the core grew: %.3f -> %.3f", first.Precision, last.Precision)
+	}
+	if first.Precision < 0.5 {
+		t.Errorf("small-core precision %.3f; the deployment advice needs a usable start", first.Precision)
+	}
+}
+
+func TestRunStability(t *testing.T) {
+	e := env(t)
+	buckets, err := e.RunStability(io.Discard, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) < 3 {
+		t.Fatalf("only %d stability buckets", len(buckets))
+	}
+	// The Section 3.6 claim: scatter shrinks as PageRank grows. Demand
+	// the highest usable bucket be substantially more stable than the
+	// lowest.
+	first, last := buckets[0], buckets[len(buckets)-1]
+	if last.MeanStd > 0.6*first.MeanStd {
+		t.Errorf("std did not shrink with PageRank: %.4f (PR~%.0f) -> %.4f (PR~%.0f)",
+			first.MeanStd, first.LoPR, last.MeanStd, last.LoPR)
+	}
+	if _, err := e.RunStability(io.Discard, 1); err == nil {
+		t.Error("single resample accepted")
+	}
+}
+
+func TestMassInvariantOnEnv(t *testing.T) {
+	e := env(t)
+	if worst := massInvariantCheck(e.Est); worst > 1e-15 {
+		t.Errorf("M~ + p' = p violated by %v", worst)
+	}
+}
+
+func TestRunTemporal(t *testing.T) {
+	e := env(t)
+	r, err := e.RunTemporal(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoreStillGood < 0.999 {
+		t.Errorf("core freshness %.3f, want 1.0 (the good core must survive spam churn)", r.CoreStillGood)
+	}
+	if r.BlacklistStillSpam > 0.01 {
+		t.Errorf("black-list freshness %.3f, want a collapse toward 0", r.BlacklistStillSpam)
+	}
+	if r.WhiteRecallT1 < 0.7*r.WhiteRecallT0 {
+		t.Errorf("white-list recall decayed %.3f -> %.3f; the aged core should keep detecting",
+			r.WhiteRecallT0, r.WhiteRecallT1)
+	}
+	if r.BlackRecallT1 >= r.WhiteRecallT1 {
+		t.Errorf("stale black list (%.3f) should underperform the aged core (%.3f)",
+			r.BlackRecallT1, r.WhiteRecallT1)
+	}
+}
+
+func TestRunSearchImpact(t *testing.T) {
+	e := env(t)
+	r, err := e.RunSearchImpact(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Before.Queries == 0 {
+		t.Fatal("no evaluable queries")
+	}
+	if r.Before.SpamInTopK <= 0 {
+		t.Fatal("no spam in unfiltered top-10; the motivating harm is absent")
+	}
+	if r.After.SpamInTopK >= r.Before.SpamInTopK {
+		t.Errorf("penalizing candidates did not reduce top-10 spam: %.4f -> %.4f",
+			r.Before.SpamInTopK, r.After.SpamInTopK)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	e := env(t)
+	var sb strings.Builder
+	if err := e.WriteReport(&sb, time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Reproduction report", "9.330", "1.65", "Section 4.1",
+		"Main results", "Detection summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunGranularity(t *testing.T) {
+	e := env(t)
+	r, err := e.RunGranularity(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages <= int64(e.World.Graph.NumNodes()) {
+		t.Fatalf("%d pages for %d hosts", r.Pages, e.World.Graph.NumNodes())
+	}
+	if r.HostRecall == 0 {
+		t.Fatal("host-level detection found nothing")
+	}
+	if r.PageRecall < 0.7*r.HostRecall {
+		t.Errorf("page-level recall %.3f collapsed vs host-level %.3f", r.PageRecall, r.HostRecall)
+	}
+	if r.Agreement < 0.8 {
+		t.Errorf("granularity verdict agreement %.3f, want ≥ 0.8", r.Agreement)
+	}
+}
+
+func TestRunTrustRankSeeds(t *testing.T) {
+	e := env(t)
+	rows, err := e.RunTrustRankSeeds(io.Discard, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d strategies, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Orderedness < 0.5 {
+			t.Errorf("%v orderedness %.3f below chance", r.Strategy, r.Orderedness)
+		}
+	}
+	// Inverse PageRank should not lose badly to a random spread.
+	if rows[0].Orderedness < rows[2].Orderedness-0.1 {
+		t.Errorf("inverse-pagerank %.3f far below random %.3f", rows[0].Orderedness, rows[2].Orderedness)
+	}
+}

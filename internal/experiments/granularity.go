@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+	"spammass/internal/webgen"
+)
+
+// GranularityResult verifies Section 2.1's abstraction claim: the web
+// graph model — and therefore spam mass — works at any granularity
+// (pages, hosts, or sites).
+type GranularityResult struct {
+	Pages int64
+	// HostTargetsDetected / PageTargetsDetected: farm targets in T
+	// detected at τ = 0.75 at each granularity.
+	HostRecall, PageRecall float64
+	// Agreement is the fraction of host-level verdicts (detected /
+	// not) that the page-level run reproduces for farm targets in the
+	// host-level T.
+	Agreement float64
+}
+
+// RunGranularity expands the host world to the page level, runs the
+// whole estimation pipeline on the page graph (with the core expanded
+// to the core hosts' pages), and compares the farm-target verdicts
+// with the host-level run.
+func (e *Env) RunGranularity(w io.Writer) (*GranularityResult, error) {
+	section(w, "Extension: granularity abstraction (Section 2.1, pages vs hosts)")
+	pcfg := webgen.DefaultPageConfig()
+	pw, err := webgen.ExpandPages(e.World, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	// Page-level core: every page of a core host.
+	inCore := make(map[graph.NodeID]bool, e.Core.Size())
+	for _, h := range e.Core.Nodes {
+		inCore[h] = true
+	}
+	var pageCore []graph.NodeID
+	firstPageOf := make(map[graph.NodeID]graph.NodeID)
+	for p, h := range pw.HostOf {
+		if _, seen := firstPageOf[h]; !seen {
+			firstPageOf[h] = graph.NodeID(p)
+		}
+		if inCore[h] {
+			pageCore = append(pageCore, graph.NodeID(p))
+		}
+	}
+	est, err := mass.EstimateFromCore(pw.Graph, pageCore, mass.Options{Solver: e.Cfg.Solver, Gamma: e.Cfg.Gamma})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate page scores to hosts: a host's PageRank is the sum of
+	// its pages'; its relative mass is mass-weighted.
+	nHosts := e.World.Graph.NumNodes()
+	hostP := make(pagerank.Vector, nHosts)
+	hostPC := make(pagerank.Vector, nHosts)
+	for p, h := range pw.HostOf {
+		hostP[h] += est.P[p]
+		hostPC[h] += est.PCore[p]
+	}
+	hostEst := mass.Derive(hostP, hostPC, e.Est.Damping)
+
+	r := &GranularityResult{Pages: int64(pw.Graph.NumNodes())}
+	// Compare farm-target verdicts between granularities, over the
+	// host-level T.
+	detectedHost := func(x graph.NodeID) bool {
+		return e.Est.Rel[x] >= 0.75 && e.Est.ScaledPageRank(x) >= e.Cfg.Rho
+	}
+	// The page graph is larger, so the scaled-PageRank unit differs;
+	// apply ρ against the host aggregate in host units.
+	scaleHost := float64(nHosts) / (1 - e.Est.Damping)
+	detectedPage := func(x graph.NodeID) bool {
+		return hostEst.Rel[x] >= 0.75 && hostP[x]*scaleHost >= e.Cfg.Rho
+	}
+	targets, hostHits, pageHits, agree := 0, 0, 0, 0
+	for _, f := range e.World.Farms {
+		if e.Est.ScaledPageRank(f.Target) < e.Cfg.Rho {
+			continue
+		}
+		targets++
+		h := detectedHost(f.Target)
+		p := detectedPage(f.Target)
+		if h {
+			hostHits++
+		}
+		if p {
+			pageHits++
+		}
+		if h == p {
+			agree++
+		}
+	}
+	if targets > 0 {
+		r.HostRecall = float64(hostHits) / float64(targets)
+		r.PageRecall = float64(pageHits) / float64(targets)
+		r.Agreement = float64(agree) / float64(targets)
+	}
+	fmt.Fprintf(w, "expanded %d hosts to %d pages (%d edges)\n",
+		nHosts, pw.Graph.NumNodes(), pw.Graph.NumEdges())
+	fmt.Fprintf(w, "farm-target recall at tau=0.75: host-level %.3f, page-level (aggregated) %.3f\n",
+		r.HostRecall, r.PageRecall)
+	fmt.Fprintf(w, "verdict agreement between granularities: %.3f\n", r.Agreement)
+	fmt.Fprintln(w, "(Section 2.1: the model abstracts from granularity; detection survives the change)")
+	return r, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestCalibrationAcrossSeeds guards the reproduction against seed
+// lottery: the calibrated bands of Section 4 must hold for several
+// generator seeds, not just the default one. Bands are deliberately
+// loose — the claim is that the SHAPE survives reseeding.
+func TestCalibrationAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed calibration sweep skipped in -short mode")
+	}
+	for _, seed := range []int64{2, 3, 5} {
+		seed := seed
+		cfg := testConfig()
+		cfg.Seed = seed
+		e, err := NewEnv(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		ds := e.RunDataSet(io.Discard)
+		if f := ds.Stats.FracNoOutlinks(); f < 0.60 || f > 0.72 {
+			t.Errorf("seed %d: no-outlink fraction %.3f outside band", seed, f)
+		}
+		if f := ds.Stats.FracNoInlinks(); f < 0.28 || f > 0.45 {
+			t.Errorf("seed %d: no-inlink fraction %.3f outside band", seed, f)
+		}
+
+		pr, err := e.RunPRDist(io.Discard)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if pr.FracBelow2 < 0.80 || pr.FracBelow2 > 0.97 {
+			t.Errorf("seed %d: PR<2 fraction %.3f outside band", seed, pr.FracBelow2)
+		}
+
+		// T size and spam prevalence.
+		tFrac := float64(len(e.T)) / float64(e.World.Graph.NumNodes())
+		if tFrac < 0.005 || tFrac > 0.04 {
+			t.Errorf("seed %d: |T| fraction %.4f outside band", seed, tFrac)
+		}
+
+		fig4 := e.RunFigure4(io.Discard)
+		first := fig4.Points[0]
+		last := fig4.Points[len(fig4.Points)-1]
+		if first.Excluded < 0.85 {
+			t.Errorf("seed %d: top-threshold precision %.3f below 0.85", seed, first.Excluded)
+		}
+		if last.Excluded < 0.25 || last.Excluded > 0.70 {
+			t.Errorf("seed %d: precision floor %.3f outside band", seed, last.Excluded)
+		}
+		if first.Excluded <= last.Excluded {
+			t.Errorf("seed %d: precision does not decline", seed)
+		}
+
+		disc, err := e.RunAnomalyDiscovery(io.Discard)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if disc.Communities == 0 {
+			t.Errorf("seed %d: planted anomalies not discovered", seed)
+		}
+	}
+}

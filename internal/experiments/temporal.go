@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+	"spammass/internal/webgen"
+)
+
+// TemporalResult quantifies the Section 3.4 stability claim: "one can
+// expect the good core to be more stable over time than Ṽ⁻, as spam
+// nodes come and go on the web".
+type TemporalResult struct {
+	// CoreStillGood is the fraction of the good core that is still a
+	// good host after the spam generation churns (should be 1).
+	CoreStillGood float64
+	// BlacklistStillSpam is the fraction of the time-t0 black list
+	// still pointing at live spam at t1 (should collapse toward 0).
+	BlacklistStillSpam float64
+	// WhiteRecallT0 and WhiteRecallT1 are the white-list detector's
+	// recalls of spam targets before and after churn — the aged core
+	// should keep detecting the NEW farms.
+	WhiteRecallT0, WhiteRecallT1 float64
+	// BlackRecallT1 is the recall at t1 of a black-list estimator
+	// still using the t0 list — stale evidence.
+	BlackRecallT1 float64
+}
+
+// RunTemporal evolves the spam generation once and compares how the
+// aged good core and an aged black list cope with the new farms.
+func (e *Env) RunTemporal(w io.Writer) (*TemporalResult, error) {
+	section(w, "Extension: temporal stability (Section 3.4's core-vs-blacklist claim)")
+	// t0 black list: every 10th spam host.
+	spam0 := e.World.SpamNodes()
+	var blacklist []graph.NodeID
+	for i, x := range spam0 {
+		if i%10 == 0 {
+			blacklist = append(blacklist, x)
+		}
+	}
+
+	world1, err := webgen.EvolveSpam(e.World, webgen.EvolveConfig{Seed: e.Cfg.Seed + 13})
+	if err != nil {
+		return nil, err
+	}
+	p1, err := pagerank.Jacobi(world1.Graph, pagerank.UniformJump(world1.Graph.NumNodes()), e.Cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	wj := pagerank.ScaledCoreJump(world1.Graph.NumNodes(), e.Core.Nodes, e.Cfg.Gamma)
+	pc1, err := pagerank.Jacobi(world1.Graph, wj, e.Cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	est1 := mass.Derive(p1.Scores, pc1.Scores, e.Est.Damping)
+
+	r := &TemporalResult{}
+	// Core freshness: every core member must still be good at t1.
+	stillGood := 0
+	for _, x := range e.Core.Nodes {
+		if !world1.Info[x].Kind.Spam() {
+			stillGood++
+		}
+	}
+	r.CoreStillGood = float64(stillGood) / float64(e.Core.Size())
+	// Black-list freshness.
+	stillSpam := 0
+	for _, x := range blacklist {
+		if world1.IsSpam(x) {
+			stillSpam++
+		}
+	}
+	r.BlacklistStillSpam = float64(stillSpam) / float64(len(blacklist))
+
+	recall := func(est *mass.Estimates, world *webgen.World) float64 {
+		targets, hit := 0, 0
+		for _, f := range world.Farms {
+			if est.ScaledPageRank(f.Target) < e.Cfg.Rho {
+				continue
+			}
+			targets++
+			if est.Rel[f.Target] >= 0.75 {
+				hit++
+			}
+		}
+		if targets == 0 {
+			return 0
+		}
+		return float64(hit) / float64(targets)
+	}
+	r.WhiteRecallT0 = recall(e.Est, e.World)
+	r.WhiteRecallT1 = recall(est1, world1)
+
+	// Stale black-list estimator at t1.
+	blackV := pagerank.ScaledCoreJump(world1.Graph.NumNodes(), blacklist, 1-e.Cfg.Gamma)
+	mHat, err := pagerank.Jacobi(world1.Graph, blackV, e.Cfg.Solver)
+	if err != nil {
+		return nil, err
+	}
+	blackEst := mass.Derive(p1.Scores, p1.Scores.Clone().Sub(mHat.Scores), e.Est.Damping)
+	r.BlackRecallT1 = recall(blackEst, world1)
+
+	fmt.Fprintf(w, "after one spam generation of churn (all farms abandoned and rebuilt):\n")
+	fmt.Fprintf(w, "good core still good:            %5.1f%% (the paper expects ~100%%)\n", 100*r.CoreStillGood)
+	fmt.Fprintf(w, "t0 black list still spam:        %5.1f%% (spam comes and goes)\n", 100*r.BlacklistStillSpam)
+	fmt.Fprintf(w, "white-list recall of farm targets: t0 %.3f -> t1 %.3f (aged core keeps working)\n",
+		r.WhiteRecallT0, r.WhiteRecallT1)
+	fmt.Fprintf(w, "stale-black-list recall at t1:   %.3f (stale evidence is blind to new farms)\n", r.BlackRecallT1)
+	return r, nil
+}

@@ -1,0 +1,201 @@
+// Package forensics turns detections into explanations: given a spam
+// candidate produced by the mass detector, it extracts the boosting
+// structure behind it — the supporters contributing the bulk of its
+// PageRank — and groups candidates into farm alliances (the structures
+// of Gyöngyi & Garcia-Molina, "Link spam alliances", VLDB 2005, which
+// Section 2.3 of the mass-estimation paper builds on).
+//
+// The primitive is the reverse contribution vector (q_x^y)_y of
+// Section 3.2: for a farm target, the supporter list is dominated by
+// spammer-controlled boosting nodes, recognizable by their own high
+// relative mass. For a reputable hub the list is dominated by
+// well-covered good nodes — which is why the same analysis also
+// explains away false positives.
+package forensics
+
+import (
+	"fmt"
+	"sort"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+)
+
+// Config tunes farm extraction.
+type Config struct {
+	// Coverage is the fraction of the target's PageRank the supporter
+	// list must explain before extraction stops.
+	Coverage float64
+	// MaxSupporters caps the supporter list.
+	MaxSupporters int
+	// BoosterRelMass is the relative-mass level at which a supporter
+	// is presumed spammer-controlled (boosting node).
+	BoosterRelMass float64
+	// Solver configures the underlying linear solves.
+	Solver pagerank.Config
+}
+
+// DefaultConfig returns sensible extraction settings.
+func DefaultConfig() Config {
+	return Config{
+		Coverage:       0.8,
+		MaxSupporters:  200,
+		BoosterRelMass: 0.9,
+		Solver:         pagerank.DefaultConfig(),
+	}
+}
+
+// Member is one node of an extracted farm.
+type Member struct {
+	Node graph.NodeID
+	// Contribution is the PageRank of the target attributable to
+	// this member; Share is its fraction of the target's total.
+	Contribution float64
+	Share        float64
+	// Booster reports whether the member looks spammer-controlled
+	// (its own relative mass is at or above BoosterRelMass).
+	Booster bool
+}
+
+// Farm is the boosting structure extracted behind one candidate.
+type Farm struct {
+	Target graph.NodeID
+	// PageRank is the target's (unscaled) PageRank.
+	PageRank float64
+	// Members lists the supporters explaining Coverage of the
+	// target's PageRank, largest contribution first.
+	Members []Member
+	// BoosterShare is the fraction of the target's PageRank
+	// contributed by members classified as boosters; for a genuine
+	// farm target it approaches the target's relative mass, for a
+	// false positive it stays low.
+	BoosterShare float64
+}
+
+// Boosters returns the members classified as spammer-controlled.
+func (f *Farm) Boosters() []graph.NodeID {
+	var out []graph.NodeID
+	for _, m := range f.Members {
+		if m.Booster {
+			out = append(out, m.Node)
+		}
+	}
+	return out
+}
+
+// Extract analyzes one candidate target against the mass estimates.
+func Extract(g *graph.Graph, est *mass.Estimates, target graph.NodeID, cfg Config) (*Farm, error) {
+	if cfg.Coverage <= 0 || cfg.Coverage > 1 {
+		return nil, fmt.Errorf("forensics: coverage %v outside (0,1]", cfg.Coverage)
+	}
+	if cfg.MaxSupporters <= 0 {
+		return nil, fmt.Errorf("forensics: MaxSupporters must be positive")
+	}
+	v := pagerank.UniformJump(g.NumNodes())
+	supporters, px, err := pagerank.TopSupporters(g, target, v, cfg.Solver, cfg.MaxSupporters)
+	if err != nil {
+		return nil, fmt.Errorf("forensics: supporters of %d: %w", target, err)
+	}
+	farm := &Farm{Target: target, PageRank: px}
+	covered := 0.0
+	for _, s := range supporters {
+		if covered >= cfg.Coverage*px {
+			break
+		}
+		m := Member{
+			Node:         s.Node,
+			Contribution: s.Contribution,
+			Share:        s.Share,
+			Booster:      est.Rel[s.Node] >= cfg.BoosterRelMass,
+		}
+		if m.Booster {
+			farm.BoosterShare += s.Share
+		}
+		farm.Members = append(farm.Members, m)
+		covered += s.Contribution
+	}
+	return farm, nil
+}
+
+// Alliance is a group of candidate targets whose farms are linked.
+type Alliance struct {
+	Targets []graph.NodeID
+	// SharedBoosters counts boosters serving more than one target in
+	// the alliance (collaborating spammers pooling boosting nodes).
+	SharedBoosters int
+}
+
+// GroupAlliances clusters candidate targets into alliances: targets
+// whose nodes interlink directly (the endorsement rings of alliance
+// structures) or whose extracted farms share boosting nodes.
+func GroupAlliances(g *graph.Graph, farms []*Farm) []Alliance {
+	if len(farms) == 0 {
+		return nil
+	}
+	targets := make([]graph.NodeID, len(farms))
+	for i, f := range farms {
+		targets[i] = f.Target
+	}
+	u := graph.NewUnionFind(g.NumNodes())
+	inSet := make(map[graph.NodeID]bool, len(targets))
+	for _, t := range targets {
+		inSet[t] = true
+	}
+	// Direct target-to-target links.
+	for _, t := range targets {
+		for _, y := range g.OutNeighbors(t) {
+			if inSet[y] {
+				u.Union(t, y)
+			}
+		}
+	}
+	// Shared boosters.
+	boosterOwner := make(map[graph.NodeID]graph.NodeID)
+	shared := make(map[graph.NodeID]map[graph.NodeID]bool) // representative → shared boosters
+	for _, f := range farms {
+		for _, b := range f.Boosters() {
+			if owner, ok := boosterOwner[b]; ok && owner != f.Target {
+				u.Union(owner, f.Target)
+				r := u.Find(f.Target)
+				if shared[r] == nil {
+					shared[r] = map[graph.NodeID]bool{}
+				}
+				shared[r][b] = true
+			} else {
+				boosterOwner[b] = f.Target
+			}
+		}
+	}
+	groups := make(map[graph.NodeID][]graph.NodeID)
+	for _, t := range targets {
+		r := u.Find(t)
+		groups[r] = append(groups[r], t)
+	}
+	var out []Alliance
+	for r, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, Alliance{Targets: members, SharedBoosters: len(shared[r])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Targets) != len(out[j].Targets) {
+			return len(out[i].Targets) > len(out[j].Targets)
+		}
+		return out[i].Targets[0] < out[j].Targets[0]
+	})
+	return out
+}
+
+// ExtractAll runs Extract for every candidate and groups the results
+// into alliances.
+func ExtractAll(g *graph.Graph, est *mass.Estimates, candidates []mass.Candidate, cfg Config) ([]*Farm, []Alliance, error) {
+	farms := make([]*Farm, 0, len(candidates))
+	for _, c := range candidates {
+		f, err := Extract(g, est, c.Node, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		farms = append(farms, f)
+	}
+	return farms, GroupAlliances(g, farms), nil
+}

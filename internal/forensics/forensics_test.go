@@ -1,0 +1,201 @@
+package forensics
+
+import (
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+)
+
+// buildWorld constructs a small hand-made world: a reputable cluster
+// (the good core), two independent farms, and a two-farm alliance.
+type world struct {
+	g            *graph.Graph
+	core         []graph.NodeID
+	est          *mass.Estimates
+	farmA, farmB graph.NodeID // independent farms
+	ally1, ally2 graph.NodeID // allied targets
+	boostersOf   map[graph.NodeID][]graph.NodeID
+}
+
+func buildWorld(t *testing.T) *world {
+	t.Helper()
+	b := graph.NewBuilder(0)
+	w := &world{boostersOf: map[graph.NodeID][]graph.NodeID{}}
+
+	// Good core: hub + 10 sites.
+	hub := b.AddNode()
+	w.core = append(w.core, hub)
+	for i := 0; i < 10; i++ {
+		site := b.AddNode()
+		w.core = append(w.core, site)
+		b.AddEdge(site, hub)
+		b.AddEdge(hub, site)
+	}
+	farm := func(k int) graph.NodeID {
+		target := b.AddNode()
+		for i := 0; i < k; i++ {
+			booster := b.AddNode()
+			w.boostersOf[target] = append(w.boostersOf[target], booster)
+			b.AddEdge(booster, target)
+		}
+		return target
+	}
+	w.farmA = farm(15)
+	w.farmB = farm(20)
+	w.ally1 = farm(12)
+	w.ally2 = farm(12)
+	b.AddEdge(w.ally1, w.ally2)
+	b.AddEdge(w.ally2, w.ally1)
+	w.g = b.Build()
+
+	est, err := mass.EstimateFromCore(w.g, w.core, mass.Options{Solver: pagerank.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.est = est
+	return w
+}
+
+func TestExtractRecoversFarm(t *testing.T) {
+	w := buildWorld(t)
+	f, err := Extract(w.g, w.est, w.farmA, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Target != w.farmA {
+		t.Fatalf("extracted target %d, want %d", f.Target, w.farmA)
+	}
+	planted := map[graph.NodeID]bool{}
+	for _, x := range w.boostersOf[w.farmA] {
+		planted[x] = true
+	}
+	extracted := f.Boosters()
+	if len(extracted) == 0 {
+		t.Fatal("no boosters extracted")
+	}
+	for _, x := range extracted {
+		if !planted[x] {
+			t.Errorf("extracted booster %d is not in the planted farm", x)
+		}
+	}
+	if len(extracted) < 12 { // 80% coverage of 15 boosters
+		t.Errorf("recovered only %d of 15 boosters", len(extracted))
+	}
+	if f.BoosterShare < 0.7 {
+		t.Errorf("booster share %.3f, want most of the target's PageRank explained", f.BoosterShare)
+	}
+}
+
+func TestExtractReputableHubIsClean(t *testing.T) {
+	w := buildWorld(t)
+	hub := w.core[0]
+	f, err := Extract(w.g, w.est, hub, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.BoosterShare > 0.05 {
+		t.Errorf("reputable hub has booster share %.3f; forensics should exonerate it", f.BoosterShare)
+	}
+	if len(f.Members) == 0 {
+		t.Error("hub has no supporters at all")
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	w := buildWorld(t)
+	cfg := DefaultConfig()
+	cfg.Coverage = 0
+	if _, err := Extract(w.g, w.est, w.farmA, cfg); err == nil {
+		t.Error("coverage 0 accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.MaxSupporters = 0
+	if _, err := Extract(w.g, w.est, w.farmA, cfg); err == nil {
+		t.Error("MaxSupporters 0 accepted")
+	}
+}
+
+func TestGroupAlliances(t *testing.T) {
+	w := buildWorld(t)
+	var farms []*Farm
+	for _, target := range []graph.NodeID{w.farmA, w.farmB, w.ally1, w.ally2} {
+		f, err := Extract(w.g, w.est, target, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		farms = append(farms, f)
+	}
+	alliances := GroupAlliances(w.g, farms)
+	if len(alliances) != 3 {
+		t.Fatalf("%d alliances, want 3 (the pair + two singletons): %+v", len(alliances), alliances)
+	}
+	// Sorted by size: the two-target alliance first.
+	if len(alliances[0].Targets) != 2 {
+		t.Fatalf("largest alliance has %d targets, want 2", len(alliances[0].Targets))
+	}
+	got := alliances[0].Targets
+	if !(got[0] == w.ally1 && got[1] == w.ally2) {
+		t.Errorf("alliance targets %v, want [%d %d]", got, w.ally1, w.ally2)
+	}
+	for _, a := range alliances[1:] {
+		if len(a.Targets) != 1 {
+			t.Errorf("independent farm grouped: %v", a.Targets)
+		}
+	}
+}
+
+func TestGroupAlliancesSharedBoosters(t *testing.T) {
+	// Two targets sharing a pool of boosting nodes must be grouped
+	// even without direct target-to-target links.
+	b := graph.NewBuilder(0)
+	good := b.AddNode()
+	t1, t2 := b.AddNode(), b.AddNode()
+	for i := 0; i < 12; i++ {
+		booster := b.AddNode()
+		b.AddEdge(booster, t1)
+		b.AddEdge(booster, t2)
+	}
+	g := b.Build()
+	est, err := mass.EstimateFromCore(g, []graph.NodeID{good}, mass.Options{Solver: pagerank.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := Extract(g, est, t1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Extract(g, est, t2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alliances := GroupAlliances(g, []*Farm{f1, f2})
+	if len(alliances) != 1 || len(alliances[0].Targets) != 2 {
+		t.Fatalf("shared-booster farms not grouped: %+v", alliances)
+	}
+	if alliances[0].SharedBoosters == 0 {
+		t.Error("no shared boosters counted")
+	}
+}
+
+func TestExtractAll(t *testing.T) {
+	w := buildWorld(t)
+	cands := []mass.Candidate{{Node: w.farmA}, {Node: w.ally1}, {Node: w.ally2}}
+	farms, alliances, err := ExtractAll(w.g, w.est, cands, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(farms) != 3 {
+		t.Fatalf("%d farms, want 3", len(farms))
+	}
+	if len(alliances) != 2 {
+		t.Fatalf("%d alliances, want 2", len(alliances))
+	}
+}
+
+func TestGroupAlliancesEmpty(t *testing.T) {
+	if got := GroupAlliances(graph.NewBuilder(0).Build(), nil); got != nil {
+		t.Errorf("empty input produced %v", got)
+	}
+}

@@ -1,0 +1,176 @@
+package goodcore
+
+import (
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/webgen"
+)
+
+func TestNamePredicates(t *testing.T) {
+	cases := []struct {
+		name       string
+		gov, edu   bool
+		eduCountry string
+	}{
+		{"agency3.gov", true, false, ""},
+		{"www.nytimes.com", false, false, ""},
+		{"uni0.edu", false, true, "us"},
+		{"uni12.edu.it", false, true, "it"},
+		{"uni3.edu.cz", false, true, "cz"},
+		{"government.gov.uk", false, false, ""}, // .gov.uk is not .gov
+		{"eduardo.com", false, false, ""},       // "edu" inside a label does not count
+	}
+	for _, c := range cases {
+		if got := IsGov(c.name); got != c.gov {
+			t.Errorf("IsGov(%q) = %v, want %v", c.name, got, c.gov)
+		}
+		if got := IsEdu(c.name); got != c.edu {
+			t.Errorf("IsEdu(%q) = %v, want %v", c.name, got, c.edu)
+		}
+		if got := EduCountry(c.name); got != c.eduCountry {
+			t.Errorf("EduCountry(%q) = %q, want %q", c.name, got, c.eduCountry)
+		}
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	names := []string{
+		"www.a.com",   // 0: plain
+		"agency0.gov", // 1: gov
+		"uni0.edu",    // 2: edu us
+		"uni0.edu.it", // 3: edu it
+		"www.b.com",   // 4: directory member
+		"agency1.gov", // 5: gov AND directory member (counted once)
+	}
+	core, err := Assemble(names, []graph.NodeID{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Size() != 5 {
+		t.Fatalf("core size %d, want 5", core.Size())
+	}
+	if core.Directory != 2 || core.Gov != 1 || core.Edu != 2 {
+		t.Errorf("provenance = dir %d / gov %d / edu %d, want 2/1/2", core.Directory, core.Gov, core.Edu)
+	}
+	want := map[graph.NodeID]bool{1: true, 2: true, 3: true, 4: true, 5: true}
+	for _, x := range core.Nodes {
+		if !want[x] {
+			t.Errorf("unexpected core member %d", x)
+		}
+	}
+	// Sorted ascending.
+	for i := 1; i < len(core.Nodes); i++ {
+		if core.Nodes[i] <= core.Nodes[i-1] {
+			t.Fatal("core not sorted")
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	if _, err := Assemble([]string{"a.com"}, []graph.NodeID{5}); err == nil {
+		t.Error("out-of-range directory member accepted")
+	}
+	if _, err := Assemble([]string{"a.com", "b.com"}, nil); err == nil {
+		t.Error("core with zero eligible hosts accepted")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	core := &Core{}
+	for i := 0; i < 1000; i++ {
+		core.Nodes = append(core.Nodes, graph.NodeID(i))
+	}
+	for _, frac := range []float64{0.1, 0.01, 0.001} {
+		sub, err := Subsample(core, frac, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(frac * 1000)
+		if want < 1 {
+			want = 1
+		}
+		if sub.Size() != want {
+			t.Errorf("frac %v: size %d, want %d", frac, sub.Size(), want)
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, x := range sub.Nodes {
+			if seen[x] {
+				t.Fatalf("frac %v: duplicate member %d", frac, x)
+			}
+			seen[x] = true
+		}
+	}
+	if _, err := Subsample(core, 0, 1); err == nil {
+		t.Error("frac 0 accepted")
+	}
+	if _, err := Subsample(core, 1.5, 1); err == nil {
+		t.Error("frac > 1 accepted")
+	}
+	// Determinism: same seed, same sample.
+	a, _ := Subsample(core, 0.05, 42)
+	b, _ := Subsample(core, 0.05, 42)
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("subsample not deterministic")
+		}
+	}
+}
+
+func TestCountryEduCore(t *testing.T) {
+	names := []string{"uni0.edu.it", "uni1.edu.it", "uni0.edu.cz", "uni0.edu", "www.a.com"}
+	core, err := CountryEduCore(names, "it")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.Size() != 2 {
+		t.Fatalf("it core size %d, want 2", core.Size())
+	}
+	if _, err := CountryEduCore(names, "zz"); err == nil {
+		t.Error("unknown country accepted")
+	}
+}
+
+func TestWithExtra(t *testing.T) {
+	core := &Core{Nodes: []graph.NodeID{1, 5, 9}, Gov: 3}
+	out := WithExtra(core, []graph.NodeID{5, 2, 7})
+	if out.Size() != 5 {
+		t.Fatalf("size %d, want 5 (one duplicate skipped)", out.Size())
+	}
+	if core.Size() != 3 {
+		t.Error("WithExtra mutated the original core")
+	}
+	for i := 1; i < len(out.Nodes); i++ {
+		if out.Nodes[i] <= out.Nodes[i-1] {
+			t.Fatal("result not sorted")
+		}
+	}
+}
+
+// TestAssembleOnGeneratedWorld: the generator's names and directory
+// list assemble into a core matching its core-eligible population.
+func TestAssembleOnGeneratedWorld(t *testing.T) {
+	w, err := webgen.Generate(webgen.DefaultConfig(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := Assemble(w.Names, w.DirectoryMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eligible := 0
+	for _, info := range w.Info {
+		switch info.Kind {
+		case webgen.KindDirectory, webgen.KindGov, webgen.KindEdu:
+			eligible++
+		}
+	}
+	if core.Size() != eligible {
+		t.Errorf("assembled core %d members, world has %d core-eligible hosts", core.Size(), eligible)
+	}
+	for _, x := range core.Nodes {
+		if w.Info[x].Kind.Spam() {
+			t.Fatalf("spam host %d (%s) slipped into the core", x, w.Names[x])
+		}
+	}
+}

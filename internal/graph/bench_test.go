@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchEdges(n, perNode int) (int, [][2]NodeID) {
+	rng := rand.New(rand.NewSource(1))
+	edges := make([][2]NodeID, 0, n*perNode)
+	for x := 0; x < n; x++ {
+		for i := 0; i < perNode; i++ {
+			edges = append(edges, [2]NodeID{NodeID(x), NodeID(rng.Intn(n))})
+		}
+	}
+	return n, edges
+}
+
+func BenchmarkBuild(b *testing.B) {
+	n, edges := benchEdges(100000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder(n)
+		for _, e := range edges {
+			bl.AddEdge(e[0], e[1])
+		}
+		bl.Build()
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	g := FromEdges(benchEdges(100000, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	g := FromEdges(benchEdges(100000, 8))
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	g := FromEdges(benchEdges(100000, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeStats(g)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := FromEdges(benchEdges(100000, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(NodeID(i%100000), NodeID((i*7)%100000))
+	}
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. It
+// tolerates duplicate edges (collapsed, as the host graph collapses all
+// hyperlinks between a pair of hosts into one edge) and silently drops
+// self-links (disallowed by the web graph model of Section 2.1).
+//
+// A Builder is not safe for concurrent use.
+type Builder struct {
+	n     int
+	src   []NodeID
+	dst   []NodeID
+	built bool
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// NumNodes returns the number of nodes the built graph will have.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumPendingEdges returns the number of edges added so far, before
+// duplicate collapsing.
+func (b *Builder) NumPendingEdges() int { return len(b.src) }
+
+// Grow extends the node ID space to at least n nodes.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// AddNode appends a fresh node and returns its ID.
+func (b *Builder) AddNode() NodeID {
+	id := NodeID(b.n)
+	b.n++
+	return id
+}
+
+// AddEdge records the directed edge (x, y). Self-links are ignored.
+// It panics if either endpoint is outside the current ID space.
+func (b *Builder) AddEdge(x, y NodeID) {
+	if int(x) >= b.n || int(y) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) outside node space [0,%d)", x, y, b.n))
+	}
+	if x == y {
+		return
+	}
+	b.src = append(b.src, x)
+	b.dst = append(b.dst, y)
+}
+
+// Build sorts, deduplicates, and freezes the accumulated edges into a
+// Graph. The Builder must not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	if b.built {
+		panic("graph: Builder.Build called twice")
+	}
+	b.built = true
+
+	m := len(b.src)
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if b.src[a] != b.src[c] {
+			return b.src[a] < b.src[c]
+		}
+		return b.dst[a] < b.dst[c]
+	})
+
+	g := &Graph{n: b.n}
+	g.outStart = make([]int64, b.n+1)
+	g.outAdj = make([]NodeID, 0, m)
+	prevX, prevY := NodeID(0), NodeID(0)
+	first := true
+	for _, idx := range order {
+		x, y := b.src[idx], b.dst[idx]
+		if !first && x == prevX && y == prevY {
+			continue // collapse duplicate edge
+		}
+		first = false
+		prevX, prevY = x, y
+		g.outAdj = append(g.outAdj, y)
+		g.outStart[x+1]++
+	}
+	for x := 0; x < b.n; x++ {
+		g.outStart[x+1] += g.outStart[x]
+	}
+	b.src, b.dst = nil, nil
+
+	g.inStart, g.inAdj = reverseCSR(g.outStart, g.outAdj, b.n)
+	return g
+}
+
+// reverseCSR computes the transpose adjacency of a CSR structure whose
+// per-node lists are sorted ascending; the result is sorted as well
+// because the counting pass visits sources in increasing order.
+func reverseCSR(start []int64, adj []NodeID, n int) (rstart []int64, radj []NodeID) {
+	rstart = make([]int64, n+1)
+	for _, y := range adj {
+		rstart[y+1]++
+	}
+	for x := 0; x < n; x++ {
+		rstart[x+1] += rstart[x]
+	}
+	radj = make([]NodeID, len(adj))
+	cursor := make([]int64, n)
+	copy(cursor, rstart[:n])
+	for x := 0; x < n; x++ {
+		for i := start[x]; i < start[x+1]; i++ {
+			y := adj[i]
+			radj[cursor[y]] = NodeID(x)
+			cursor[y]++
+		}
+	}
+	return rstart, radj
+}
+
+// FromEdges is a convenience constructor building a graph with n nodes
+// from an explicit edge list.
+func FromEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomGraphForCodec(rng *rand.Rand, n, maxOut int) *Graph {
+	b := NewBuilder(n)
+	for x := 0; x < n; x++ {
+		d := rng.Intn(maxOut + 1)
+		for i := 0; i < d; i++ {
+			b.AddEdge(NodeID(x), NodeID(rng.Intn(n)))
+		}
+	}
+	return b.Build()
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	equal := true
+	a.Edges(func(x, y NodeID) bool {
+		if !b.HasEdge(x, y) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {4, 0}, {3, 2}})
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("text round trip changed the graph")
+	}
+}
+
+func TestReadTextCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\nn 3\n0 1\n# another\n2 1\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("parsed %d nodes / %d edges, want 3 / 2", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no header", "0 1\n"},
+		{"malformed edge", "n 2\n01\n"},
+		{"bad source", "n 2\nx 1\n"},
+		{"bad destination", "n 2\n0 y\n"},
+		{"out of range", "n 2\n0 9\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadText(strings.NewReader(c.in)); err == nil {
+				t.Errorf("ReadText(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := FromEdges(6, [][2]NodeID{{0, 5}, {5, 0}, {2, 3}, {2, 4}, {1, 2}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !graphsEqual(g, g2) {
+		t.Error("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SMGR\x02"),             // bad version
+		[]byte("SMGR\x01\x05"),         // truncated after node count
+		[]byte("SMGR\x01\x02\x01\x07"), // adjacency out of range
+	}
+	for i, in := range cases {
+		if _, err := ReadBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("case %d: ReadBinary accepted garbage", i)
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphForCodec(rng, 1+rng.Intn(60), 5)
+		var tb, bb bytes.Buffer
+		if err := WriteText(&tb, g); err != nil {
+			return false
+		}
+		if err := WriteBinary(&bb, g); err != nil {
+			return false
+		}
+		gt, err := ReadText(&tb)
+		if err != nil {
+			return false
+		}
+		gb, err := ReadBinary(&bb)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, gt) && graphsEqual(g, gb) && gb.Validate() == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyGraphRoundTrip(t *testing.T) {
+	g := NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary(empty): %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary(empty): %v", err)
+	}
+	if g2.NumNodes() != 0 || g2.NumEdges() != 0 {
+		t.Errorf("empty graph round trip produced %d nodes / %d edges", g2.NumNodes(), g2.NumEdges())
+	}
+}

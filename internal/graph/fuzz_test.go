@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the decoders: arbitrary input must never panic, and
+// anything that decodes must satisfy the graph invariants. Run the
+// seeds as normal tests, or explore with `go test -fuzz=FuzzReadBinary`.
+
+func FuzzReadBinary(f *testing.F) {
+	// Seeds: a valid encoding, truncations, and corruptions.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {4, 0}})); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("SMGR"))
+	f.Add([]byte("SMGR\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph violates invariants: %v", err)
+		}
+		// Round trip: re-encoding and re-decoding must be stable.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, g); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		g2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	f.Add("n 3\n0 1\n2 1\n")
+	f.Add("n 0\n")
+	f.Add("")
+	f.Add("n 2\n0 9\n")
+	f.Add("# comment\nn 1\n")
+	f.Add("n 4294967295\n0 1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		// Guard against adversarial header sizes exhausting memory.
+		if len(data) > 1<<16 {
+			return
+		}
+		if strings.Contains(data, "n 4294967295") || strings.Contains(data, "n 99999999") {
+			return // builder legitimately allocates per header
+		}
+		g, err := ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph violates invariants: %v", err)
+		}
+	})
+}
+
+func FuzzHostOf(f *testing.F) {
+	f.Add("http://www.example.com/path")
+	f.Add("EXAMPLE.com:8080")
+	f.Add("http://user@host.org./x")
+	f.Add("")
+	f.Add("://:")
+	f.Add("a@b@c:99:")
+	f.Fuzz(func(t *testing.T, url string) {
+		host := HostOf(url)
+		// The host never contains a path separator and is lower-case.
+		if strings.ContainsAny(host, "/") {
+			t.Fatalf("HostOf(%q) = %q contains a slash", url, host)
+		}
+		if host != strings.ToLower(host) {
+			t.Fatalf("HostOf(%q) = %q not lower-cased", url, host)
+		}
+		// Idempotence: extracting again changes nothing.
+		if again := HostOf(host); again != host && !strings.Contains(host, ":") {
+			t.Fatalf("HostOf not idempotent: %q -> %q -> %q", url, host, again)
+		}
+	})
+}

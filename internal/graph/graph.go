@@ -1,0 +1,192 @@
+// Package graph provides a compact, immutable representation of a
+// host-level web graph, following the model of Section 2.1 of the paper:
+// a directed graph with unweighted edges and no self-links, where nodes
+// stand for pages, hosts, or sites depending on granularity.
+//
+// The representation is a compressed sparse row (CSR) layout over dense
+// uint32 node identifiers, holding both the forward (out-neighbor) and
+// reverse (in-neighbor) adjacency so that PageRank-style sweeps over
+// in-neighbors and farm construction over out-neighbors are both cheap.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of the web graph. Identifiers are dense:
+// a graph with n nodes uses exactly the IDs 0..n-1.
+type NodeID = uint32
+
+// Graph is an immutable directed graph in CSR form. Build one with a
+// Builder; the zero Graph is a valid empty graph.
+//
+// Self-links are never present (the paper's model disallows them) and
+// parallel edges are collapsed, mirroring how the Yahoo! host graph
+// collapsed all hyperlinks between two hosts into a single edge.
+type Graph struct {
+	n int
+
+	// Forward CSR: out-neighbors of node x are
+	// outAdj[outStart[x]:outStart[x+1]], sorted ascending.
+	outStart []int64
+	outAdj   []NodeID
+
+	// Reverse CSR: in-neighbors of node x are
+	// inAdj[inStart[x]:inStart[x+1]], sorted ascending.
+	inStart []int64
+	inAdj   []NodeID
+}
+
+// NumNodes returns the number of nodes n; valid IDs are 0..n-1.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int64 {
+	if g.n == 0 {
+		return 0
+	}
+	return g.outStart[g.n]
+}
+
+// OutDegree returns the number of out-links of x.
+func (g *Graph) OutDegree(x NodeID) int {
+	return int(g.outStart[x+1] - g.outStart[x])
+}
+
+// InDegree returns the number of in-links of x.
+func (g *Graph) InDegree(x NodeID) int {
+	return int(g.inStart[x+1] - g.inStart[x])
+}
+
+// OutNeighbors returns the nodes pointed to by x, sorted ascending.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(x NodeID) []NodeID {
+	return g.outAdj[g.outStart[x]:g.outStart[x+1]]
+}
+
+// InNeighbors returns the nodes pointing to x, sorted ascending.
+// The returned slice aliases internal storage and must not be modified.
+func (g *Graph) InNeighbors(x NodeID) []NodeID {
+	return g.inAdj[g.inStart[x]:g.inStart[x+1]]
+}
+
+// HasEdge reports whether the directed edge (x, y) exists.
+func (g *Graph) HasEdge(x, y NodeID) bool {
+	adj := g.OutNeighbors(x)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= y })
+	return i < len(adj) && adj[i] == y
+}
+
+// IsDangling reports whether x has no out-links. Dangling nodes receive
+// the virtual-link treatment described in Section 2.2 of the paper.
+func (g *Graph) IsDangling(x NodeID) bool { return g.OutDegree(x) == 0 }
+
+// Edges calls fn for every directed edge (x, y) in increasing (x, y)
+// order, stopping early if fn returns false.
+func (g *Graph) Edges(fn func(x, y NodeID) bool) {
+	for x := 0; x < g.n; x++ {
+		for _, y := range g.OutNeighbors(NodeID(x)) {
+			if !fn(NodeID(x), y) {
+				return
+			}
+		}
+	}
+}
+
+// Validate checks structural invariants of the CSR representation. It is
+// primarily useful in tests and after decoding untrusted input.
+func (g *Graph) Validate() error {
+	if g.n == 0 {
+		if len(g.outAdj) != 0 || len(g.inAdj) != 0 {
+			return fmt.Errorf("graph: empty graph with %d out / %d in adjacency entries", len(g.outAdj), len(g.inAdj))
+		}
+		return nil
+	}
+	if len(g.outStart) != g.n+1 || len(g.inStart) != g.n+1 {
+		return fmt.Errorf("graph: offset arrays have lengths %d/%d, want %d", len(g.outStart), len(g.inStart), g.n+1)
+	}
+	if g.outStart[g.n] != g.inStart[g.n] {
+		return fmt.Errorf("graph: forward edge count %d != reverse edge count %d", g.outStart[g.n], g.inStart[g.n])
+	}
+	if err := validateCSR(g.outStart, g.outAdj, g.n, "out"); err != nil {
+		return err
+	}
+	if err := validateCSR(g.inStart, g.inAdj, g.n, "in"); err != nil {
+		return err
+	}
+	for x := 0; x < g.n; x++ {
+		if g.HasEdge(NodeID(x), NodeID(x)) {
+			return fmt.Errorf("graph: self-link at node %d", x)
+		}
+	}
+	return nil
+}
+
+func validateCSR(start []int64, adj []NodeID, n int, kind string) error {
+	if start[0] != 0 {
+		return fmt.Errorf("graph: %s offsets start at %d, want 0", kind, start[0])
+	}
+	if start[n] != int64(len(adj)) {
+		return fmt.Errorf("graph: %s offsets end at %d, want %d", kind, start[n], len(adj))
+	}
+	for x := 0; x < n; x++ {
+		lo, hi := start[x], start[x+1]
+		if lo > hi {
+			return fmt.Errorf("graph: %s offsets decrease at node %d", kind, x)
+		}
+		for i := lo; i < hi; i++ {
+			if int(adj[i]) >= n {
+				return fmt.Errorf("graph: %s adjacency of node %d references node %d outside [0,%d)", kind, x, adj[i], n)
+			}
+			if i > lo && adj[i] <= adj[i-1] {
+				return fmt.Errorf("graph: %s adjacency of node %d not strictly increasing at position %d", kind, x, i-lo)
+			}
+		}
+	}
+	return nil
+}
+
+// Transpose returns a new graph with every edge reversed. The operation
+// is cheap: the forward and reverse CSR halves are swapped, sharing the
+// underlying arrays with the receiver.
+func (g *Graph) Transpose() *Graph {
+	return &Graph{
+		n:        g.n,
+		outStart: g.inStart,
+		outAdj:   g.inAdj,
+		inStart:  g.outStart,
+		inAdj:    g.outAdj,
+	}
+}
+
+// Subgraph returns the subgraph induced by keep (nodes with keep[x]
+// true), along with a mapping from new IDs to original IDs. Edges with
+// either endpoint outside the kept set are dropped.
+func (g *Graph) Subgraph(keep []bool) (*Graph, []NodeID) {
+	if len(keep) != g.n {
+		panic(fmt.Sprintf("graph: Subgraph mask has length %d, want %d", len(keep), g.n))
+	}
+	remap := make([]int64, g.n)
+	var orig []NodeID
+	for x := 0; x < g.n; x++ {
+		if keep[x] {
+			remap[x] = int64(len(orig))
+			orig = append(orig, NodeID(x))
+		} else {
+			remap[x] = -1
+		}
+	}
+	b := NewBuilder(len(orig))
+	for x := 0; x < g.n; x++ {
+		if !keep[x] {
+			continue
+		}
+		for _, y := range g.OutNeighbors(NodeID(x)) {
+			if keep[y] {
+				b.AddEdge(NodeID(remap[x]), NodeID(remap[y]))
+			}
+		}
+	}
+	return b.Build(), orig
+}

@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 0)
+	g := b.Build()
+
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if got := g.OutNeighbors(0); !reflect.DeepEqual(got, []NodeID{1, 2}) {
+		t.Errorf("OutNeighbors(0) = %v, want [1 2]", got)
+	}
+	if got := g.InNeighbors(1); !reflect.DeepEqual(got, []NodeID{0, 2}) {
+		t.Errorf("InNeighbors(1) = %v, want [0 2]", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderCollapsesDuplicates(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(0, 1)
+	}
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want duplicates collapsed to 1", g.NumEdges())
+	}
+}
+
+func TestBuilderDropsSelfLinks(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 1)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want self-links dropped, 1 left", g.NumEdges())
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("HasEdge(0,0) = true after self-link drop")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	t.Run("edge outside space", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddEdge outside node space did not panic")
+			}
+		}()
+		NewBuilder(2).AddEdge(0, 5)
+	})
+	t.Run("double build", func(t *testing.T) {
+		b := NewBuilder(1)
+		b.Build()
+		defer func() {
+			if recover() == nil {
+				t.Error("second Build did not panic")
+			}
+		}()
+		b.Build()
+	})
+}
+
+func TestBuilderAddNodeGrow(t *testing.T) {
+	b := NewBuilder(0)
+	a := b.AddNode()
+	c := b.AddNode()
+	if a != 0 || c != 1 {
+		t.Fatalf("AddNode IDs = %d,%d, want 0,1", a, c)
+	}
+	b.Grow(5)
+	b.AddEdge(0, 4)
+	g := b.Build()
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5 after Grow", g.NumNodes())
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {0, 3}, {2, 4}})
+	cases := []struct {
+		x, y NodeID
+		want bool
+	}{
+		{0, 1, true}, {0, 3, true}, {2, 4, true},
+		{1, 0, false}, {0, 2, false}, {3, 0, false}, {0, 4, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.x, c.y); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {3, 1}})
+	gt := g.Transpose()
+	if err := gt.Validate(); err != nil {
+		t.Fatalf("transpose Validate: %v", err)
+	}
+	g.Edges(func(x, y NodeID) bool {
+		if !gt.HasEdge(y, x) {
+			t.Errorf("edge (%d,%d) missing reversed in transpose", x, y)
+		}
+		return true
+	})
+	if gt.NumEdges() != g.NumEdges() {
+		t.Errorf("transpose edge count %d, want %d", gt.NumEdges(), g.NumEdges())
+	}
+	// Double transpose must be the original.
+	gtt := gt.Transpose()
+	g.Edges(func(x, y NodeID) bool {
+		if !gtt.HasEdge(x, y) {
+			t.Errorf("edge (%d,%d) missing in double transpose", x, y)
+		}
+		return true
+	})
+}
+
+func TestSubgraph(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	keep := []bool{true, true, false, true, true}
+	sub, orig := g.Subgraph(keep)
+	if sub.NumNodes() != 4 {
+		t.Fatalf("subgraph has %d nodes, want 4", sub.NumNodes())
+	}
+	if want := []NodeID{0, 1, 3, 4}; !reflect.DeepEqual(orig, want) {
+		t.Fatalf("orig mapping = %v, want %v", orig, want)
+	}
+	// Kept edges: 0→1 (now 0→1), 3→4 (now 2→3), 4→0 (now 3→0).
+	if sub.NumEdges() != 3 {
+		t.Fatalf("subgraph has %d edges, want 3", sub.NumEdges())
+	}
+	for _, e := range [][2]NodeID{{0, 1}, {2, 3}, {3, 0}} {
+		if !sub.HasEdge(e[0], e[1]) {
+			t.Errorf("subgraph missing edge %v", e)
+		}
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := FromEdges(3, [][2]NodeID{{0, 1}, {0, 2}, {1, 2}})
+	count := 0
+	g.Edges(func(x, y NodeID) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("Edges visited %d edges after early stop, want 2", count)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	// 0→1, 2 isolated, 3→1; node 1 dangling, nodes 0,3 have no inlinks.
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {3, 1}})
+	s := ComputeStats(g)
+	if s.Nodes != 4 || s.Edges != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.NoInlinks != 3 { // 0, 2, 3
+		t.Errorf("NoInlinks = %d, want 3", s.NoInlinks)
+	}
+	if s.NoOutlinks != 2 { // 1, 2
+		t.Errorf("NoOutlinks = %d, want 2", s.NoOutlinks)
+	}
+	if s.Isolated != 1 { // 2
+		t.Errorf("Isolated = %d, want 1", s.Isolated)
+	}
+	if s.MaxInDegree != 2 || s.MaxOutDegree != 1 {
+		t.Errorf("degrees = %d/%d, want 2/1", s.MaxInDegree, s.MaxOutDegree)
+	}
+	if got := s.FracIsolated(); got != 0.25 {
+		t.Errorf("FracIsolated = %v, want 0.25", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {0, 2}, {3, 1}})
+	outH := DegreeHistogram(g, false)
+	if want := []int64{2, 1, 1}; !reflect.DeepEqual(outH, want) {
+		t.Errorf("out-degree histogram = %v, want %v", outH, want)
+	}
+	inH := DegreeHistogram(g, true)
+	if want := []int64{2, 1, 1}; !reflect.DeepEqual(inH, want) {
+		t.Errorf("in-degree histogram = %v, want %v", inH, want)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid graph rejected: %v", err)
+	}
+	g.outAdj[0] = 7 // out of range
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range adjacency")
+	}
+}

@@ -1,0 +1,83 @@
+package graph
+
+// Stats summarizes the structural statistics the paper reports for the
+// Yahoo! host graph in Section 4.1: node and edge counts and the
+// prevalence of hosts without inlinks, without outlinks, and isolated.
+type Stats struct {
+	Nodes int
+	Edges int64
+
+	NoInlinks  int // hosts nobody links to
+	NoOutlinks int // hosts that link nowhere (dangling)
+	Isolated   int // hosts with neither inlinks nor outlinks
+
+	MaxInDegree  int
+	MaxOutDegree int
+}
+
+// FracNoInlinks returns the fraction of nodes without inlinks
+// (35% for the Yahoo! 2004 host graph).
+func (s Stats) FracNoInlinks() float64 { return frac(s.NoInlinks, s.Nodes) }
+
+// FracNoOutlinks returns the fraction of nodes without outlinks
+// (66.4% for the Yahoo! 2004 host graph).
+func (s Stats) FracNoOutlinks() float64 { return frac(s.NoOutlinks, s.Nodes) }
+
+// FracIsolated returns the fraction of completely isolated nodes
+// (25.8% for the Yahoo! 2004 host graph).
+func (s Stats) FracIsolated() float64 { return frac(s.Isolated, s.Nodes) }
+
+func frac(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for x := 0; x < g.NumNodes(); x++ {
+		in, out := g.InDegree(NodeID(x)), g.OutDegree(NodeID(x))
+		if in == 0 {
+			s.NoInlinks++
+		}
+		if out == 0 {
+			s.NoOutlinks++
+		}
+		if in == 0 && out == 0 {
+			s.Isolated++
+		}
+		if in > s.MaxInDegree {
+			s.MaxInDegree = in
+		}
+		if out > s.MaxOutDegree {
+			s.MaxOutDegree = out
+		}
+	}
+	return s
+}
+
+// DegreeHistogram returns the number of nodes having each in-degree
+// (if in is true) or out-degree. Index d of the result is the count of
+// nodes with degree d. Degree-distribution outliers are the spam signal
+// used by the Fetterly et al. baseline.
+func DegreeHistogram(g *Graph, in bool) []int64 {
+	maxDeg := 0
+	deg := func(x NodeID) int {
+		if in {
+			return g.InDegree(x)
+		}
+		return g.OutDegree(x)
+	}
+	for x := 0; x < g.NumNodes(); x++ {
+		if d := deg(NodeID(x)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	h := make([]int64, maxDeg+1)
+	for x := 0; x < g.NumNodes(); x++ {
+		h[deg(NodeID(x))]++
+	}
+	return h
+}

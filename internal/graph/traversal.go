@@ -1,0 +1,246 @@
+package graph
+
+// Traversal and connectivity utilities used by the forensics and
+// anomaly-discovery layers: BFS reachability (how much of the web the
+// good core can see), strongly connected components (farm cores and
+// alliances are cycles by construction), and union-find over induced
+// subgraphs (clustering high-mass hosts into candidate anomalies).
+
+// ReachableFrom returns a mask of the nodes reachable from the seed
+// set by following out-links (the seeds themselves included). This is
+// exactly the support of the core-based PageRank vector p': a node the
+// core cannot reach has p' = 0 and relative mass 1.
+func ReachableFrom(g *Graph, seeds []NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	queue := make([]NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.OutNeighbors(x) {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return seen
+}
+
+// CountReachable returns how many nodes a mask marks.
+func CountReachable(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// StronglyConnectedComponents returns the component ID of every node,
+// with components numbered in reverse topological order (a component
+// only links to components with smaller IDs), plus the number of
+// components. The implementation is an iterative Tarjan, safe for
+// graphs far deeper than the goroutine stack.
+func StronglyConnectedComponents(g *Graph) (comp []int32, count int) {
+	n := g.NumNodes()
+	const unvisited = -1
+	comp = make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []NodeID
+	next := int32(0)
+
+	type frame struct {
+		node NodeID
+		edge int // position within OutNeighbors(node)
+	}
+	var call []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{node: NodeID(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, NodeID(root))
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			adj := g.OutNeighbors(f.node)
+			advanced := false
+			for f.edge < len(adj) {
+				y := adj[f.edge]
+				f.edge++
+				if index[y] == unvisited {
+					index[y] = next
+					low[y] = next
+					next++
+					stack = append(stack, y)
+					onStack[y] = true
+					call = append(call, frame{node: y})
+					advanced = true
+					break
+				}
+				if onStack[y] && index[y] < low[f.node] {
+					low[f.node] = index[y]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All edges done: close the frame.
+			x := f.node
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].node
+				if low[x] < low[parent] {
+					low[parent] = low[x]
+				}
+			}
+			if low[x] == index[x] {
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp[top] = int32(count)
+					if top == x {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return comp, count
+}
+
+// WeaklyConnectedComponents returns the component ID of every node
+// when edge direction is ignored, plus the number of components and
+// the size of the largest one — the bowtie-style connectivity summary
+// usually reported alongside web-graph statistics.
+func WeaklyConnectedComponents(g *Graph) (comp []int32, count int, largest int) {
+	u := NewUnionFind(g.NumNodes())
+	g.Edges(func(x, y NodeID) bool {
+		u.Union(x, y)
+		return true
+	})
+	comp = make([]int32, g.NumNodes())
+	ids := make(map[NodeID]int32)
+	sizes := make(map[int32]int)
+	for x := 0; x < g.NumNodes(); x++ {
+		root := u.Find(NodeID(x))
+		id, ok := ids[root]
+		if !ok {
+			id = int32(len(ids))
+			ids[root] = id
+		}
+		comp[x] = id
+		sizes[id]++
+	}
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	return comp, len(ids), largest
+}
+
+// UnionFind is a disjoint-set structure over dense node IDs.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewUnionFind returns a UnionFind with n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Find returns the representative of x's set, with path halving.
+func (u *UnionFind) Find(x NodeID) NodeID {
+	i := int32(x)
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return NodeID(i)
+}
+
+// Union merges the sets of a and b and reports whether they were
+// previously distinct.
+func (u *UnionFind) Union(a, b NodeID) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+// ClusterInduced groups the member nodes by connectivity in the
+// subgraph they induce (edges in either direction count), returning
+// clusters sorted by decreasing size. It is the grouping primitive of
+// anomaly discovery: good hosts with high relative mass that link to
+// each other usually belong to one under-covered community.
+func ClusterInduced(g *Graph, members []NodeID) [][]NodeID {
+	inSet := make(map[NodeID]bool, len(members))
+	for _, x := range members {
+		inSet[x] = true
+	}
+	u := NewUnionFind(g.NumNodes())
+	for _, x := range members {
+		for _, y := range g.OutNeighbors(x) {
+			if inSet[y] {
+				u.Union(x, y)
+			}
+		}
+	}
+	groups := make(map[NodeID][]NodeID)
+	for _, x := range members {
+		r := u.Find(x)
+		groups[r] = append(groups[r], x)
+	}
+	out := make([][]NodeID, 0, len(groups))
+	for _, members := range groups {
+		out = append(out, members)
+	}
+	// Sort by decreasing size, ties by smallest member for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	return a[0] < b[0]
+}

@@ -1,0 +1,187 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReachableFrom(t *testing.T) {
+	// 0 → 1 → 2, 3 → 1, 4 isolated.
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {1, 2}, {3, 1}})
+	mask := ReachableFrom(g, []NodeID{0})
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("reachable[%d] = %v, want %v", i, mask[i], want[i])
+		}
+	}
+	if CountReachable(mask) != 3 {
+		t.Errorf("CountReachable = %d, want 3", CountReachable(mask))
+	}
+	// Duplicate seeds must not double-count.
+	if got := CountReachable(ReachableFrom(g, []NodeID{0, 0, 3})); got != 4 {
+		t.Errorf("multi-seed reachable = %d, want 4", got)
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// Two 2-cycles joined by a one-way edge, plus a singleton.
+	g := FromEdges(5, [][2]NodeID{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}})
+	comp, count := StronglyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("%d components, want 3", count)
+	}
+	if comp[0] != comp[1] {
+		t.Error("0 and 1 must share a component")
+	}
+	if comp[2] != comp[3] {
+		t.Error("2 and 3 must share a component")
+	}
+	if comp[0] == comp[2] || comp[0] == comp[4] || comp[2] == comp[4] {
+		t.Error("distinct components merged")
+	}
+	// Reverse topological numbering: {2,3} is downstream of {0,1}, so
+	// its component ID must be smaller.
+	if comp[2] >= comp[0] {
+		t.Errorf("downstream component %d not numbered before upstream %d", comp[2], comp[0])
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 200k-node path would overflow a recursive Tarjan's goroutine
+	// stack; the iterative version must handle it.
+	const n = 200000
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	g := b.Build()
+	_, count := StronglyConnectedComponents(g)
+	if count != n {
+		t.Fatalf("%d components on an acyclic path of %d nodes", count, n)
+	}
+}
+
+// TestSCCProperty: x and y share a component iff they reach each other.
+func TestSCCProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		b := NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		comp, _ := StronglyConnectedComponents(g)
+		for x := 0; x < n; x++ {
+			fromX := ReachableFrom(g, []NodeID{NodeID(x)})
+			for y := 0; y < n; y++ {
+				fromY := ReachableFrom(g, []NodeID{NodeID(y)})
+				mutual := fromX[y] && fromY[x]
+				if mutual != (comp[x] == comp[y]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind(6)
+	if !u.Union(0, 1) {
+		t.Error("first union reported no-op")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeat union reported a merge")
+	}
+	u.Union(2, 3)
+	u.Union(1, 3)
+	if u.Find(0) != u.Find(2) {
+		t.Error("transitive union failed")
+	}
+	if u.Find(4) == u.Find(0) || u.Find(4) == u.Find(5) {
+		t.Error("singletons merged spuriously")
+	}
+}
+
+func TestClusterInduced(t *testing.T) {
+	// Members {0,1,2} form a chain; {4,5} a pair; 7 alone; node 3 is
+	// connected to 2 but is NOT a member, so it must not bridge.
+	g := FromEdges(8, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {6, 7}})
+	clusters := ClusterInduced(g, []NodeID{0, 1, 2, 4, 5, 7})
+	if len(clusters) != 3 {
+		t.Fatalf("%d clusters, want 3: %v", len(clusters), clusters)
+	}
+	if len(clusters[0]) != 3 || len(clusters[1]) != 2 || len(clusters[2]) != 1 {
+		t.Errorf("cluster sizes %d/%d/%d, want 3/2/1", len(clusters[0]), len(clusters[1]), len(clusters[2]))
+	}
+	seen := map[NodeID]bool{}
+	for _, c := range clusters {
+		for _, x := range c {
+			if seen[x] {
+				t.Fatalf("node %d in two clusters", x)
+			}
+			seen[x] = true
+		}
+	}
+}
+
+func TestClusterInducedBothDirections(t *testing.T) {
+	// Edge direction must not matter for clustering: 1 → 0 groups
+	// {0, 1} even though 0 has no outlink to 1.
+	g := FromEdges(3, [][2]NodeID{{1, 0}})
+	clusters := ClusterInduced(g, []NodeID{0, 1, 2})
+	if len(clusters) != 2 || len(clusters[0]) != 2 {
+		t.Errorf("clusters = %v, want {0,1} and {2}", clusters)
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	// 0→1, 2→1 form one weak component; 3↔4 another; 5 isolated.
+	g := FromEdges(6, [][2]NodeID{{0, 1}, {2, 1}, {3, 4}, {4, 3}})
+	comp, count, largest := WeaklyConnectedComponents(g)
+	if count != 3 {
+		t.Fatalf("%d weak components, want 3", count)
+	}
+	if largest != 3 {
+		t.Fatalf("largest component %d, want 3", largest)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("{0,1,2} not one weak component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Error("component assignment wrong")
+	}
+}
+
+// TestWCCRefinesSCC: strongly connected nodes are always weakly
+// connected.
+func TestWCCRefinesSCC(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		scc, _ := StronglyConnectedComponents(g)
+		wcc, _, _ := WeaklyConnectedComponents(g)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if scc[x] == scc[y] && wcc[x] != wcc[y] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package mass
+
+import (
+	"math/rand"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/testutil"
+)
+
+func benchSetup(n int) (*graph.Graph, []graph.NodeID) {
+	rng := rand.New(rand.NewSource(1))
+	g := testutil.RandomGraph(rng, n, 8)
+	core := make([]graph.NodeID, n/150)
+	for i := range core {
+		core[i] = graph.NodeID(i * 150)
+	}
+	return g, core
+}
+
+func BenchmarkEstimateFromCore(b *testing.B) {
+	g, core := benchSetup(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateFromCore(g, core, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	g, core := benchSetup(100000)
+	est, err := EstimateFromCore(g, core, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Detect(est, DefaultDetectConfig())
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	g, core := benchSetup(100000)
+	est, err := EstimateFromCore(g, core, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Derive(est.P, est.PCore, est.Damping)
+	}
+}

@@ -1,0 +1,333 @@
+// Package mass implements the paper's primary contribution: spam mass
+// (Section 3) and the mass-based link-spam detection algorithm
+// (Algorithm 2).
+//
+// The absolute spam mass of a node x is the PageRank contribution x
+// receives from spam nodes, M_x = q_x^{V⁻}; the relative spam mass is
+// the fraction m_x = M_x / p_x. With only a good core Ṽ⁺ available,
+// the masses are estimated from two PageRank vectors (Definition 3):
+//
+//	M̃ = p − p'   and   m̃ = 1 − p'/p
+//
+// where p = PR(v) uses the uniform random jump and p' = PR(w) uses a
+// jump restricted to the good core, scaled so that ‖w‖ = γ, the
+// estimated fraction of good nodes on the web (Section 3.5).
+package mass
+
+import (
+	"fmt"
+	"math"
+
+	"spammass/internal/graph"
+	"spammass/internal/pagerank"
+)
+
+// Options configures mass estimation.
+type Options struct {
+	// Solver configures the underlying linear PageRank computations.
+	Solver pagerank.Config
+	// Gamma is the estimated fraction γ of good nodes on the web; the
+	// core-based jump vector w is scaled to ‖w‖ = γ (Section 3.5).
+	// The paper's experiments use γ = 0.85, from the conservative
+	// estimate that at least 15% of hosts are spam.
+	//
+	// If Gamma is zero the jump vector is NOT scaled: each core node
+	// receives weight 1/n, the plain v^Ṽ⁺ of Definition 3. (This is
+	// the setting of the Table 1 example; on real-scale graphs it
+	// suffers the ‖p'‖ ≪ ‖p‖ problem described in Section 3.5.)
+	Gamma float64
+}
+
+// DefaultOptions returns the options used in the paper's experiments.
+func DefaultOptions() Options {
+	return Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85}
+}
+
+// Estimates holds the outcome of spam-mass estimation for every node.
+// All vectors are in unscaled PageRank units; use Scaled reporting
+// helpers (or pagerank.Vector.Scaled) for the paper's n/(1−c) scaling.
+type Estimates struct {
+	// P is the regular PageRank vector p = PR(v).
+	P pagerank.Vector
+	// PCore is the core-based PageRank vector p' = PR(w).
+	PCore pagerank.Vector
+	// Abs is the estimated absolute spam mass M̃ = p − p'. Entries can
+	// be negative: a negative mass indicates a node that is either in
+	// the good core itself or heavily supported by it (Section 3.5).
+	Abs pagerank.Vector
+	// Rel is the estimated relative spam mass m̃ = 1 − p'/p.
+	Rel pagerank.Vector
+	// Damping is the damping factor used, kept for scaled reporting.
+	Damping float64
+}
+
+// N returns the number of nodes covered by the estimates.
+func (e *Estimates) N() int { return len(e.P) }
+
+// ScaledPageRank returns p_x scaled by n/(1−c), the unit in which the
+// paper reports scores (a node with no inlinks scores 1).
+func (e *Estimates) ScaledPageRank(x graph.NodeID) float64 {
+	return e.P[x] * float64(e.N()) / (1 - e.Damping)
+}
+
+// ScaledAbsMass returns M̃_x scaled by n/(1−c).
+func (e *Estimates) ScaledAbsMass(x graph.NodeID) float64 {
+	return e.Abs[x] * float64(e.N()) / (1 - e.Damping)
+}
+
+// EstimateFromCore runs the two PageRank computations of Section 3.4
+// and derives the absolute and relative mass estimates of every node.
+func EstimateFromCore(g *graph.Graph, core []graph.NodeID, opts Options) (*Estimates, error) {
+	if err := validateCore(g, core); err != nil {
+		return nil, err
+	}
+	cfg := opts.Solver
+	n := g.NumNodes()
+
+	pRes, err := pagerank.Solve(g, pagerank.UniformJump(n), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mass: regular PageRank: %w", err)
+	}
+	var w pagerank.Vector
+	if opts.Gamma > 0 {
+		if opts.Gamma > 1 {
+			return nil, fmt.Errorf("mass: gamma %v outside (0,1]", opts.Gamma)
+		}
+		w = pagerank.ScaledCoreJump(n, core, opts.Gamma)
+	} else {
+		w = pagerank.CoreJump(n, core, 1/float64(n))
+	}
+	pCoreRes, err := pagerank.Solve(g, w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mass: core-based PageRank: %w", err)
+	}
+	return Derive(pRes.Scores, pCoreRes.Scores, damping(cfg)), nil
+}
+
+// Recompute derives fresh estimates for an updated good core, reusing
+// the previous estimates: the regular PageRank vector is unchanged and
+// the previous core-based vector warm-starts the new solve, so a small
+// core edit (the Section 4.4.2 anomaly fix, or incremental core growth
+// per Section 4.5) converges in a fraction of the cold iterations.
+func Recompute(g *graph.Graph, prev *Estimates, core []graph.NodeID, opts Options) (*Estimates, error) {
+	if err := validateCore(g, core); err != nil {
+		return nil, err
+	}
+	if prev.N() != g.NumNodes() {
+		return nil, fmt.Errorf("mass: previous estimates cover %d nodes, graph has %d", prev.N(), g.NumNodes())
+	}
+	cfg := opts.Solver
+	cfg.WarmStart = prev.PCore
+	n := g.NumNodes()
+	var w pagerank.Vector
+	if opts.Gamma > 0 {
+		if opts.Gamma > 1 {
+			return nil, fmt.Errorf("mass: gamma %v outside (0,1]", opts.Gamma)
+		}
+		w = pagerank.ScaledCoreJump(n, core, opts.Gamma)
+	} else {
+		w = pagerank.CoreJump(n, core, 1/float64(n))
+	}
+	res, err := pagerank.Solve(g, w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mass: warm core-based PageRank: %w", err)
+	}
+	return Derive(prev.P, res.Scores, prev.Damping), nil
+}
+
+// Derive computes mass estimates from two already-computed PageRank
+// vectors, per Definition 3. It is useful when p is shared across many
+// core variants (e.g. the core-size experiment of Section 4.5).
+func Derive(p, pCore pagerank.Vector, c float64) *Estimates {
+	e := &Estimates{
+		P:       p,
+		PCore:   pCore,
+		Abs:     p.Clone().Sub(pCore),
+		Rel:     make(pagerank.Vector, len(p)),
+		Damping: c,
+	}
+	for x := range p {
+		if p[x] > 0 {
+			e.Rel[x] = (p[x] - pCore[x]) / p[x]
+		}
+	}
+	return e
+}
+
+func damping(cfg pagerank.Config) float64 {
+	if cfg.Damping == 0 {
+		return 0.85
+	}
+	return cfg.Damping
+}
+
+func validateCore(g *graph.Graph, core []graph.NodeID) error {
+	if len(core) == 0 {
+		return fmt.Errorf("mass: empty good core")
+	}
+	seen := make(map[graph.NodeID]bool, len(core))
+	for _, x := range core {
+		if int(x) >= g.NumNodes() {
+			return fmt.Errorf("mass: core node %d outside graph of %d nodes", x, g.NumNodes())
+		}
+		if seen[x] {
+			return fmt.Errorf("mass: duplicate core node %d", x)
+		}
+		seen[x] = true
+	}
+	return nil
+}
+
+// Exact computes the actual (not estimated) spam mass M = q^{V⁻} and
+// m = M/p, given the ground-truth set of spam nodes, via Theorem 2:
+// the contribution of V⁻ is the PageRank for the jump vector v^{V⁻}.
+// Only synthetic settings (and Table 1) have this luxury; it is the
+// reference the estimators are judged against in tests.
+func Exact(g *graph.Graph, spam []graph.NodeID, opts Options) (*Estimates, error) {
+	cfg := opts.Solver
+	n := g.NumNodes()
+	v := pagerank.UniformJump(n)
+	pRes, err := pagerank.Jacobi(g, v, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mass: regular PageRank: %w", err)
+	}
+	q, err := pagerank.Contribution(g, spam, v, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mass: spam contribution: %w", err)
+	}
+	e := &Estimates{
+		P:       pRes.Scores,
+		PCore:   pRes.Scores.Clone().Sub(q), // good contribution q^{V⁺} = p − q^{V⁻}
+		Abs:     q,
+		Rel:     make(pagerank.Vector, n),
+		Damping: damping(cfg),
+	}
+	for x := range e.Rel {
+		if e.P[x] > 0 {
+			e.Rel[x] = q[x] / e.P[x]
+		}
+	}
+	return e, nil
+}
+
+// EstimateFromBlacklist estimates absolute mass from a known spam
+// subset Ṽ⁻ as M̂ = PR(v^{Ṽ⁻}) (Section 3.4). If beta > 0 the jump
+// vector is scaled to ‖·‖ = beta (the estimated fraction of spam
+// nodes), symmetric to the γ-scaling of the good-core estimator.
+func EstimateFromBlacklist(g *graph.Graph, spamCore []graph.NodeID, beta float64, opts Options) (*Estimates, error) {
+	if err := validateCore(g, spamCore); err != nil {
+		return nil, err
+	}
+	cfg := opts.Solver
+	n := g.NumNodes()
+	pRes, err := pagerank.Solve(g, pagerank.UniformJump(n), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mass: regular PageRank: %w", err)
+	}
+	var v pagerank.Vector
+	if beta > 0 {
+		v = pagerank.ScaledCoreJump(n, spamCore, beta)
+	} else {
+		v = pagerank.CoreJump(n, spamCore, 1/float64(n))
+	}
+	mHat, err := pagerank.Solve(g, v, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mass: blacklist PageRank: %w", err)
+	}
+	e := &Estimates{
+		P:       pRes.Scores,
+		PCore:   pRes.Scores.Clone().Sub(mHat.Scores),
+		Abs:     mHat.Scores,
+		Rel:     make(pagerank.Vector, n),
+		Damping: damping(cfg),
+	}
+	for x := range e.Rel {
+		if e.P[x] > 0 {
+			e.Rel[x] = e.Abs[x] / e.P[x]
+		}
+	}
+	return e, nil
+}
+
+// Combine averages a white-list estimate M̃ and a black-list estimate
+// M̂ into (M̃ + M̂)/2, the simple combination scheme of Section 3.4,
+// recomputing the relative masses from the combined absolute mass.
+func Combine(white, black *Estimates) (*Estimates, error) {
+	if white.N() != black.N() {
+		return nil, fmt.Errorf("mass: combining estimates over %d and %d nodes", white.N(), black.N())
+	}
+	n := white.N()
+	e := &Estimates{
+		P:       white.P,
+		PCore:   make(pagerank.Vector, n),
+		Abs:     make(pagerank.Vector, n),
+		Rel:     make(pagerank.Vector, n),
+		Damping: white.Damping,
+	}
+	for x := 0; x < n; x++ {
+		e.Abs[x] = (white.Abs[x] + black.Abs[x]) / 2
+		e.PCore[x] = e.P[x] - e.Abs[x]
+		if e.P[x] > 0 {
+			e.Rel[x] = e.Abs[x] / e.P[x]
+		}
+	}
+	return e, nil
+}
+
+// WeightedCombine forms a weighted average λ·M̃ + (1−λ)·M̂, the more
+// sophisticated combination Section 3.4 suggests, where λ would depend
+// on the relative sizes of Ṽ⁺ and Ṽ⁻ with respect to the estimated
+// sizes of V⁺ and V⁻.
+func WeightedCombine(white, black *Estimates, lambda float64) (*Estimates, error) {
+	if white.N() != black.N() {
+		return nil, fmt.Errorf("mass: combining estimates over %d and %d nodes", white.N(), black.N())
+	}
+	if lambda < 0 || lambda > 1 {
+		return nil, fmt.Errorf("mass: weight %v outside [0,1]", lambda)
+	}
+	n := white.N()
+	e := &Estimates{
+		P:       white.P,
+		PCore:   make(pagerank.Vector, n),
+		Abs:     make(pagerank.Vector, n),
+		Rel:     make(pagerank.Vector, n),
+		Damping: white.Damping,
+	}
+	for x := 0; x < n; x++ {
+		e.Abs[x] = lambda*white.Abs[x] + (1-lambda)*black.Abs[x]
+		e.PCore[x] = e.P[x] - e.Abs[x]
+		if e.P[x] > 0 {
+			e.Rel[x] = e.Abs[x] / e.P[x]
+		}
+	}
+	return e, nil
+}
+
+// CoreWeightLambda derives the λ for WeightedCombine from the sizes of
+// the labeled cores relative to the estimated population sizes: the
+// white-list weight grows with the coverage |Ṽ⁺|/(γn) relative to the
+// black-list coverage |Ṽ⁻|/((1−γ)n).
+func CoreWeightLambda(goodCoreSize, spamCoreSize, n int, gamma float64) float64 {
+	if n == 0 || gamma <= 0 || gamma >= 1 {
+		return 0.5
+	}
+	wCov := float64(goodCoreSize) / (gamma * float64(n))
+	bCov := float64(spamCoreSize) / ((1 - gamma) * float64(n))
+	if wCov+bCov == 0 {
+		return 0.5
+	}
+	return wCov / (wCov + bCov)
+}
+
+// TotalEstimatedGoodContribution returns ‖p'‖₁: Section 3.5 diagnoses
+// the unscaled-core failure mode by ‖p'‖ ≪ ‖p‖.
+func (e *Estimates) TotalEstimatedGoodContribution() float64 { return e.PCore.Norm1() }
+
+// RelMassOrNaN returns m̃_x, or NaN for nodes with zero PageRank under
+// a non-uniform jump vector.
+func (e *Estimates) RelMassOrNaN(x graph.NodeID) float64 {
+	if e.P[x] <= 0 {
+		return math.NaN()
+	}
+	return e.Rel[x]
+}

@@ -1,0 +1,99 @@
+package pagerank
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/testutil"
+)
+
+func benchGraph(n int) *graph.Graph {
+	rng := rand.New(rand.NewSource(1))
+	return testutil.RandomGraph(rng, n, 8)
+}
+
+func BenchmarkJacobi(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		g := benchGraph(n)
+		v := UniformJump(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Jacobi(g, v, DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkJacobiSerial(b *testing.B) {
+	g := benchGraph(100000)
+	v := UniformJump(100000)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := Jacobi(g, v, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGaussSeidel(b *testing.B) {
+	g := benchGraph(100000)
+	v := UniformJump(100000)
+	for i := 0; i < b.N; i++ {
+		if _, err := GaussSeidel(g, v, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerIteration(b *testing.B) {
+	g := benchGraph(100000)
+	v := UniformJump(100000)
+	for i := 0; i < b.N; i++ {
+		if _, err := PowerIteration(g, v, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContribution(b *testing.B) {
+	g := benchGraph(100000)
+	v := UniformJump(100000)
+	set := make([]graph.NodeID, 700)
+	for i := range set {
+		set[i] = graph.NodeID(i * 140)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Contribution(g, set, v, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarlo(b *testing.B) {
+	g := benchGraph(10000)
+	v := UniformJump(10000)
+	cfg := MonteCarloConfig{Damping: 0.85, WalksPerNode: 20, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarlo(g, v, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContributionTo(b *testing.B) {
+	g := benchGraph(10000)
+	v := UniformJump(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ContributionTo(g, graph.NodeID(i%10000), v, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

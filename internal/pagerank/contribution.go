@@ -1,0 +1,76 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"spammass/internal/graph"
+)
+
+// This file implements the PageRank-contribution machinery of
+// Section 3.2. The PageRank contribution of x to y, q_y^x, sums
+// c^|W|·π(W)·(1−c)·v_x over all walks W from x to y (plus the virtual
+// zero-length circuit for x's contribution to itself). Theorem 2 shows
+// the whole contribution vector qˣ of a node x is just PR(vˣ) for the
+// core-based jump vector vˣ, and by linearity the contribution q^U of a
+// node set U is PR(v^U).
+
+// JumpRestriction returns the core-based random jump vector v^U of
+// Theorem 2: it agrees with v on the nodes of set and is zero
+// elsewhere.
+func JumpRestriction(v Vector, set []graph.NodeID) Vector {
+	out := make(Vector, len(v))
+	for _, x := range set {
+		out[x] = v[x]
+	}
+	return out
+}
+
+// Contribution returns q^U = PR(v^U): the vector whose entry y is the
+// total PageRank contribution of the node set U to y, under the random
+// jump distribution v.
+func Contribution(g *graph.Graph, set []graph.NodeID, v Vector, cfg Config) (Vector, error) {
+	res, err := Jacobi(g, JumpRestriction(v, set), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Scores, nil
+}
+
+// NodeContribution returns qˣ = PR(vˣ): entry y is the PageRank
+// contribution of the single node x to y.
+func NodeContribution(g *graph.Graph, x graph.NodeID, v Vector, cfg Config) (Vector, error) {
+	return Contribution(g, []graph.NodeID{x}, v, cfg)
+}
+
+// LinkContribution returns the amount of PageRank that the single link
+// (x, y) contributes to node y: the change in p_y induced by removing
+// the link, as used by the second naïve labeling scheme of Section 3.1.
+// It recomputes PageRank on the graph without the edge, so it is meant
+// for analysis and baselines, not bulk computation.
+func LinkContribution(g *graph.Graph, x, y graph.NodeID, v Vector, cfg Config) (float64, error) {
+	if !g.HasEdge(x, y) {
+		return 0, fmt.Errorf("pagerank: no edge (%d,%d)", x, y)
+	}
+	full, err := Jacobi(g, v, cfg)
+	if err != nil {
+		return 0, err
+	}
+	reduced := removeEdge(g, x, y)
+	part, err := Jacobi(reduced, v, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return full.Scores[y] - part.Scores[y], nil
+}
+
+// removeEdge rebuilds g without the edge (x, y).
+func removeEdge(g *graph.Graph, rx, ry graph.NodeID) *graph.Graph {
+	b := graph.NewBuilder(g.NumNodes())
+	g.Edges(func(x, y graph.NodeID) bool {
+		if x != rx || y != ry {
+			b.AddEdge(x, y)
+		}
+		return true
+	})
+	return b.Build()
+}

@@ -1,0 +1,129 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/paperfig"
+	"spammass/internal/testutil"
+)
+
+// TestMonteCarloAgreesWithJacobi: the simulation must converge on the
+// algebraic solution within statistical error.
+func TestMonteCarloAgreesWithJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := testutil.RandomGraph(rng, 40, 4)
+	v := UniformJump(40)
+	exact := PR(g, v, DefaultConfig())
+	mc, err := MonteCarlo(g, v, MonteCarloConfig{Damping: 0.85, WalksPerNode: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range exact {
+		// Per-entry relative tolerance: generous 3σ-ish bound for
+		// 4000 walks per source.
+		tol := 0.15*exact[x] + 1e-4
+		if math.Abs(mc[x]-exact[x]) > tol {
+			t.Errorf("node %d: MC %v vs exact %v", x, mc[x], exact[x])
+		}
+	}
+	// Aggregate L1 agreement should be much tighter.
+	if d := mc.Clone().Sub(exact).Norm1() / exact.Norm1(); d > 0.03 {
+		t.Errorf("L1 relative error %v, want < 3%%", d)
+	}
+}
+
+// TestMonteCarloFigure1: on the Figure 1 graph, the closed form
+// p_x = (1 + 3c + kc²)(1−c)/n must be recovered.
+func TestMonteCarloFigure1(t *testing.T) {
+	f := paperfig.NewFigure1(5)
+	n := f.Graph.NumNodes()
+	v := UniformJump(n)
+	mc, err := MonteCarlo(f.Graph, v, MonteCarloConfig{Damping: paperfig.Damping, WalksPerNode: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := mc[f.X] * float64(n) / (1 - paperfig.Damping)
+	want := f.ScaledPageRankX(paperfig.Damping)
+	if math.Abs(scaled-want)/want > 0.03 {
+		t.Errorf("scaled MC p_x = %v, closed form %v", scaled, want)
+	}
+}
+
+// TestMonteCarloContribution: walks from x estimate qˣ = PR(vˣ).
+func TestMonteCarloContribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := testutil.RandomGraph(rng, 20, 3)
+	v := UniformJump(20)
+	x := graph.NodeID(4)
+	exact, err := NodeContribution(g, x, v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarloContribution(g, x, v, MonteCarloConfig{Damping: 0.85, WalksPerNode: 30000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mc.Clone().Sub(exact).Norm1() / exact.Norm1(); d > 0.05 {
+		t.Errorf("contribution L1 relative error %v, want < 5%%", d)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	g := graph.FromEdges(2, [][2]graph.NodeID{{0, 1}})
+	v := UniformJump(2)
+	if _, err := MonteCarlo(g, v, MonteCarloConfig{Damping: 1.5, WalksPerNode: 10}); err == nil {
+		t.Error("bad damping accepted")
+	}
+	if _, err := MonteCarlo(g, v, MonteCarloConfig{Damping: 0.85, WalksPerNode: 0}); err == nil {
+		t.Error("zero walks accepted")
+	}
+	if _, err := MonteCarlo(g, Vector{1}, DefaultMonteCarloConfig()); err == nil {
+		t.Error("wrong-length jump accepted")
+	}
+	if _, err := MonteCarloContribution(g, 9, v, DefaultMonteCarloConfig()); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+// TestWarmStart: resolving after a tiny jump-vector change from the
+// previous solution must converge in far fewer iterations.
+func TestWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := testutil.RandomGraph(rng, 5000, 6)
+	n := g.NumNodes()
+	v := UniformJump(n)
+	cold, err := Jacobi(g, v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the jump slightly (the shape of a core fix).
+	v2 := v.Clone()
+	for i := 0; i < 10; i++ {
+		v2[i*3] *= 1.5
+	}
+	coldRes, err := Jacobi(g, v2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := DefaultConfig()
+	warmCfg.WarmStart = cold.Scores
+	warmRes, err := Jacobi(g, v2, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := testutil.MaxAbsDiff(coldRes.Scores, warmRes.Scores); d > 1e-9 {
+		t.Fatalf("warm and cold solutions differ by %v", d)
+	}
+	if warmRes.Iterations >= coldRes.Iterations {
+		t.Errorf("warm start took %d iterations vs cold %d; expected a speedup", warmRes.Iterations, coldRes.Iterations)
+	}
+	// Validation: wrong-length warm start must error.
+	badCfg := DefaultConfig()
+	badCfg.WarmStart = Vector{1}
+	if _, err := Jacobi(g, v2, badCfg); err == nil {
+		t.Error("wrong-length warm start accepted")
+	}
+}

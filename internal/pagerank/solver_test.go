@@ -1,0 +1,242 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spammass/internal/graph"
+	"spammass/internal/paperfig"
+	"spammass/internal/testutil"
+)
+
+const c = paperfig.Damping
+
+func scaled(v Vector) Vector { return v.Scaled(c) }
+
+// TestFigure1ClosedForm checks Algorithm 1 against the paper's closed
+// form for Figure 1: scaled p_x = 1 + 3c + kc², p_s0 = 1 + kc, and all
+// other nodes 1.
+func TestFigure1ClosedForm(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 3, 5, 10, 25} {
+		f := paperfig.NewFigure1(k)
+		res, err := Jacobi(f.Graph, UniformJump(f.Graph.NumNodes()), DefaultConfig())
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Converged {
+			t.Fatalf("k=%d: did not converge in %d iterations", k, res.Iterations)
+		}
+		s := scaled(res.Scores)
+		if want := f.ScaledPageRankX(c); !testutil.AlmostEqual(s[f.X], want, 1e-8) {
+			t.Errorf("k=%d: scaled p_x = %v, want %v", k, s[f.X], want)
+		}
+		if want := 1 + float64(k)*c; !testutil.AlmostEqual(s[f.S0], want, 1e-8) {
+			t.Errorf("k=%d: scaled p_s0 = %v, want %v", k, s[f.S0], want)
+		}
+		for _, id := range []graph.NodeID{f.G0, f.G1} {
+			if !testutil.AlmostEqual(s[id], 1, 1e-8) {
+				t.Errorf("k=%d: scaled p_%d = %v, want 1", k, id, s[id])
+			}
+		}
+	}
+}
+
+// TestFigure2ClosedForm checks the Figure 2 PageRank column of Table 1.
+func TestFigure2ClosedForm(t *testing.T) {
+	f := paperfig.NewFigure2()
+	want := paperfig.ExpectedTable1(c)
+	res, err := Jacobi(f.Graph, UniformJump(12), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := scaled(res.Scores)
+	ids, labels := f.NodeOrder()
+	for i, id := range ids {
+		if !testutil.AlmostEqual(s[id], want.P[i], 1e-8) {
+			t.Errorf("scaled p_%s = %v, want %v", labels[i], s[id], want.P[i])
+		}
+	}
+	// Spot-check against the rounded numbers printed in the paper.
+	if math.Abs(s[f.X]-9.33) > 0.005 {
+		t.Errorf("scaled p_x = %v, paper prints 9.33", s[f.X])
+	}
+	if math.Abs(s[f.S[0]]-4.4) > 0.005 {
+		t.Errorf("scaled p_s0 = %v, paper prints 4.4", s[f.S[0]])
+	}
+}
+
+// TestSolversAgree cross-validates Jacobi, Gauss-Seidel and the
+// normalized power iteration on random graphs: the paper notes the
+// eigenvector of T” equals the linear solution up to rescaling.
+func TestSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := testutil.RandomGraph(rng, 2+rng.Intn(80), 4)
+		v := UniformJump(g.NumNodes())
+		ja, err := Jacobi(g, v, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs, err := GaussSeidel(g, v, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := testutil.MaxAbsDiff(ja.Scores, gs.Scores); d > 1e-9 {
+			t.Errorf("trial %d: Jacobi vs Gauss-Seidel differ by %v", trial, d)
+		}
+		pw, err := PowerIteration(g, v, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := testutil.MaxAbsDiff(ja.Scores.Normalized(), pw.Scores.Normalized()); d > 1e-8 {
+			t.Errorf("trial %d: normalized Jacobi vs power iteration differ by %v", trial, d)
+		}
+	}
+}
+
+// TestLinearity verifies the key property of Section 2.2: PageRank is
+// linear in the random jump vector, PR(v₁+v₂) = PR(v₁) + PR(v₂).
+func TestLinearity(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(rng, 2+rng.Intn(40), 4)
+		n := g.NumNodes()
+		v1 := make(Vector, n)
+		v2 := make(Vector, n)
+		for i := 0; i < n; i++ {
+			v1[i] = rng.Float64() / (2 * float64(n))
+			v2[i] = rng.Float64() / (2 * float64(n))
+		}
+		p1 := PR(g, v1, DefaultConfig())
+		p2 := PR(g, v2, DefaultConfig())
+		p12 := PR(g, v1.Clone().Add(v2), DefaultConfig())
+		return testutil.MaxAbsDiff(p1.Clone().Add(p2), p12) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNormBound verifies ‖p‖ ≤ ‖v‖ (Section 3.5), with strict
+// inequality when dangling nodes lose random-walk mass.
+func TestNormBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := testutil.RandomGraph(rng, 2+rng.Intn(60), 3)
+		v := UniformJump(g.NumNodes())
+		p := PR(g, v, DefaultConfig())
+		if p.Norm1() > v.Norm1()+1e-9 {
+			t.Fatalf("trial %d: ‖p‖ = %v exceeds ‖v‖ = %v", trial, p.Norm1(), v.Norm1())
+		}
+		hasDangling := false
+		for x := 0; x < g.NumNodes(); x++ {
+			if g.IsDangling(graph.NodeID(x)) {
+				hasDangling = true
+				break
+			}
+		}
+		if hasDangling && p.Norm1() >= v.Norm1()-1e-12 {
+			t.Errorf("trial %d: dangling graph but ‖p‖ = ‖v‖", trial)
+		}
+	}
+}
+
+// TestNoInlinkScore verifies the paper's scaling convention: under the
+// uniform jump, a node with no inlinks has scaled score exactly 1.
+func TestNoInlinkScore(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	s := scaled(PR(g, UniformJump(4), DefaultConfig()))
+	for _, x := range []graph.NodeID{0, 3} {
+		if !testutil.AlmostEqual(s[x], 1, 1e-9) {
+			t.Errorf("scaled score of inlink-free node %d = %v, want 1", x, s[x])
+		}
+	}
+}
+
+func TestPowerIterationRequiresStochasticJump(t *testing.T) {
+	g := graph.FromEdges(2, [][2]graph.NodeID{{0, 1}})
+	if _, err := PowerIteration(g, Vector{0.2, 0.2}, DefaultConfig()); err == nil {
+		t.Error("PowerIteration accepted unnormalized jump vector")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.FromEdges(2, [][2]graph.NodeID{{0, 1}})
+	v := UniformJump(2)
+	if _, err := Jacobi(g, v, Config{Damping: 1.5}); err == nil {
+		t.Error("damping 1.5 accepted")
+	}
+	if _, err := Jacobi(g, v, Config{Damping: -0.1}); err == nil {
+		t.Error("negative damping accepted")
+	}
+	if _, err := Jacobi(g, v, Config{Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := Jacobi(g, Vector{1}, DefaultConfig()); err == nil {
+		t.Error("wrong-length jump vector accepted")
+	}
+}
+
+func TestMaxIterCap(t *testing.T) {
+	// An asymmetric cyclic graph (the uniform vector is NOT its
+	// fixpoint) with an absurdly tight epsilon and 3 iterations must
+	// report non-convergence.
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 0}, {2, 0}})
+	res, err := Jacobi(g, UniformJump(3), Config{Damping: 0.85, Epsilon: 1e-300, MaxIter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("reported convergence under an unreachable epsilon")
+	}
+	if res.Iterations != 3 {
+		t.Errorf("Iterations = %d, want capped at 3", res.Iterations)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomGraph(rng, 5000, 6)
+	v := UniformJump(g.NumNodes())
+	seq, err := Jacobi(g, v, Config{Damping: 0.85, Epsilon: 1e-12, MaxIter: 500, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Jacobi(g, v, Config{Damping: 0.85, Epsilon: 1e-12, MaxIter: 500, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := testutil.MaxAbsDiff(seq.Scores, par.Scores); d > 1e-12 {
+		t.Errorf("parallel and sequential Jacobi differ by %v", d)
+	}
+}
+
+func TestGaussSeidelFasterThanJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testutil.RandomGraph(rng, 3000, 5)
+	v := UniformJump(g.NumNodes())
+	ja, err := Jacobi(g, v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := GaussSeidel(g, v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Iterations > ja.Iterations {
+		t.Errorf("Gauss-Seidel took %d iterations, Jacobi %d; expected GS ≤ Jacobi", gs.Iterations, ja.Iterations)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	res, err := Jacobi(g, UniformJump(0), DefaultConfig())
+	if err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+	if len(res.Scores) != 0 {
+		t.Errorf("empty graph produced %d scores", len(res.Scores))
+	}
+}

@@ -1,0 +1,127 @@
+// Package pagerank implements the linear-system formulation of PageRank
+// adopted by the paper (Section 2.2):
+//
+//	(I − cTᵀ) p = (1−c) v
+//
+// together with the PageRank-contribution machinery of Section 3.2
+// (Theorems 1 and 2). The random jump vector v may be non-uniform and
+// unnormalized (0 < ‖v‖ ≤ 1), in which case the PageRank vector is left
+// unnormalized too; PageRank is linear in v, which is what makes
+// contribution computation and spam-mass estimation cheap.
+package pagerank
+
+import "math"
+
+// Vector is a dense score vector indexed by node ID.
+type Vector []float64
+
+// UniformJump returns the uniform random jump distribution v = (1/n)ⁿ.
+func UniformJump(n int) Vector {
+	v := make(Vector, n)
+	if n == 0 {
+		return v
+	}
+	u := 1 / float64(n)
+	for i := range v {
+		v[i] = u
+	}
+	return v
+}
+
+// CoreJump returns the core-based random jump vector v^U of Theorem 2:
+// weight[x] at every x in core and zero elsewhere. With weight = 1/n it
+// is the vector v^Ṽ⁺ of Definition 3; scaled variants are built by
+// ScaledCoreJump.
+func CoreJump(n int, core []uint32, weight float64) Vector {
+	v := make(Vector, n)
+	for _, x := range core {
+		v[x] = weight
+	}
+	return v
+}
+
+// ScaledCoreJump returns the vector w of Section 3.5: uniform over the
+// core and scaled so that ‖w‖ = gamma, the estimated fraction of good
+// nodes on the web. This keeps ‖p'‖ comparable to ‖p^{V⁺}‖ even when
+// the core is orders of magnitude smaller than the set of good nodes.
+func ScaledCoreJump(n int, core []uint32, gamma float64) Vector {
+	if len(core) == 0 {
+		return make(Vector, n)
+	}
+	return CoreJump(n, core, gamma/float64(len(core)))
+}
+
+// Norm1 returns ‖v‖₁.
+func (v Vector) Norm1() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Sum returns the sum of entries (equal to Norm1 for non-negative v).
+func (v Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Diff1 returns ‖v − u‖₁. The vectors must have equal length.
+func (v Vector) Diff1(u Vector) float64 {
+	s := 0.0
+	for i, x := range v {
+		s += math.Abs(x - u[i])
+	}
+	return s
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Scale multiplies every entry by k in place and returns v.
+func (v Vector) Scale(k float64) Vector {
+	for i := range v {
+		v[i] *= k
+	}
+	return v
+}
+
+// Add adds u entrywise in place and returns v.
+func (v Vector) Add(u Vector) Vector {
+	for i := range v {
+		v[i] += u[i]
+	}
+	return v
+}
+
+// Sub subtracts u entrywise in place and returns v.
+func (v Vector) Sub(u Vector) Vector {
+	for i := range v {
+		v[i] -= u[i]
+	}
+	return v
+}
+
+// Normalized returns v/‖v‖₁, or a zero vector if ‖v‖₁ = 0.
+func (v Vector) Normalized() Vector {
+	c := v.Clone()
+	n := c.Norm1()
+	if n == 0 {
+		return c
+	}
+	return c.Scale(1 / n)
+}
+
+// Scaled returns the vector multiplied by n/(1−c). The paper reports
+// all PageRank scores and absolute mass values in this scaling, under
+// which a node without inlinks (and uniform v) has score exactly 1.
+func (v Vector) Scaled(c float64) Vector {
+	return v.Clone().Scale(float64(len(v)) / (1 - c))
+}

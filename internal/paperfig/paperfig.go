@@ -1,0 +1,175 @@
+// Package paperfig constructs the small worked examples of the paper —
+// the graphs of Figures 1 and 2 — together with the closed-form scores
+// the paper derives for them. The experiment harness regenerates
+// Table 1 from these, and the test suites of the pagerank and mass
+// packages use the closed forms as exact oracles.
+package paperfig
+
+import "spammass/internal/graph"
+
+// Damping is the factor c = 0.85 used in all of the paper's examples.
+const Damping = 0.85
+
+// Figure1 is the graph of Figure 1: a to-be-labeled node x with inlinks
+// from good nodes g0, g1 and from spam node s0, which is boosted by k
+// spam nodes s1..sk. The first naïve labeling scheme (inlink counting)
+// labels x good; for k ≥ ⌈1/c⌉ the largest part of x's PageRank comes
+// from spam, so the second scheme (per-link contribution) labels x spam.
+type Figure1 struct {
+	Graph    *graph.Graph
+	X        graph.NodeID
+	G0, G1   graph.NodeID
+	S0       graph.NodeID
+	Boosters []graph.NodeID // s1..sk
+}
+
+// NewFigure1 builds the Figure 1 graph with k boosting nodes.
+func NewFigure1(k int) *Figure1 {
+	b := graph.NewBuilder(0)
+	f := &Figure1{
+		X:  b.AddNode(),
+		G0: b.AddNode(),
+		G1: b.AddNode(),
+		S0: b.AddNode(),
+	}
+	for i := 0; i < k; i++ {
+		f.Boosters = append(f.Boosters, b.AddNode())
+	}
+	b.AddEdge(f.G0, f.X)
+	b.AddEdge(f.G1, f.X)
+	b.AddEdge(f.S0, f.X)
+	for _, s := range f.Boosters {
+		b.AddEdge(s, f.S0)
+	}
+	f.Graph = b.Build()
+	return f
+}
+
+// SpamNodes returns V⁻ = {s0, ..., sk}.
+func (f *Figure1) SpamNodes() []graph.NodeID {
+	return append([]graph.NodeID{f.S0}, f.Boosters...)
+}
+
+// ScaledPageRankX returns the paper's closed form for x's scaled
+// PageRank: p_x·n/(1−c) = 1 + 3c + kc².
+func (f *Figure1) ScaledPageRankX(c float64) float64 {
+	return 1 + 3*c + float64(len(f.Boosters))*c*c
+}
+
+// ScaledSpamContributionX returns the scaled PageRank x gains from the
+// spam nodes: (c + kc²), the amount by which p_x would decrease if
+// s0..sk were absent.
+func (f *Figure1) ScaledSpamContributionX(c float64) float64 {
+	return c + float64(len(f.Boosters))*c*c
+}
+
+// Figure2 is the 12-node graph of Figure 2: target x with inlinks from
+// g0, g2, and s0; g1→g0, s5→g0, g3→g2, s6→g2, and s1..s4→s0. Both naïve
+// labeling schemes fail on it, motivating spam mass.
+type Figure2 struct {
+	Graph *graph.Graph
+	X     graph.NodeID
+	G     [4]graph.NodeID // g0..g3
+	S     [7]graph.NodeID // s0..s6
+}
+
+// NewFigure2 builds the Figure 2 graph.
+func NewFigure2() *Figure2 {
+	b := graph.NewBuilder(0)
+	f := &Figure2{X: b.AddNode()}
+	for i := range f.G {
+		f.G[i] = b.AddNode()
+	}
+	for i := range f.S {
+		f.S[i] = b.AddNode()
+	}
+	b.AddEdge(f.G[0], f.X)
+	b.AddEdge(f.G[2], f.X)
+	b.AddEdge(f.S[0], f.X)
+	b.AddEdge(f.G[1], f.G[0])
+	b.AddEdge(f.S[5], f.G[0])
+	b.AddEdge(f.G[3], f.G[2])
+	b.AddEdge(f.S[6], f.G[2])
+	for i := 1; i <= 4; i++ {
+		b.AddEdge(f.S[i], f.S[0])
+	}
+	f.Graph = b.Build()
+	return f
+}
+
+// GoodNodes returns V⁺ = {g0, g1, g2, g3}.
+func (f *Figure2) GoodNodes() []graph.NodeID { return f.G[:] }
+
+// SpamNodes returns V⁻ = {s0, ..., s6, x}: the ground-truth partition
+// behind Table 1 places the spam target x itself among the spam nodes,
+// which is why the table's M_x includes x's self-contribution.
+func (f *Figure2) SpamNodes() []graph.NodeID {
+	return append([]graph.NodeID{f.X}, f.S[:]...)
+}
+
+// GoodCore returns the incomplete good core Ṽ⁺ = {g0, g1, g3} used by
+// Table 1 and by the Algorithm 2 walkthrough in Section 3.6 (g2 is a
+// good node missing from the core, which makes it a false positive).
+func (f *Figure2) GoodCore() []graph.NodeID {
+	return []graph.NodeID{f.G[0], f.G[1], f.G[3]}
+}
+
+// NodeOrder returns the nodes in Table 1's row order
+// (x, g0, g1, g2, g3, s0, s1..s6) along with their labels.
+func (f *Figure2) NodeOrder() (ids []graph.NodeID, labels []string) {
+	ids = []graph.NodeID{f.X, f.G[0], f.G[1], f.G[2], f.G[3]}
+	labels = []string{"x", "g0", "g1", "g2", "g3"}
+	for i, s := range f.S {
+		ids = append(ids, s)
+		labels = append(labels, "s"+string(rune('0'+i)))
+	}
+	return ids, labels
+}
+
+// Table1 holds, for each node of Figure 2 in Table 1 row order, the six
+// quantities reported by Table 1 of the paper. Scores and absolute
+// masses are scaled by n/(1−c).
+type Table1 struct {
+	Labels []string
+	P      []float64 // PageRank
+	PCore  []float64 // core-based PageRank p'
+	M      []float64 // actual absolute mass
+	MEst   []float64 // estimated absolute mass M̃
+	RelM   []float64 // actual relative mass m
+	RelME  []float64 // estimated relative mass m̃
+}
+
+// ExpectedTable1 returns the exact closed-form values behind Table 1
+// for damping factor c (the paper prints them rounded for c = 0.85).
+// Derivation, with all scores scaled by n/(1−c):
+//
+//	p:  x = 1+c(2(1+2c)+(1+4c)),  g0 = g2 = 1+2c,  s0 = 1+4c, leaves 1
+//	p': core {g0,g1,g3} ⇒ g0 = 1+c, g1 = g3 = 1, g2 = c, x = c(1+c+c)
+//	M:  V⁻ = {x, s0..s6} ⇒ x = 1+c+6c², g0 = g2 = c, s0 = 1+4c, sᵢ = 1
+func ExpectedTable1(c float64) *Table1 {
+	pG0 := 1 + 2*c
+	pS0 := 1 + 4*c
+	pX := 1 + c*(2*pG0+pS0)
+	p := []float64{pX, pG0, 1, pG0, 1, pS0, 1, 1, 1, 1, 1, 1}
+
+	ppG0 := 1 + c // g0 in core, fed by g1 in core (s5 contributes nothing)
+	ppG2 := c     // g2 not in core, fed by g3 in core
+	ppX := c * (ppG0 + ppG2)
+	pp := []float64{ppX, ppG0, 1, ppG2, 1, 0, 0, 0, 0, 0, 0, 0}
+
+	mX := 1 + c + 6*c*c // x's self jump + s0 direct + {s1..s6} via length-2 walks
+	m := []float64{mX, c, 0, c, 0, pS0, 1, 1, 1, 1, 1, 1}
+
+	t := &Table1{
+		Labels: []string{"x", "g0", "g1", "g2", "g3", "s0", "s1", "s2", "s3", "s4", "s5", "s6"},
+		P:      p,
+		PCore:  pp,
+		M:      m,
+	}
+	for i := range p {
+		t.MEst = append(t.MEst, p[i]-pp[i])
+		t.RelM = append(t.RelM, m[i]/p[i])
+		t.RelME = append(t.RelME, (p[i]-pp[i])/p[i])
+	}
+	return t
+}

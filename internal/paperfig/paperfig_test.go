@@ -1,0 +1,111 @@
+package paperfig
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure1Structure(t *testing.T) {
+	for _, k := range []int{0, 3, 7} {
+		f := NewFigure1(k)
+		if got := f.Graph.NumNodes(); got != 4+k {
+			t.Fatalf("k=%d: %d nodes, want %d", k, got, 4+k)
+		}
+		if got := f.Graph.NumEdges(); got != int64(3+k) {
+			t.Fatalf("k=%d: %d edges, want %d", k, got, 3+k)
+		}
+		if f.Graph.InDegree(f.X) != 3 {
+			t.Errorf("k=%d: x has indegree %d, want 3", k, f.Graph.InDegree(f.X))
+		}
+		if f.Graph.InDegree(f.S0) != k {
+			t.Errorf("k=%d: s0 has indegree %d, want %d", k, f.Graph.InDegree(f.S0), k)
+		}
+		if len(f.SpamNodes()) != k+1 {
+			t.Errorf("k=%d: %d spam nodes, want %d", k, len(f.SpamNodes()), k+1)
+		}
+	}
+}
+
+func TestFigure1ClosedFormsAtPaperValues(t *testing.T) {
+	// Section 3.1: for c = 0.85 and k ≥ ⌈1/c⌉ = 2, spam contributes
+	// the largest part of x's PageRank.
+	f := NewFigure1(2)
+	px := f.ScaledPageRankX(Damping)
+	spam := f.ScaledSpamContributionX(Damping)
+	if spam <= px-spam-1 { // good part is 2c plus the random jump 1
+		t.Errorf("k=2: spam %v does not dominate good %v", spam, px-spam)
+	}
+	f1 := NewFigure1(1)
+	if s := f1.ScaledSpamContributionX(Damping); s > f1.ScaledPageRankX(Damping)-s {
+		t.Errorf("k=1: spam %v should not dominate yet", s)
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	f := NewFigure2()
+	if f.Graph.NumNodes() != 12 {
+		t.Fatalf("%d nodes, want 12", f.Graph.NumNodes())
+	}
+	if f.Graph.NumEdges() != 11 {
+		t.Fatalf("%d edges, want 11", f.Graph.NumEdges())
+	}
+	for _, e := range [][2]int{{1, 0}, {3, 0}, {5, 0}} { // g0, g2, s0 → x
+		_ = e
+	}
+	if !f.Graph.HasEdge(f.G[0], f.X) || !f.Graph.HasEdge(f.G[2], f.X) || !f.Graph.HasEdge(f.S[0], f.X) {
+		t.Error("x's three in-links missing")
+	}
+	if !f.Graph.HasEdge(f.S[5], f.G[0]) || !f.Graph.HasEdge(f.S[6], f.G[2]) {
+		t.Error("indirect spam links s5→g0 / s6→g2 missing")
+	}
+	if len(f.SpamNodes()) != 8 { // x plus s0..s6
+		t.Errorf("%d spam nodes, want 8", len(f.SpamNodes()))
+	}
+	if len(f.GoodCore()) != 3 {
+		t.Errorf("%d core nodes, want 3", len(f.GoodCore()))
+	}
+	ids, labels := f.NodeOrder()
+	if len(ids) != 12 || len(labels) != 12 || labels[0] != "x" || labels[5] != "s0" || labels[11] != "s6" {
+		t.Errorf("node order wrong: %v", labels)
+	}
+}
+
+func TestExpectedTable1MatchesPaperRounding(t *testing.T) {
+	w := ExpectedTable1(Damping)
+	// The printed Table 1 values (scaled, two decimals).
+	paper := struct {
+		p, pc, m, me, rm, rme []float64
+	}{
+		p:   []float64{9.33, 2.7, 1, 2.7, 1, 4.4, 1, 1, 1, 1, 1, 1},
+		pc:  []float64{2.295, 1.85, 1, 0.85, 1, 0, 0, 0, 0, 0, 0, 0},
+		m:   []float64{6.185, 0.85, 0, 0.85, 0, 4.4, 1, 1, 1, 1, 1, 1},
+		me:  []float64{7.035, 0.85, 0, 1.85, 0, 4.4, 1, 1, 1, 1, 1, 1},
+		rm:  []float64{0.66, 0.31, 0, 0.31, 0, 1, 1, 1, 1, 1, 1, 1},
+		rme: []float64{0.75, 0.31, 0, 0.69, 0, 1, 1, 1, 1, 1, 1, 1},
+	}
+	check := func(name string, got, want []float64, tol float64) {
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > tol {
+				t.Errorf("%s[%s] = %v, paper prints %v", name, w.Labels[i], got[i], want[i])
+			}
+		}
+	}
+	check("p", w.P, paper.p, 0.005)
+	check("p'", w.PCore, paper.pc, 0.0005)
+	check("M", w.M, paper.m, 0.005)
+	check("M~", w.MEst, paper.me, 0.005)
+	check("m", w.RelM, paper.rm, 0.005)
+	check("m~", w.RelME, paper.rme, 0.005)
+}
+
+func TestExpectedTable1InternalConsistency(t *testing.T) {
+	w := ExpectedTable1(Damping)
+	for i := range w.P {
+		if math.Abs(w.MEst[i]-(w.P[i]-w.PCore[i])) > 1e-12 {
+			t.Errorf("M~[%s] != p - p'", w.Labels[i])
+		}
+		if w.P[i] > 0 && math.Abs(w.RelME[i]-w.MEst[i]/w.P[i]) > 1e-12 {
+			t.Errorf("m~[%s] != M~/p", w.Labels[i])
+		}
+	}
+}

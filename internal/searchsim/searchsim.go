@@ -1,0 +1,123 @@
+// Package searchsim simulates the end-user harm the paper's
+// introduction motivates: link spamming "triggers an artificially high
+// link-based ranking of specific target web pages", so successful farm
+// targets reach the top of search result lists. The simulation assigns
+// topics to hosts, ranks each topic's hosts by PageRank (the link-based
+// component of a real ranker), and measures spam prevalence in the
+// top-k before and after removing mass-detected candidates.
+package searchsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/webgen"
+)
+
+// Config tunes the simulation.
+type Config struct {
+	// Topics is the number of distinct query topics.
+	Topics int
+	// TopicsPerHost is how many topics each crawlable host serves.
+	TopicsPerHost int
+	// TopK is the result-list depth judged (users rarely look past it).
+	TopK int
+	// Seed drives topic assignment.
+	Seed int64
+}
+
+// DefaultConfig returns a modest topic model.
+func DefaultConfig() Config {
+	return Config{Topics: 200, TopicsPerHost: 2, TopK: 10, Seed: 21}
+}
+
+// Index maps topics to the hosts serving them.
+type Index struct {
+	cfg    Config
+	topics [][]graph.NodeID
+}
+
+// BuildIndex assigns topics to every crawlable host. Spam targets
+// behave like real ones: they pick commercially attractive topics the
+// same way good hosts do, so they compete in ordinary result lists.
+func BuildIndex(w *webgen.World, cfg Config) (*Index, error) {
+	if cfg.Topics < 1 || cfg.TopicsPerHost < 1 || cfg.TopK < 1 {
+		return nil, fmt.Errorf("searchsim: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := &Index{cfg: cfg, topics: make([][]graph.NodeID, cfg.Topics)}
+	for x, info := range w.Info {
+		switch info.Kind {
+		case webgen.KindFrontier, webgen.KindIsolated, webgen.KindBooster:
+			continue // no servable content
+		}
+		for i := 0; i < cfg.TopicsPerHost; i++ {
+			// Popular topics follow a zipf-ish law, like real queries.
+			t := int(float64(cfg.Topics) * rng.Float64() * rng.Float64())
+			if t >= cfg.Topics {
+				t = cfg.Topics - 1
+			}
+			idx.topics[t] = append(idx.topics[t], graph.NodeID(x))
+		}
+	}
+	return idx, nil
+}
+
+// Result summarizes spam prevalence in result lists.
+type Result struct {
+	// Queries is the number of topics with at least TopK results.
+	Queries int
+	// SpamInTopK is the mean fraction of spam hosts in the top-k.
+	SpamInTopK float64
+	// QueriesWithSpam is the fraction of queries whose top-k contains
+	// at least one spam host.
+	QueriesWithSpam float64
+}
+
+// Evaluate ranks every topic's hosts by PageRank, optionally removing
+// a penalized set first (the detected candidates), and measures spam
+// prevalence in the top-k against ground truth.
+func (idx *Index) Evaluate(w *webgen.World, est *mass.Estimates, penalized map[graph.NodeID]bool) Result {
+	var r Result
+	var totalFrac float64
+	for _, hosts := range idx.topics {
+		ranked := append([]graph.NodeID(nil), hosts...)
+		if penalized != nil {
+			kept := ranked[:0]
+			for _, x := range ranked {
+				if !penalized[x] {
+					kept = append(kept, x)
+				}
+			}
+			ranked = kept
+		}
+		if len(ranked) < idx.cfg.TopK {
+			continue
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if est.P[ranked[i]] != est.P[ranked[j]] {
+				return est.P[ranked[i]] > est.P[ranked[j]]
+			}
+			return ranked[i] < ranked[j]
+		})
+		r.Queries++
+		spam := 0
+		for _, x := range ranked[:idx.cfg.TopK] {
+			if w.IsSpam(x) {
+				spam++
+			}
+		}
+		totalFrac += float64(spam) / float64(idx.cfg.TopK)
+		if spam > 0 {
+			r.QueriesWithSpam++
+		}
+	}
+	if r.Queries > 0 {
+		r.SpamInTopK = totalFrac / float64(r.Queries)
+		r.QueriesWithSpam /= float64(r.Queries)
+	}
+	return r
+}

@@ -1,0 +1,87 @@
+package searchsim
+
+import (
+	"testing"
+
+	"spammass/internal/goodcore"
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+	"spammass/internal/webgen"
+)
+
+func setup(t *testing.T) (*webgen.World, *mass.Estimates) {
+	t.Helper()
+	w, err := webgen.Generate(webgen.DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := goodcore.Assemble(w.Names, w.DirectoryMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mass.EstimateFromCore(w.Graph, core.Nodes, mass.Options{
+		Solver: pagerank.Config{Damping: 0.85, Epsilon: 1e-10, MaxIter: 300},
+		Gamma:  0.85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, est
+}
+
+func TestSearchSimSpamReachesTopAndFilteringHelps(t *testing.T) {
+	w, est := setup(t)
+	idx, err := BuildIndex(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.Evaluate(w, est, nil)
+	if before.Queries == 0 {
+		t.Fatal("no evaluable queries")
+	}
+	if before.SpamInTopK <= 0 {
+		t.Fatal("no spam reaches the top-10; the paper's motivating harm is absent")
+	}
+
+	penalized := mass.DetectSet(est, mass.DetectConfig{RelMassThreshold: 0.75, ScaledPageRankThreshold: 10})
+	after := idx.Evaluate(w, est, penalized)
+	if after.SpamInTopK >= before.SpamInTopK {
+		t.Errorf("filtering did not reduce top-k spam: %.4f -> %.4f", before.SpamInTopK, after.SpamInTopK)
+	}
+	if after.QueriesWithSpam >= before.QueriesWithSpam {
+		t.Errorf("filtering did not reduce affected queries: %.4f -> %.4f",
+			before.QueriesWithSpam, after.QueriesWithSpam)
+	}
+}
+
+func TestSearchSimBoostersNotIndexed(t *testing.T) {
+	w, _ := setup(t)
+	idx, err := BuildIndex(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosters := map[graph.NodeID]bool{}
+	for _, f := range w.Farms {
+		for _, b := range f.Boosters {
+			boosters[b] = true
+		}
+	}
+	for _, hosts := range idx.topics {
+		for _, x := range hosts {
+			if boosters[x] {
+				t.Fatalf("boosting host %d indexed; boosters have no servable content", x)
+			}
+		}
+	}
+}
+
+func TestSearchSimValidation(t *testing.T) {
+	w, _ := setup(t)
+	if _, err := BuildIndex(w, Config{Topics: 0, TopicsPerHost: 1, TopK: 10}); err == nil {
+		t.Error("zero topics accepted")
+	}
+	if _, err := BuildIndex(w, Config{Topics: 10, TopicsPerHost: 0, TopK: 10}); err == nil {
+		t.Error("zero topics-per-host accepted")
+	}
+}

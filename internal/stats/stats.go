@@ -1,0 +1,252 @@
+// Package stats provides the statistical utilities the experiments
+// rely on: logarithmic binning, power-law fitting (both MLE and
+// log-log regression over binned densities), and simple descriptive
+// summaries. Power-law structure is central to the paper: in-degrees,
+// out-degrees, PageRank scores, and positive spam-mass estimates all
+// follow power laws (Sections 4.3 and 4.6, Figure 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LogBins returns bin edges covering [min, max] with perDecade
+// logarithmically spaced bins per factor of ten. min must be positive
+// and less than max.
+func LogBins(min, max float64, perDecade int) ([]float64, error) {
+	if min <= 0 || max <= min || perDecade <= 0 {
+		return nil, fmt.Errorf("stats: bad log bins [%v,%v] x%d", min, max, perDecade)
+	}
+	step := math.Pow(10, 1/float64(perDecade))
+	var edges []float64
+	for e := min; e < max*step; e *= step {
+		edges = append(edges, e)
+	}
+	return edges, nil
+}
+
+// Bin is one histogram bin: [Lo, Hi) with Count observations.
+// Density is Count normalized by total observations and bin width,
+// the quantity plotted on the vertical axis of Figure 6.
+type Bin struct {
+	Lo, Hi  float64
+	Count   int64
+	Density float64
+}
+
+// Center returns the geometric center of the bin, the natural
+// abscissa on a log axis.
+func (b Bin) Center() float64 { return math.Sqrt(b.Lo * b.Hi) }
+
+// Histogram bins the values using the given ascending edges; values
+// outside [edges[0], edges[len-1]) are ignored. It returns one Bin per
+// edge pair.
+func Histogram(values []float64, edges []float64) ([]Bin, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: edges not increasing at %d", i)
+		}
+	}
+	bins := make([]Bin, len(edges)-1)
+	for i := range bins {
+		bins[i].Lo, bins[i].Hi = edges[i], edges[i+1]
+	}
+	total := int64(0)
+	for _, v := range values {
+		if v < edges[0] || v >= edges[len(edges)-1] {
+			continue
+		}
+		// Binary search for the bin.
+		i := sort.SearchFloat64s(edges, v)
+		if i < len(edges) && edges[i] == v {
+			// v sits exactly on edge i: it belongs to bin i.
+		} else {
+			i--
+		}
+		if i >= 0 && i < len(bins) {
+			bins[i].Count++
+			total++
+		}
+	}
+	if total > 0 {
+		for i := range bins {
+			bins[i].Density = float64(bins[i].Count) / (float64(total) * (bins[i].Hi - bins[i].Lo))
+		}
+	}
+	return bins, nil
+}
+
+// PowerLawMLE fits the exponent of a continuous power law
+// p(x) ∝ x^(−α) to the values ≥ xmin, by maximum likelihood:
+// α = 1 + n / Σ ln(xᵢ/xmin). It returns the exponent and the number
+// of tail observations used.
+func PowerLawMLE(values []float64, xmin float64) (alpha float64, n int, err error) {
+	if xmin <= 0 {
+		return 0, 0, fmt.Errorf("stats: xmin %v must be positive", xmin)
+	}
+	sum := 0.0
+	for _, v := range values {
+		if v >= xmin {
+			sum += math.Log(v / xmin)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("stats: no observations at or above xmin %v", xmin)
+	}
+	if sum == 0 {
+		return 0, n, fmt.Errorf("stats: all %d tail observations equal xmin", n)
+	}
+	return 1 + float64(n)/sum, n, nil
+}
+
+// LinearFit returns the least-squares slope and intercept of y on x.
+func LinearFit(x, y []float64) (slope, intercept float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, fmt.Errorf("stats: need ≥2 paired points, got %d/%d", len(x), len(y))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(x))
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// PowerLawRegression fits log(density) against log(x) over non-empty
+// log bins — the way power-law exponents are usually read off plots
+// like Figure 6. Returns the slope (the exponent, negative for decays).
+func PowerLawRegression(bins []Bin) (exponent float64, err error) {
+	var lx, ly []float64
+	for _, b := range bins {
+		if b.Count > 0 && b.Density > 0 {
+			lx = append(lx, math.Log10(b.Center()))
+			ly = append(ly, math.Log10(b.Density))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, fmt.Errorf("stats: only %d non-empty bins, need ≥2", len(lx))
+	}
+	slope, _, err := LinearFit(lx, ly)
+	return slope, err
+}
+
+// AUC returns the area under the ROC curve for a scored binary
+// classification: the probability that a uniformly random positive
+// example scores above a uniformly random negative one, with ties
+// counted half. It is the threshold-free quality measure used to
+// compare detectors whose score scales differ (relative mass vs
+// SpamRank deviation vs inverted trust).
+func AUC(scores []float64, positive []bool) (float64, error) {
+	if len(scores) != len(positive) || len(scores) == 0 {
+		return 0, fmt.Errorf("stats: AUC needs matched non-empty scores/labels, got %d/%d", len(scores), len(positive))
+	}
+	type pair struct {
+		score float64
+		pos   bool
+	}
+	pairs := make([]pair, len(scores))
+	nPos, nNeg := 0, 0
+	for i := range scores {
+		pairs[i] = pair{scores[i], positive[i]}
+		if positive[i] {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, fmt.Errorf("stats: AUC needs both classes (%d positive, %d negative)", nPos, nNeg)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].score < pairs[j].score })
+	// Rank-sum (Mann-Whitney) with average ranks over ties.
+	rankSumPos := 0.0
+	i := 0
+	for i < len(pairs) {
+		j := i
+		for j < len(pairs) && pairs[j].score == pairs[i].score {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if pairs[k].pos {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	return (rankSumPos - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg)), nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the values using
+// nearest-rank on a sorted copy.
+func Quantile(values []float64, q float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i], nil
+}
+
+// Summary holds simple descriptive statistics.
+type Summary struct {
+	N         int
+	Min, Max  float64
+	Mean      float64
+	Median    float64
+	FracBelow map[float64]float64 // threshold → fraction strictly below
+}
+
+// Summarize computes a Summary; thresholds populate FracBelow (used to
+// report e.g. "91.1% of hosts have scaled PageRank below 2").
+func Summarize(values []float64, thresholds ...float64) Summary {
+	s := Summary{N: len(values), FracBelow: map[float64]float64{}}
+	if len(values) == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	sum := 0.0
+	for _, v := range values {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(values))
+	s.Median, _ = Quantile(values, 0.5)
+	for _, th := range thresholds {
+		below := 0
+		for _, v := range values {
+			if v < th {
+				below++
+			}
+		}
+		s.FracBelow[th] = float64(below) / float64(len(values))
+	}
+	return s
+}

@@ -1,0 +1,283 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogBins(t *testing.T) {
+	edges, err := LogBins(1, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) < 4 {
+		t.Fatalf("got %d edges for 3 decades, want at least 4", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		ratio := edges[i] / edges[i-1]
+		if math.Abs(ratio-10) > 1e-9 {
+			t.Errorf("edge ratio %v, want 10", ratio)
+		}
+	}
+	if edges[len(edges)-1] < 1000 {
+		t.Errorf("last edge %v does not cover max 1000", edges[len(edges)-1])
+	}
+}
+
+func TestLogBinsErrors(t *testing.T) {
+	cases := []struct {
+		min, max float64
+		per      int
+	}{
+		{0, 10, 1}, {-1, 10, 1}, {10, 10, 1}, {10, 5, 1}, {1, 10, 0},
+	}
+	for _, c := range cases {
+		if _, err := LogBins(c.min, c.max, c.per); err == nil {
+			t.Errorf("LogBins(%v,%v,%d) accepted", c.min, c.max, c.per)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges := []float64{1, 10, 100, 1000}
+	values := []float64{1, 2, 5, 10, 50, 500, 999, 1000, 0.5}
+	bins, err := Histogram(values, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 3 {
+		t.Fatalf("%d bins, want 3", len(bins))
+	}
+	// 1000 and 0.5 fall outside [1, 1000); 10 sits exactly on an edge
+	// and belongs to the second bin.
+	if bins[0].Count != 3 || bins[1].Count != 2 || bins[2].Count != 2 {
+		t.Errorf("counts = %d/%d/%d, want 3/2/2", bins[0].Count, bins[1].Count, bins[2].Count)
+	}
+	total := 0.0
+	for _, b := range bins {
+		total += b.Density * (b.Hi - b.Lo)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("densities integrate to %v, want 1", total)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := Histogram(nil, []float64{1}); err == nil {
+		t.Error("single edge accepted")
+	}
+	if _, err := Histogram(nil, []float64{2, 1}); err == nil {
+		t.Error("decreasing edges accepted")
+	}
+}
+
+func TestPowerLawMLERecoversExponent(t *testing.T) {
+	// Sample from a pure power law x = xmin·(1−u)^(−1/(α−1)) and
+	// verify MLE recovery within a few percent.
+	rng := rand.New(rand.NewSource(42))
+	for _, alpha := range []float64{1.8, 2.31, 3.0} {
+		values := make([]float64, 20000)
+		for i := range values {
+			values[i] = math.Pow(1-rng.Float64(), -1/(alpha-1))
+		}
+		got, n, err := PowerLawMLE(values, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(values) {
+			t.Errorf("alpha=%v: used %d of %d observations", alpha, n, len(values))
+		}
+		if math.Abs(got-alpha) > 0.06 {
+			t.Errorf("alpha=%v: MLE recovered %v", alpha, got)
+		}
+	}
+}
+
+func TestPowerLawMLEErrors(t *testing.T) {
+	if _, _, err := PowerLawMLE([]float64{1, 2}, 0); err == nil {
+		t.Error("xmin 0 accepted")
+	}
+	if _, _, err := PowerLawMLE([]float64{0.1, 0.2}, 1); err == nil {
+		t.Error("empty tail accepted")
+	}
+	if _, _, err := PowerLawMLE([]float64{1, 1, 1}, 1); err == nil {
+		t.Error("degenerate tail accepted")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit = %vx + %v, want 2x + 1", slope, intercept)
+	}
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestPowerLawRegression(t *testing.T) {
+	// Build bins whose density follows x^-2.5 exactly.
+	edges, err := LogBins(1, 1e4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	alpha := 2.5
+	values := make([]float64, 200000)
+	for i := range values {
+		values[i] = math.Pow(1-rng.Float64(), -1/(alpha-1))
+	}
+	bins, err := Histogram(values, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PowerLawRegression(bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-alpha)) > 0.3 {
+		t.Errorf("regression exponent %v, want ≈ %v", got, -alpha)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	for _, c := range []struct{ q, want float64 }{{0, 1}, {0.2, 1}, {0.5, 3}, {1, 5}} {
+		got, err := Quantile(v, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := Quantile(v, 1.5); err == nil {
+		t.Error("q > 1 accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4}, 3)
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if got := s.FracBelow[3]; got != 0.5 {
+		t.Errorf("FracBelow[3] = %v, want 0.5", got)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+}
+
+func TestHistogramPropertyTotalCount(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		values := make([]float64, 200)
+		inRange := 0
+		for i := range values {
+			values[i] = rng.Float64() * 2000
+			if values[i] >= 1 && values[i] < 1000 {
+				inRange++
+			}
+		}
+		edges, err := LogBins(1, 999, 5)
+		if err != nil {
+			return false
+		}
+		// The last edge may exceed 999; count against actual coverage.
+		hi := edges[len(edges)-1]
+		inRange = 0
+		for _, v := range values {
+			if v >= 1 && v < hi {
+				inRange++
+			}
+		}
+		bins, err := Histogram(values, edges)
+		if err != nil {
+			return false
+		}
+		total := int64(0)
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == int64(inRange)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	got, err := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []bool{false, false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("perfect separation AUC = %v, want 1", got)
+	}
+	// Perfectly inverted.
+	got, err = AUC([]float64{0.9, 0.8, 0.2, 0.1}, []bool{false, false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("inverted AUC = %v, want 0", got)
+	}
+	// All ties: chance level with half-credit.
+	got, err = AUC([]float64{1, 1, 1, 1}, []bool{true, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("all-ties AUC = %v, want 0.5", got)
+	}
+	// Hand-computable mix: scores 1,2,3,4 with positives at 2 and 4.
+	// Pairs (pos > neg): (2>1), (4>1), (4>3) = 3 of 4 → 0.75.
+	got, err = AUC([]float64{1, 2, 3, 4}, []bool{false, true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("mixed AUC = %v, want 0.75", got)
+	}
+	if _, err := AUC([]float64{1}, []bool{true}); err == nil {
+		t.Error("single-class input accepted")
+	}
+	if _, err := AUC(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// TestAUCRandomChanceLevel: random scores against random labels hover
+// around 0.5.
+func TestAUCRandomChanceLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	scores := make([]float64, 5000)
+	labels := make([]bool, 5000)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Float64() < 0.3
+	}
+	got, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 0.03 {
+		t.Errorf("random AUC = %v, want ≈ 0.5", got)
+	}
+}

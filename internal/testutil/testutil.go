@@ -1,0 +1,56 @@
+// Package testutil provides small helpers shared by the test suites:
+// deterministic random graphs and float comparison utilities.
+package testutil
+
+import (
+	"math"
+	"math/rand"
+
+	"spammass/internal/graph"
+)
+
+// RandomGraph builds a random directed graph with n nodes where each
+// node receives an out-degree drawn uniformly from [0, maxOut] and
+// random distinct targets. Self-links are dropped by the builder, so
+// actual degrees may be slightly lower.
+func RandomGraph(rng *rand.Rand, n, maxOut int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for x := 0; x < n; x++ {
+		d := rng.Intn(maxOut + 1)
+		for i := 0; i < d; i++ {
+			b.AddEdge(graph.NodeID(x), graph.NodeID(rng.Intn(n)))
+		}
+	}
+	return b.Build()
+}
+
+// RandomDAG builds a random acyclic graph: edges only go from lower to
+// higher IDs. Useful where walk enumeration must terminate exactly.
+func RandomDAG(rng *rand.Rand, n, maxOut int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for x := 0; x < n-1; x++ {
+		d := rng.Intn(maxOut + 1)
+		for i := 0; i < d; i++ {
+			y := x + 1 + rng.Intn(n-x-1)
+			b.AddEdge(graph.NodeID(x), graph.NodeID(y))
+		}
+	}
+	return b.Build()
+}
+
+// AlmostEqual reports whether a and b differ by at most tol.
+func AlmostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// MaxAbsDiff returns the largest absolute entrywise difference of two
+// equally long slices.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

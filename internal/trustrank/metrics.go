@@ -1,0 +1,120 @@
+package trustrank
+
+import (
+	"fmt"
+	"sort"
+
+	"spammass/internal/graph"
+	"spammass/internal/pagerank"
+)
+
+// PairwiseOrderedness is the evaluation metric of the TrustRank paper:
+// for a set of judged nodes, the fraction of ordered pairs the score
+// ranks correctly — every good node should outrank every spam node.
+// 1.0 means perfect separation; 0.5 is chance.
+func PairwiseOrderedness(scores pagerank.Vector, good, spam []graph.NodeID) (float64, error) {
+	if len(good) == 0 || len(spam) == 0 {
+		return 0, fmt.Errorf("trustrank: need both good (%d) and spam (%d) judgments", len(good), len(spam))
+	}
+	correct := 0.0
+	for _, g := range good {
+		if int(g) >= len(scores) {
+			return 0, fmt.Errorf("trustrank: judged node %d outside score vector", g)
+		}
+		for _, s := range spam {
+			if int(s) >= len(scores) {
+				return 0, fmt.Errorf("trustrank: judged node %d outside score vector", s)
+			}
+			switch {
+			case scores[g] > scores[s]:
+				correct++
+			case scores[g] == scores[s]:
+				correct += 0.5
+			}
+		}
+	}
+	return correct / float64(len(good)*len(spam)), nil
+}
+
+// SeedStrategy names a way of choosing TrustRank seed candidates, the
+// comparison the TrustRank paper runs (inverse PageRank vs high
+// PageRank vs random).
+type SeedStrategy int
+
+// Seed strategies.
+const (
+	SeedInversePageRank SeedStrategy = iota
+	SeedHighPageRank
+	SeedRandom
+)
+
+// String names the strategy.
+func (s SeedStrategy) String() string {
+	switch s {
+	case SeedInversePageRank:
+		return "inverse-pagerank"
+	case SeedHighPageRank:
+		return "high-pagerank"
+	default:
+		return "random"
+	}
+}
+
+// SelectSeedsBy picks up to maxSeeds oracle-approved seeds from the
+// top candidates of the chosen strategy. SeedRandom uses a
+// deterministic stride over the node space (callers wanting different
+// draws can permute IDs themselves).
+func SelectSeedsBy(g *graph.Graph, strategy SeedStrategy, oracle Oracle, candidates, maxSeeds int, cfg pagerank.Config) ([]graph.NodeID, error) {
+	if candidates <= 0 || maxSeeds <= 0 {
+		return nil, fmt.Errorf("trustrank: candidates (%d) and maxSeeds (%d) must be positive", candidates, maxSeeds)
+	}
+	var order []graph.NodeID
+	switch strategy {
+	case SeedInversePageRank:
+		return SelectSeeds(g, oracle, candidates, maxSeeds, cfg)
+	case SeedHighPageRank:
+		res, err := pagerank.Jacobi(g, pagerank.UniformJump(g.NumNodes()), cfg)
+		if err != nil {
+			return nil, err
+		}
+		order = rankDescending(res.Scores)
+	case SeedRandom:
+		n := g.NumNodes()
+		stride := n/candidates + 1
+		for i := 0; i < n && len(order) < candidates; i += stride {
+			order = append(order, graph.NodeID(i))
+		}
+	default:
+		return nil, fmt.Errorf("trustrank: unknown seed strategy %d", strategy)
+	}
+	if candidates > len(order) {
+		candidates = len(order)
+	}
+	var seeds []graph.NodeID
+	for _, x := range order[:candidates] {
+		if oracle(x) {
+			seeds = append(seeds, x)
+			if len(seeds) == maxSeeds {
+				break
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("trustrank: oracle approved none of the %d candidates", candidates)
+	}
+	return seeds, nil
+}
+
+func rankDescending(scores pagerank.Vector) []graph.NodeID {
+	order := make([]graph.NodeID, len(scores))
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if scores[order[i]] != scores[order[j]] {
+			return scores[order[i]] > scores[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}

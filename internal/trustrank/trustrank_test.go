@@ -1,0 +1,207 @@
+package trustrank
+
+import (
+	"math/rand"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/pagerank"
+	"spammass/internal/paperfig"
+	"spammass/internal/testutil"
+)
+
+func cfg() pagerank.Config { return pagerank.DefaultConfig() }
+
+// TestComputeSeparatesSpam: on the Figure 2 graph, seeding trust at
+// the good nodes gives every spam node zero trust (no walks from good
+// seeds reach them), while the good-supported nodes score positive.
+func TestComputeSeparatesSpam(t *testing.T) {
+	f := paperfig.NewFigure2()
+	trust, err := Compute(f.Graph, f.GoodNodes(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.S {
+		if trust[s] != 0 {
+			t.Errorf("spam node %d has trust %v, want 0", s, trust[s])
+		}
+	}
+	for _, g := range f.G {
+		if trust[g] <= 0 {
+			t.Errorf("good node %d has trust %v, want > 0", g, trust[g])
+		}
+	}
+	// The target x is reachable from good seeds, so TrustRank alone
+	// does not flag it — this is exactly the detection gap the
+	// spam-mass paper fills.
+	if trust[f.X] <= 0 {
+		t.Errorf("target x has trust %v; it should inherit some trust", trust[f.X])
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}})
+	if _, err := Compute(g, nil, cfg()); err == nil {
+		t.Error("empty seed set accepted")
+	}
+	if _, err := Compute(g, []graph.NodeID{7}, cfg()); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if _, err := Compute(g, []graph.NodeID{1, 1}, cfg()); err == nil {
+		t.Error("duplicate seed accepted")
+	}
+}
+
+// TestInversePageRankFavorsBroadcasters: a node that reaches everything
+// outranks a node that reaches nothing.
+func TestInversePageRankFavorsBroadcasters(t *testing.T) {
+	// 0 → 1 → 2 → 3; node 0 reaches all, node 3 reaches none.
+	g := graph.FromEdges(4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	inv, err := InversePageRank(g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(inv[3] > inv[2] && inv[2] > inv[1] && inv[1] > inv[0]) {
+		// Inverse PageRank runs on the transpose, so 3 collects the
+		// chain's mass... verify the transpose direction explicitly.
+		t.Logf("inverse scores: %v", inv)
+	}
+	// On the transpose the chain runs 3 → 2 → 1 → 0, so node 0
+	// accumulates the most inverse PageRank — but seed selection wants
+	// nodes that REACH many others, which on the original graph is
+	// node 0. Confirm node 0 ranks first.
+	if inv[0] <= inv[3] {
+		t.Errorf("node 0 (reaches 3 nodes) scores %v, node 3 (reaches none) scores %v", inv[0], inv[3])
+	}
+}
+
+func TestSelectSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testutil.RandomGraph(rng, 100, 4)
+	spam := map[graph.NodeID]bool{3: true, 10: true, 50: true}
+	oracle := func(x graph.NodeID) bool { return !spam[x] }
+	seeds, err := SelectSeeds(g, oracle, 20, 10, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 || len(seeds) > 10 {
+		t.Fatalf("%d seeds, want 1..10", len(seeds))
+	}
+	for _, s := range seeds {
+		if spam[s] {
+			t.Errorf("oracle-rejected node %d selected as seed", s)
+		}
+	}
+	if _, err := SelectSeeds(g, oracle, 0, 5, cfg()); err == nil {
+		t.Error("zero candidates accepted")
+	}
+	if _, err := SelectSeeds(g, func(graph.NodeID) bool { return false }, 10, 5, cfg()); err == nil {
+		t.Error("all-rejecting oracle did not error")
+	}
+}
+
+func TestDemotionRank(t *testing.T) {
+	trust := pagerank.Vector{0.1, 0.5, 0.0, 0.3}
+	order := DemotionRank(trust)
+	want := []graph.NodeID{1, 3, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDemoted(t *testing.T) {
+	trust := pagerank.Vector{0.1, 0.5, 0.0, 0.3}
+	got := Demoted(trust, 0.2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Demoted = %v, want [0 2]", got)
+	}
+}
+
+// TestTrustRankIsBiasedPageRank: with all nodes as seeds, TrustRank
+// equals PageRank with the uniform jump.
+func TestTrustRankIsBiasedPageRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := testutil.RandomGraph(rng, 40, 3)
+	all := make([]graph.NodeID, g.NumNodes())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	trust, err := Compute(g, all, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := pagerank.PR(g, pagerank.UniformJump(g.NumNodes()), cfg())
+	if d := testutil.MaxAbsDiff(trust, pr); d > 1e-10 {
+		t.Errorf("full-seed TrustRank differs from PageRank by %v", d)
+	}
+}
+
+func TestPairwiseOrderedness(t *testing.T) {
+	scores := pagerank.Vector{0.9, 0.8, 0.1, 0.2, 0.5}
+	po, err := PairwiseOrderedness(scores, []graph.NodeID{0, 1}, []graph.NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po != 1 {
+		t.Errorf("perfect separation scored %v, want 1", po)
+	}
+	po, err = PairwiseOrderedness(scores, []graph.NodeID{2, 3}, []graph.NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po != 0 {
+		t.Errorf("inverted separation scored %v, want 0", po)
+	}
+	// Ties get half credit.
+	po, err = PairwiseOrderedness(pagerank.Vector{0.5, 0.5}, []graph.NodeID{0}, []graph.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po != 0.5 {
+		t.Errorf("tie scored %v, want 0.5", po)
+	}
+	if _, err := PairwiseOrderedness(scores, nil, []graph.NodeID{1}); err == nil {
+		t.Error("missing good judgments accepted")
+	}
+	if _, err := PairwiseOrderedness(scores, []graph.NodeID{9}, []graph.NodeID{1}); err == nil {
+		t.Error("out-of-range judgment accepted")
+	}
+}
+
+// TestSeedStrategies: on the Figure 2 graph extended with a farm, the
+// inverse-PageRank strategy must find usable seeds, and all strategies
+// must reject oracle-disapproved nodes.
+func TestSeedStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := testutil.RandomGraph(rng, 200, 4)
+	spam := map[graph.NodeID]bool{}
+	for i := 0; i < 40; i++ {
+		spam[graph.NodeID(rng.Intn(200))] = true
+	}
+	oracle := func(x graph.NodeID) bool { return !spam[x] }
+	for _, strategy := range []SeedStrategy{SeedInversePageRank, SeedHighPageRank, SeedRandom} {
+		seeds, err := SelectSeedsBy(g, strategy, oracle, 50, 10, cfg())
+		if err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		if len(seeds) == 0 || len(seeds) > 10 {
+			t.Fatalf("%v: %d seeds", strategy, len(seeds))
+		}
+		for _, s := range seeds {
+			if spam[s] {
+				t.Errorf("%v: spam node %d selected", strategy, s)
+			}
+		}
+		if strategy.String() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+	if _, err := SelectSeedsBy(g, SeedStrategy(9), oracle, 10, 5, cfg()); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := SelectSeedsBy(g, SeedRandom, oracle, 0, 5, cfg()); err == nil {
+		t.Error("zero candidates accepted")
+	}
+}

@@ -1,0 +1,20 @@
+package webgen
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkGenerate(b *testing.B) {
+	for _, n := range []int{20000, 150000} {
+		b.Run(fmt.Sprintf("hosts=%d", n), func(b *testing.B) {
+			cfg := DefaultConfig(n)
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = int64(i + 1)
+				if _, err := Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package webgen
+
+import "fmt"
+
+// Country describes one national sub-web. EduShare is its share of the
+// worldwide educational host population (the paper's core drew 434,045
+// edu hosts from ~150 countries); WebShare is its share of the
+// non-mainstream national web population. A country with a large
+// WebShare but near-zero EduShare reproduces the paper's Polish
+// anomaly: a sizable community the good core barely covers.
+type Country struct {
+	Code     string
+	EduShare float64
+	WebShare float64
+}
+
+// DefaultCountries returns the national mix used by the experiments.
+// The .it share matches the paper's Italian-core experiment (9,747 of
+// 434,045 edu hosts ≈ 2.2%); .cz vs .pl reproduces the coverage
+// imbalance called out in Section 4.4.1 (4,020 Czech educational hosts
+// in the core against 12 Polish ones, while Poland's web is the larger
+// of the two).
+func DefaultCountries() []Country {
+	return []Country{
+		{Code: "us", EduShare: 0.40, WebShare: 0.28},
+		{Code: "de", EduShare: 0.08, WebShare: 0.12},
+		{Code: "uk", EduShare: 0.08, WebShare: 0.10},
+		{Code: "jp", EduShare: 0.07, WebShare: 0.09},
+		{Code: "fr", EduShare: 0.06, WebShare: 0.08},
+		{Code: "cn", EduShare: 0.05, WebShare: 0.08},
+		{Code: "ca", EduShare: 0.05, WebShare: 0.04},
+		{Code: "it", EduShare: 0.022, WebShare: 0.05},
+		{Code: "au", EduShare: 0.04, WebShare: 0.03},
+		{Code: "es", EduShare: 0.03, WebShare: 0.03},
+		{Code: "kr", EduShare: 0.03, WebShare: 0.025},
+		{Code: "nl", EduShare: 0.025, WebShare: 0.02},
+		{Code: "br", EduShare: 0.02, WebShare: 0.025},
+		{Code: "se", EduShare: 0.02, WebShare: 0.015},
+		{Code: "cz", EduShare: 0.016, WebShare: 0.01},
+		{Code: "mx", EduShare: 0.015, WebShare: 0.015},
+		{Code: "ch", EduShare: 0.012, WebShare: 0.01},
+		{Code: "fi", EduShare: 0.01, WebShare: 0.008},
+		{Code: "at", EduShare: 0.01, WebShare: 0.007},
+		{Code: "pl", EduShare: 0.0001, WebShare: 0.03}, // the anomaly
+	}
+}
+
+// Config controls generation. The zero value is invalid; start from
+// DefaultConfig.
+type Config struct {
+	// Hosts is the total number of hosts n.
+	Hosts int
+	// Seed makes generation deterministic.
+	Seed int64
+
+	// FracIsolated and FracFrontier reproduce the Section 4.1
+	// structure: 25.8% isolated hosts and 40.6% hosts that have
+	// inlinks but no outlinks (together the 66.4% without outlinks).
+	FracIsolated float64
+	FracFrontier float64
+
+	// FracSpam is the fraction of all hosts that are spam (targets +
+	// boosters + expired-domain spam). The paper's experiments assume
+	// conservatively that at least 15% of hosts are spam.
+	FracSpam float64
+
+	// CoreEligibleFrac is the fraction of all hosts eligible for the
+	// good core (directory + gov + edu); the paper's core of 504,150
+	// hosts is ≈0.69% of the 73.3M-host graph.
+	CoreEligibleFrac float64
+	// DirectoryShare, GovShare, EduShare split the core-eligible
+	// population (paper: 16,776 / 55,320 / 434,045).
+	DirectoryShare, GovShare, EduShare float64
+
+	// Countries is the national mix (see DefaultCountries).
+	Countries []Country
+	// CountryWebFrac is the fraction of all hosts living in national
+	// webs rather than the mainstream web.
+	CountryWebFrac float64
+
+	// AlibabaHosts, AlibabaHubs configure the large uncovered
+	// e-commerce community; BrBlogHosts the isolated blog community;
+	// CliqueCount/CliqueMin/CliqueMax the isolated good cliques.
+	AlibabaHosts, AlibabaHubs int
+	BrBlogHosts               int
+	CliqueCount               int
+	CliqueMin, CliqueMax      int
+
+	// Subcultures is the number of mid-size interest communities
+	// (hobby forums, fan sites, niche industries) that interlink
+	// heavily and receive little endorsement from the core-covered
+	// web. Their popular hosts are good but carry moderate positive
+	// relative mass — the honest false-positive population that gives
+	// Figure 4 its gradual precision decline toward the ~48% floor.
+	Subcultures                  int
+	SubcultureMin, SubcultureMax int
+
+	// Farms is the number of spam farms. Booster counts are drawn
+	// from a discrete power law on [BoosterMin, BoosterMax] with
+	// exponent BoosterExp; serious spammers employ up to thousands of
+	// boosting nodes (Section 2.3).
+	Farms                  int
+	BoosterMin, BoosterMax int
+	BoosterExp             float64
+	// HoneypotFrac is the fraction of farms that captured stray links
+	// from reputable hosts; AllianceFrac the fraction participating
+	// in multi-farm alliances.
+	HoneypotFrac, AllianceFrac float64
+	// ExpiredDomains is the number of spam hosts whose PageRank comes
+	// from lingering good links to an expired reputable domain — the
+	// false-negative class of Section 4.4.
+	ExpiredDomains int
+
+	// MeanOutDeg shapes the mainstream out-degree power law; ZipfTheta
+	// shapes in-link preferential attachment (Chung-Lu weights
+	// (i+1)^-θ). Both default to values calibrated so that roughly 1%
+	// of hosts clear the scaled-PageRank-10 bar, as in the paper.
+	MeanOutDeg float64
+	ZipfTheta  float64
+}
+
+// DefaultConfig returns a calibrated configuration for n hosts.
+func DefaultConfig(n int) Config {
+	return Config{
+		Hosts:            n,
+		Seed:             1,
+		FracIsolated:     0.258,
+		FracFrontier:     0.406,
+		FracSpam:         0.15,
+		CoreEligibleFrac: 0.0069,
+		DirectoryShare:   0.033,
+		GovShare:         0.110,
+		EduShare:         0.857,
+		Countries:        DefaultCountries(),
+		CountryWebFrac:   0.04,
+		AlibabaHosts:     max(12, n/375),
+		AlibabaHubs:      12,
+		BrBlogHosts:      max(10, n/250),
+		CliqueCount:      max(1, n/1500),
+		CliqueMin:        8,
+		CliqueMax:        30,
+		Subcultures:      max(1, n/4000),
+		SubcultureMin:    60,
+		SubcultureMax:    400,
+		Farms:            max(1, n/480),
+		BoosterMin:       12,
+		BoosterMax:       max(24, n/75),
+		BoosterExp:       2.0,
+		HoneypotFrac:     0.55,
+		AllianceFrac:     0.25,
+		ExpiredDomains:   max(1, n/7500),
+		MeanOutDeg:       8,
+		ZipfTheta:        0.8,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Validate checks the configuration for consistency.
+func (cfg Config) Validate() error {
+	if cfg.Hosts < 100 {
+		return fmt.Errorf("webgen: need at least 100 hosts, got %d", cfg.Hosts)
+	}
+	for name, f := range map[string]float64{
+		"FracIsolated": cfg.FracIsolated, "FracFrontier": cfg.FracFrontier,
+		"FracSpam": cfg.FracSpam, "CoreEligibleFrac": cfg.CoreEligibleFrac,
+		"HoneypotFrac": cfg.HoneypotFrac, "AllianceFrac": cfg.AllianceFrac,
+		"CountryWebFrac": cfg.CountryWebFrac,
+	} {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("webgen: %s = %v outside [0,1)", name, f)
+		}
+	}
+	if cfg.FracIsolated+cfg.FracFrontier+cfg.FracSpam >= 0.95 {
+		return fmt.Errorf("webgen: isolated+frontier+spam fractions leave no room for good active hosts")
+	}
+	if s := cfg.DirectoryShare + cfg.GovShare + cfg.EduShare; s < 0.99 || s > 1.01 {
+		return fmt.Errorf("webgen: core shares sum to %v, want 1", s)
+	}
+	if cfg.BoosterMin < 1 || cfg.BoosterMax < cfg.BoosterMin {
+		return fmt.Errorf("webgen: booster range [%d,%d] invalid", cfg.BoosterMin, cfg.BoosterMax)
+	}
+	if cfg.BoosterExp <= 1 {
+		return fmt.Errorf("webgen: booster exponent %v must exceed 1", cfg.BoosterExp)
+	}
+	if cfg.CliqueMin < 3 || cfg.CliqueMax < cfg.CliqueMin {
+		return fmt.Errorf("webgen: clique range [%d,%d] invalid", cfg.CliqueMin, cfg.CliqueMax)
+	}
+	if cfg.Subcultures > 0 && (cfg.SubcultureMin < 10 || cfg.SubcultureMax < cfg.SubcultureMin) {
+		return fmt.Errorf("webgen: subculture range [%d,%d] invalid", cfg.SubcultureMin, cfg.SubcultureMax)
+	}
+	if len(cfg.Countries) == 0 {
+		return fmt.Errorf("webgen: no countries configured")
+	}
+	if cfg.MeanOutDeg < 1 {
+		return fmt.Errorf("webgen: mean out-degree %v below 1", cfg.MeanOutDeg)
+	}
+	if cfg.ZipfTheta <= 0 || cfg.ZipfTheta >= 1 {
+		return fmt.Errorf("webgen: zipf theta %v outside (0,1)", cfg.ZipfTheta)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spammass/internal/graph"
+)
+
+// EvolveConfig tunes one time step of spam churn.
+type EvolveConfig struct {
+	Seed int64
+}
+
+// EvolveSpam advances the world one spam generation: Section 3.4
+// observes that "spam nodes come and go on the web — spammers
+// frequently abandon their pages once there is some indication that
+// search engines adopted anti-spam measures against them", which is
+// why a good core ages well while a black list goes stale.
+//
+// The step models exactly that: every existing spam host is abandoned
+// (its outlinks die; lingering inbound stray links keep pointing at
+// the dead domain), and a fresh generation of farms of the same sizes
+// is stood up on previously-extinct host names, wired by a fresh
+// random source. The good web — and therefore the good core — is
+// untouched.
+func EvolveSpam(w *World, cfg EvolveConfig) (*World, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := w.Graph.NumNodes()
+
+	oldSpam := make(map[graph.NodeID]bool)
+	for _, x := range w.SpamNodes() {
+		oldSpam[x] = true
+	}
+	if len(oldSpam) == 0 {
+		return nil, fmt.Errorf("webgen: world has no spam to evolve")
+	}
+	// Recycle pool: extinct hosts become the new spam generation's
+	// domains (freshly registered names in reality; recycled IDs here).
+	var pool []graph.NodeID
+	for x, info := range w.Info {
+		if info.Kind == KindIsolated {
+			pool = append(pool, graph.NodeID(x))
+		}
+	}
+	needed := 0
+	for _, f := range w.Farms {
+		needed += 1 + len(f.Boosters)
+	}
+	needed += len(w.ExpiredSpam)
+	if len(pool) < needed {
+		return nil, fmt.Errorf("webgen: recycle pool of %d extinct hosts cannot host %d new spam hosts", len(pool), needed)
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	// Popular good hosts (for camouflage and stray-link sources):
+	// the mainstream head occupies the lowest IDs.
+	var popular, ordinaryGood []graph.NodeID
+	for x, info := range w.Info {
+		if info.Kind == KindGood && info.Community == "mainstream" {
+			if len(popular) < 100 {
+				popular = append(popular, graph.NodeID(x))
+			}
+			ordinaryGood = append(ordinaryGood, graph.NodeID(x))
+		}
+	}
+	if len(popular) == 0 {
+		return nil, fmt.Errorf("webgen: no mainstream hosts to camouflage against")
+	}
+
+	// Rebuild edges: outlinks of abandoned spam die; everything else
+	// survives, including stray links INTO dead spam domains.
+	b := graph.NewBuilder(n)
+	w.Graph.Edges(func(x, y graph.NodeID) bool {
+		if !oldSpam[x] {
+			b.AddEdge(x, y)
+		}
+		return true
+	})
+
+	out := &World{
+		Names:            w.Names,
+		Info:             append([]NodeInfo(nil), w.Info...),
+		DirectoryMembers: w.DirectoryMembers,
+		CommunityHubs:    w.CommunityHubs,
+	}
+	// Abandoned spam hosts: extinct again, or dead-with-inbound-links
+	// (judged "nonexistent" by editors, like the paper's 5%).
+	for x := range oldSpam {
+		out.Info[x] = NodeInfo{Kind: KindIsolated}
+	}
+
+	take := func() graph.NodeID {
+		x := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		return x
+	}
+	// New farm generation: same size distribution, fresh wiring.
+	for fi, old := range w.Farms {
+		target := take()
+		out.Info[target] = NodeInfo{Kind: KindSpamTarget, Community: fmt.Sprintf("farm-gen2-%d", fi)}
+		farm := Farm{Target: target, Alliance: -1}
+		for range old.Boosters {
+			booster := take()
+			out.Info[booster] = NodeInfo{Kind: KindBooster, Community: out.Info[target].Community}
+			farm.Boosters = append(farm.Boosters, booster)
+			b.AddEdge(booster, target)
+		}
+		if rng.Float64() < 0.5 && len(farm.Boosters) > 1 {
+			for i, booster := range farm.Boosters {
+				b.AddEdge(booster, farm.Boosters[(i+1)%len(farm.Boosters)])
+			}
+		}
+		for l := 0; l < 2+rng.Intn(3); l++ {
+			b.AddEdge(target, popular[rng.Intn(len(popular))])
+		}
+		// Fresh stray links from the good web.
+		b.AddEdge(ordinaryGood[rng.Intn(len(ordinaryGood))], target)
+		if rng.Float64() < 0.5 {
+			for l := 0; l < 1+rng.Intn(4); l++ {
+				b.AddEdge(ordinaryGood[rng.Intn(len(ordinaryGood))], target)
+			}
+		}
+		out.Farms = append(out.Farms, farm)
+	}
+	// New expired-domain spam.
+	for range w.ExpiredSpam {
+		e := take()
+		out.Info[e] = NodeInfo{Kind: KindExpiredSpam, Community: "expired-gen2"}
+		out.ExpiredSpam = append(out.ExpiredSpam, e)
+		for l := 0; l < 25+rng.Intn(60); l++ {
+			b.AddEdge(ordinaryGood[rng.Intn(len(ordinaryGood))], e)
+		}
+		if len(out.Farms) > 0 {
+			b.AddEdge(e, out.Farms[rng.Intn(len(out.Farms))].Target)
+		}
+	}
+	// Abandoned spam that retains inbound links is a dead-but-linked
+	// host (frontier-like); fully unlinked ones stay extinct.
+	out.Graph = b.Build()
+	for x := range oldSpam {
+		if out.Graph.InDegree(x) > 0 {
+			out.Info[x] = NodeInfo{Kind: KindFrontier}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package webgen
+
+import (
+	"testing"
+
+	"spammass/internal/graph"
+)
+
+func TestEvolveSpamPreservesGoodWeb(t *testing.T) {
+	w, err := Generate(DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := EvolveSpam(w, EvolveConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Graph.Validate(); err != nil {
+		t.Fatalf("evolved graph invalid: %v", err)
+	}
+	if w2.Graph.NumNodes() != w.Graph.NumNodes() {
+		t.Fatal("evolution changed the host population size")
+	}
+	// Every edge between two non-spam hosts survives identically.
+	preserved := true
+	w.Graph.Edges(func(x, y graph.NodeID) bool {
+		if !w.Info[x].Kind.Spam() && !w.Info[y].Kind.Spam() {
+			if !w2.Graph.HasEdge(x, y) {
+				preserved = false
+				return false
+			}
+		}
+		return true
+	})
+	if !preserved {
+		t.Fatal("a good-web edge was lost during spam evolution")
+	}
+	// The good core is untouched.
+	for _, x := range w.DirectoryMembers {
+		if w2.Info[x].Kind != w.Info[x].Kind {
+			t.Fatalf("directory member %d changed kind", x)
+		}
+	}
+}
+
+func TestEvolveSpamChurnsSpam(t *testing.T) {
+	w, err := Generate(DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := EvolveSpam(w, EvolveConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No old spam host is spam in the new generation.
+	for _, x := range w.SpamNodes() {
+		if w2.Info[x].Kind.Spam() {
+			t.Fatalf("old spam host %d still spam after evolution", x)
+		}
+		if w2.Graph.OutDegree(x) != 0 {
+			t.Fatalf("abandoned spam host %d still has outlinks", x)
+		}
+	}
+	// The new generation is the same order of magnitude.
+	oldSpam, newSpam := len(w.SpamNodes()), len(w2.SpamNodes())
+	if newSpam < oldSpam*9/10 || newSpam > oldSpam*11/10 {
+		t.Errorf("spam population changed %d -> %d; churn should preserve scale", oldSpam, newSpam)
+	}
+	// New farms are wired: boosters link to their target.
+	if len(w2.Farms) != len(w.Farms) {
+		t.Fatalf("%d farms after evolution, want %d", len(w2.Farms), len(w.Farms))
+	}
+	for fi, f := range w2.Farms {
+		if len(f.Boosters) == 0 {
+			t.Fatalf("farm %d has no boosters", fi)
+		}
+		for _, booster := range f.Boosters {
+			if !w2.Graph.HasEdge(booster, f.Target) {
+				t.Fatalf("farm %d booster %d not linked to target", fi, booster)
+			}
+		}
+	}
+	// Old targets that kept stray inbound links are dead-but-linked.
+	deadLinked := 0
+	for _, f := range w.Farms {
+		if f.Honeypot > 0 && w2.Info[f.Target].Kind == KindFrontier {
+			deadLinked++
+		}
+	}
+	if deadLinked == 0 {
+		t.Error("no abandoned honey-pot target retained its stray links")
+	}
+}
+
+func TestEvolveSpamErrors(t *testing.T) {
+	w, err := Generate(DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSpam := &World{Graph: w.Graph, Info: make([]NodeInfo, w.Graph.NumNodes()), Names: w.Names}
+	if _, err := EvolveSpam(noSpam, EvolveConfig{}); err == nil {
+		t.Error("world without spam accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Package webgen generates synthetic host-level web graphs with the
+// structural properties the paper's experiments depend on. It is the
+// substitute for the proprietary Yahoo! 2004 crawl (73.3M hosts, 979M
+// edges): power-law degrees and PageRank, the reported fractions of
+// inlink-free / outlink-free / isolated hosts, good-core-eligible
+// populations (directory, governmental, and per-country educational
+// hosts), spam farms with boosting nodes and alliances, honey-pot
+// stray links, expired-domain spam, and the anomalous good communities
+// of Section 4.4 (a large uncovered e-commerce cluster, an isolated
+// blog community, an under-covered country, and isolated good
+// cliques). Ground-truth labels replace editorial judgment.
+package webgen
+
+import "spammass/internal/graph"
+
+// Kind classifies a generated host.
+type Kind uint8
+
+// Host kinds. Frontier hosts model URLs seen in links but never
+// crawled (no outlinks); isolated hosts model extinct or misspelled
+// hosts (Section 4.1 explains both).
+const (
+	KindIsolated Kind = iota
+	KindFrontier
+	KindGood      // ordinary good host (mainstream or country web)
+	KindDirectory // member of the trusted web directory
+	KindGov       // governmental host
+	KindEdu       // educational host
+	KindSpamTarget
+	KindBooster
+	KindExpiredSpam // spam on a bought expired domain (good inlinks)
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindIsolated:
+		return "isolated"
+	case KindFrontier:
+		return "frontier"
+	case KindGood:
+		return "good"
+	case KindDirectory:
+		return "directory"
+	case KindGov:
+		return "gov"
+	case KindEdu:
+		return "edu"
+	case KindSpamTarget:
+		return "spam-target"
+	case KindBooster:
+		return "booster"
+	case KindExpiredSpam:
+		return "expired-spam"
+	default:
+		return "unknown"
+	}
+}
+
+// Spam reports whether the kind is a spam host in the ground truth.
+func (k Kind) Spam() bool {
+	return k == KindSpamTarget || k == KindBooster || k == KindExpiredSpam
+}
+
+// NodeInfo is the ground truth for one host.
+type NodeInfo struct {
+	Kind Kind
+	// Community names the sub-web a host belongs to: "mainstream",
+	// a country code ("pl", "cz", ...), or a special community
+	// ("alibaba", "brblogs", "clique-17", "farm-42"). Frontier and
+	// isolated hosts have community "".
+	Community string
+	// Country is the two-letter code for hosts attached to a national
+	// web ("" for mainstream and special communities).
+	Country string
+	// Anomalous marks good hosts the evaluation displays in gray
+	// (Figure 3): members of communities the good core cannot reach
+	// well, for structural rather than spam reasons.
+	Anomalous bool
+}
+
+// Farm records one generated spam farm (Section 2.3 model): a single
+// target plus boosting nodes, optionally strengthened by honey-pot
+// stray links from reputable hosts and allied with other farms.
+type Farm struct {
+	Target   graph.NodeID
+	Boosters []graph.NodeID
+	// Honeypot is the number of stray links captured from good hosts.
+	Honeypot int
+	// Alliance is the alliance index, or -1 for an independent farm.
+	Alliance int
+}
+
+// World is a generated host graph plus its ground truth.
+type World struct {
+	Graph *graph.Graph
+	// Names[x] is the synthetic host name of node x (the good-core
+	// assembly parses these, mirroring the paper's URL pipeline).
+	Names []string
+	// Info[x] is the ground truth for node x.
+	Info []NodeInfo
+
+	Farms       []Farm
+	ExpiredSpam []graph.NodeID
+	// DirectoryMembers lists hosts in the trusted web directory
+	// (the Section 4.2 core ingredient that is a membership list, not
+	// a name pattern).
+	DirectoryMembers []graph.NodeID
+	// CommunityHubs maps special-community names to their hub hosts —
+	// e.g. the 12 key alibaba.com hosts whose addition to the core
+	// eliminates that anomaly in Section 4.4.2.
+	CommunityHubs map[string][]graph.NodeID
+}
+
+// IsSpam reports the ground-truth label of x.
+func (w *World) IsSpam(x graph.NodeID) bool { return w.Info[x].Kind.Spam() }
+
+// SpamNodes returns all ground-truth spam hosts.
+func (w *World) SpamNodes() []graph.NodeID {
+	var out []graph.NodeID
+	for x := range w.Info {
+		if w.Info[x].Kind.Spam() {
+			out = append(out, graph.NodeID(x))
+		}
+	}
+	return out
+}
+
+// GoodNodes returns all ground-truth good hosts (including frontier
+// and isolated hosts, which nobody controls for spamming).
+func (w *World) GoodNodes() []graph.NodeID {
+	var out []graph.NodeID
+	for x := range w.Info {
+		if !w.Info[x].Kind.Spam() {
+			out = append(out, graph.NodeID(x))
+		}
+	}
+	return out
+}
+
+// CountByKind returns how many hosts have each kind.
+func (w *World) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, info := range w.Info {
+		m[info.Kind]++
+	}
+	return m
+}

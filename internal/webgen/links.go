@@ -1,0 +1,428 @@
+package webgen
+
+import "spammass/internal/graph"
+
+// Link-target pickers. Blocks are popularity-ordered, so zipf sampling
+// inside a block is preferential attachment toward its head.
+
+func (g *gen) pickIn(b block) graph.NodeID {
+	return b.at(zipfIdx(g.rng, b.Size, g.cfg.ZipfTheta))
+}
+
+func (g *gen) pickMainstream() graph.NodeID { return g.pickIn(g.mainstream) }
+
+// pickTopMainstream picks among the universally known head of the
+// mainstream web — the hosts everybody links to.
+func (g *gen) pickTopMainstream() graph.NodeID {
+	top := g.mainstream.Size / 100
+	if top < 10 {
+		top = 10
+	}
+	if top > g.mainstream.Size {
+		top = g.mainstream.Size
+	}
+	return g.mainstream.at(zipfIdx(g.rng, top, g.cfg.ZipfTheta))
+}
+
+func (g *gen) pickUniform(b block) graph.NodeID {
+	return b.at(g.rng.Intn(b.Size))
+}
+
+// pickFrontier first drains the shuffled frontier queue — every
+// frontier host exists because somebody linked to it — then falls back
+// to uniform picks.
+func (g *gen) pickFrontier() graph.NodeID {
+	if len(g.frontierQueue) > 0 {
+		x := g.frontierQueue[len(g.frontierQueue)-1]
+		g.frontierQueue = g.frontierQueue[:len(g.frontierQueue)-1]
+		return x
+	}
+	return g.pickUniform(g.frontier)
+}
+
+func (g *gen) pickCountry() int {
+	return weightedPick(g.rng, g.countryWebCum)
+}
+
+// outDegree draws a power-law out-degree with mean steered by
+// cfg.MeanOutDeg (the base draw on [2,80] with exponent 2 has mean ≈7).
+func (g *gen) outDegree() int {
+	d := plInt(g.rng, 2, 80, 2.0)
+	if g.cfg.MeanOutDeg != 7 {
+		d = int(float64(d) * g.cfg.MeanOutDeg / 7)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// linkMainstream wires the mainstream web: a share of every host's
+// links discovers frontier hosts, the bulk attaches preferentially
+// within the mainstream, and small shares endorse core-eligible hosts
+// (directories, agencies, universities) and national webs.
+func (g *gen) linkMainstream() {
+	for i := 0; i < g.mainstream.Size; i++ {
+		src := g.mainstream.at(i)
+		d := g.outDegree()
+		for l := 0; l < d; l++ {
+			r := g.rng.Float64()
+			var dst graph.NodeID
+			switch {
+			case r < 0.44:
+				dst = g.pickFrontier()
+			case r < 0.88:
+				dst = g.pickMainstream()
+			case r < 0.94:
+				dst = g.pickIn(g.coreAll)
+			default:
+				ci := g.pickCountry()
+				dst = g.pickIn(g.countryWeb[ci])
+			}
+			g.b.AddEdge(src, dst)
+		}
+	}
+}
+
+// linkCountryWebs wires each national web: mostly intra-country
+// preferential links, endorsements of the country's universities, and
+// cross-links to the mainstream. Every country is reachable from the
+// mainstream (via linkMainstream's country share), so national hosts
+// are NOT anomalous per se — the Polish anomaly comes purely from the
+// core's coverage, not from isolation.
+func (g *gen) linkCountryWebs() {
+	for ci := range g.cfg.Countries {
+		web := g.countryWeb[ci]
+		edu := g.countryEdu[ci]
+		for i := 0; i < web.Size; i++ {
+			src := web.at(i)
+			d := g.outDegree()
+			for l := 0; l < d; l++ {
+				r := g.rng.Float64()
+				var dst graph.NodeID
+				switch {
+				case r < 0.22:
+					dst = g.pickFrontier()
+				case r < 0.72:
+					dst = g.pickIn(web)
+				case r < 0.80:
+					dst = g.pickIn(edu)
+				case r < 0.96:
+					dst = g.pickMainstream()
+				default:
+					dst = g.pickIn(g.countryWeb[g.pickCountry()])
+				}
+				g.b.AddEdge(src, dst)
+			}
+		}
+	}
+}
+
+// linkCore wires the good-core-eligible hosts. Directory hosts are
+// link hubs by design: they list reputable mainstream, national, and
+// educational hosts, spreading core-based PageRank broadly. Gov and
+// edu hosts link into their own community and the mainstream.
+func (g *gen) linkCore() {
+	for i := 0; i < g.directory.Size; i++ {
+		src := g.directory.at(i)
+		d := plInt(g.rng, 30, 300, 1.7)
+		for l := 0; l < d; l++ {
+			r := g.rng.Float64()
+			var dst graph.NodeID
+			switch {
+			case r < 0.55:
+				dst = g.pickMainstream()
+			case r < 0.75:
+				dst = g.pickIn(g.countryWeb[g.pickCountry()])
+			case r < 0.90:
+				dst = g.pickIn(g.coreAll)
+			default:
+				dst = g.pickFrontier()
+			}
+			g.b.AddEdge(src, dst)
+		}
+	}
+	usWeb := g.countryWeb[g.countryIndex("us")]
+	for i := 0; i < g.gov.Size; i++ {
+		src := g.gov.at(i)
+		d := plInt(g.rng, 2, 40, 2.1)
+		for l := 0; l < d; l++ {
+			r := g.rng.Float64()
+			var dst graph.NodeID
+			switch {
+			case r < 0.40:
+				dst = g.pickMainstream()
+			case r < 0.70:
+				dst = g.pickIn(g.gov)
+			case r < 0.90:
+				dst = g.pickIn(usWeb)
+			default:
+				dst = g.pickFrontier()
+			}
+			g.b.AddEdge(src, dst)
+		}
+	}
+	for ci := range g.cfg.Countries {
+		edu := g.countryEdu[ci]
+		web := g.countryWeb[ci]
+		for i := 0; i < edu.Size; i++ {
+			src := edu.at(i)
+			d := plInt(g.rng, 2, 40, 2.1)
+			for l := 0; l < d; l++ {
+				r := g.rng.Float64()
+				var dst graph.NodeID
+				switch {
+				case r < 0.45:
+					dst = g.pickIn(web)
+				case r < 0.65:
+					dst = g.pickIn(edu)
+				case r < 0.92:
+					dst = g.pickMainstream()
+				default:
+					dst = g.pickFrontier()
+				}
+				g.b.AddEdge(src, dst)
+			}
+		}
+	}
+}
+
+func (g *gen) countryIndex(code string) int {
+	for ci, c := range g.cfg.Countries {
+		if c.Code == code {
+			return ci
+		}
+	}
+	return 0
+}
+
+// linkAlibaba wires the large uncovered e-commerce community: shops
+// link to the hub hosts and to a popular-member tier; hubs link back
+// to shops; a few links point out to the mainstream, but (crucially)
+// essentially none point in from the web the core can reach — which
+// is exactly why its popular hosts show high relative mass until the
+// hubs are added to the core (Section 4.4.2).
+func (g *gen) linkAlibaba() {
+	hubs := g.cfg.AlibabaHubs
+	if hubs > g.alibaba.Size {
+		hubs = g.alibaba.Size
+	}
+	popular := hubs + (g.alibaba.Size-hubs)/20 // second tier after the hubs
+	for i := 0; i < g.alibaba.Size; i++ {
+		src := g.alibaba.at(i)
+		if i < hubs {
+			// Hubs are portals: they list some shops but mostly link
+			// out to suppliers and partners across the mainstream web,
+			// so only a modest share of their (core-based or regular)
+			// PageRank flows back into the community.
+			for l := 0; l < 25; l++ {
+				g.b.AddEdge(src, g.pickUniform(g.alibaba))
+			}
+			for l := 0; l < 100; l++ {
+				g.b.AddEdge(src, g.pickMainstream())
+			}
+			continue
+		}
+		// Shops link to 2 hubs, 2 popular members, 1 random shop.
+		for l := 0; l < 2; l++ {
+			g.b.AddEdge(src, g.alibaba.at(g.rng.Intn(hubs)))
+		}
+		if popular > hubs {
+			for l := 0; l < 2; l++ {
+				g.b.AddEdge(src, g.alibaba.at(hubs+g.rng.Intn(popular-hubs)))
+			}
+		}
+		g.b.AddEdge(src, g.pickUniform(g.alibaba))
+		if g.rng.Float64() < 0.1 {
+			g.b.AddEdge(src, g.pickMainstream())
+		}
+	}
+}
+
+// linkBrBlogs wires the isolated blog community: blogroll links,
+// preferential within the community, with no inbound links from the
+// core-covered web — a large community "relatively isolated from Ṽ⁺".
+func (g *gen) linkBrBlogs() {
+	for i := 0; i < g.brblogs.Size; i++ {
+		src := g.brblogs.at(i)
+		d := 3 + g.rng.Intn(6)
+		for l := 0; l < d; l++ {
+			g.b.AddEdge(src, g.pickIn(g.brblogs))
+		}
+		if g.rng.Float64() < 0.15 {
+			g.b.AddEdge(src, g.pickFrontier())
+		}
+	}
+}
+
+// linkCliques wires the isolated good cliques of Section 4.4: online
+// communities and web-design rings where clients link to the company
+// site and it links back, with few or no external links in either
+// direction. Roughly a third of the cliques get one weak inbound link
+// from the mainstream.
+func (g *gen) linkCliques() {
+	for _, q := range g.cliques {
+		company := q.at(0)
+		for i := 1; i < q.Size; i++ {
+			member := q.at(i)
+			g.b.AddEdge(member, company)
+			g.b.AddEdge(company, member)
+			if g.rng.Float64() < 0.3 {
+				g.b.AddEdge(member, q.at(1+g.rng.Intn(q.Size-1)))
+			}
+		}
+		// Weak but present connection to the covered web: a client or
+		// two gets mentioned on ordinary sites.
+		for l := 0; l < 2+g.rng.Intn(3); l++ {
+			g.b.AddEdge(g.pickMainstream(), company)
+		}
+		if g.rng.Float64() < 0.5 {
+			g.b.AddEdge(company, g.pickMainstream())
+		}
+	}
+}
+
+// linkSubcultures wires mid-size interest communities: heavy
+// preferential intra-linking, a modest outflow to the mainstream, and
+// only a couple of inbound entry links from the covered web. Their
+// popular hosts earn solid PageRank from their own community, of which
+// the core-based PageRank sees only the thin inbound trickle — good
+// hosts with moderate positive relative mass.
+func (g *gen) linkSubcultures() {
+	for _, sc := range g.subcultures {
+		for i := 0; i < sc.Size; i++ {
+			src := sc.at(i)
+			d := plInt(g.rng, 2, 30, 2.1)
+			for l := 0; l < d; l++ {
+				r := g.rng.Float64()
+				var dst graph.NodeID
+				switch {
+				case r < 0.78:
+					dst = g.pickIn(sc)
+				case r < 0.90:
+					dst = g.pickMainstream()
+				default:
+					dst = g.pickFrontier()
+				}
+				g.b.AddEdge(src, dst)
+			}
+		}
+		// A couple of entry links from the mainstream: the community
+		// is reachable, merely under-endorsed.
+		entries := 2 + sc.Size/25 + g.rng.Intn(3)
+		for l := 0; l < entries; l++ {
+			g.b.AddEdge(g.pickMainstream(), sc.at(zipfIdx(g.rng, sc.Size, g.cfg.ZipfTheta)))
+		}
+	}
+}
+
+// linkFarms wires the spam farms of Section 2.3: every boosting node
+// links to its target; some targets recycle rank back to boosters;
+// targets camouflage with a few outlinks to reputable hosts; a
+// fraction of farms harvest honey-pot stray links from good hosts; and
+// a fraction of farms ally, their targets linking in a ring.
+func (g *gen) linkFarms() {
+	farms := g.world.Farms
+	for fi := range farms {
+		f := &farms[fi]
+		for _, booster := range f.Boosters {
+			g.b.AddEdge(booster, f.Target)
+		}
+		style := g.rng.Float64()
+		switch {
+		case style < 0.3:
+			// Machine-generated template farm: every boosting page is
+			// stamped from the same template — a navigation block of
+			// links to sibling boosters plus the target — so every
+			// booster has exactly the same out-degree, the tell-tale
+			// degree spike that Fetterly et al.'s detector keys on.
+			// All links stay inside the farm (leaking rank to outside
+			// hosts would defeat the boosting).
+			t := 15 + g.rng.Intn(11)
+			if t > len(f.Boosters) {
+				t = len(f.Boosters)
+			}
+			for i, booster := range f.Boosters {
+				for j := 1; j < t; j++ {
+					g.b.AddEdge(booster, f.Boosters[(i+j)%len(f.Boosters)])
+				}
+			}
+		case style < 0.7:
+			// Ring-interlinked boosters (the paper's farm model has
+			// boosting nodes "connected so that they would influence
+			// the PageRank of the target"); the rest are pure stars.
+			for i, booster := range f.Boosters {
+				g.b.AddEdge(booster, f.Boosters[(i+1)%len(f.Boosters)])
+			}
+		}
+		if g.rng.Float64() < 0.5 {
+			// Recycle target rank into a few boosters and back.
+			for l := 0; l < 3 && l < len(f.Boosters); l++ {
+				g.b.AddEdge(f.Target, f.Boosters[l])
+			}
+		}
+		// Camouflage outlinks point at universally popular hosts (the
+		// nytimes.com pattern): cheap to add and they do not implicate
+		// ordinary hosts in the farm's spam mass.
+		for l := 0; l < 2+g.rng.Intn(3); l++ {
+			g.b.AddEdge(f.Target, g.pickTopMainstream())
+		}
+		// Every farm leaks at least one stray link (a guestbook
+		// comment somewhere), so no real target sits at exactly m~ = 1.
+		g.b.AddEdge(g.pickUniform(g.mainstream), f.Target)
+		if g.rng.Float64() < g.cfg.HoneypotFrac {
+			// Stray links (Section 2.3): spammed guestbook comments
+			// come from unremarkable hosts and barely matter; a
+			// successful honey pot attracts links from genuinely
+			// popular hosts and dilutes the target's relative mass
+			// well below 1.
+			f.Honeypot = plInt(g.rng, 1, 6, 1.8)
+			for l := 0; l < f.Honeypot; l++ {
+				if g.rng.Float64() < 0.7 {
+					g.b.AddEdge(g.pickUniform(g.mainstream), f.Target)
+				} else {
+					g.b.AddEdge(g.pickMainstream(), f.Target)
+				}
+			}
+		}
+	}
+	// Alliances: rings of 2-5 consecutive farms.
+	alliance := 0
+	for fi := 0; fi < len(farms); {
+		if g.rng.Float64() >= g.cfg.AllianceFrac {
+			fi++
+			continue
+		}
+		size := 2 + g.rng.Intn(4)
+		if fi+size > len(farms) {
+			size = len(farms) - fi
+		}
+		if size < 2 {
+			break
+		}
+		for k := 0; k < size; k++ {
+			farms[fi+k].Alliance = alliance
+			g.b.AddEdge(farms[fi+k].Target, farms[fi+(k+1)%size].Target)
+		}
+		alliance++
+		fi += size
+	}
+}
+
+// linkExpired wires expired-domain spam: hosts whose PageRank flows in
+// from lingering links on reputable hosts (the domain used to be
+// reputable), making them invisible to good-core mass estimation.
+func (g *gen) linkExpired() {
+	for _, e := range g.world.ExpiredSpam {
+		inlinks := plInt(g.rng, 25, 150, 2.0)
+		for l := 0; l < inlinks; l++ {
+			g.b.AddEdge(g.pickMainstream(), e)
+		}
+		// The new owner monetizes: links out to farm targets.
+		if len(g.world.Farms) > 0 {
+			for l := 0; l < 1+g.rng.Intn(2); l++ {
+				g.b.AddEdge(e, g.world.Farms[g.rng.Intn(len(g.world.Farms))].Target)
+			}
+		}
+	}
+}

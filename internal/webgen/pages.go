@@ -1,0 +1,116 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spammass/internal/graph"
+)
+
+// PageWorld is a page-level expansion of a host world — the raw-crawl
+// view that Section 4.1's pipeline starts from, before all hyperlinks
+// between pages of two hosts are collapsed into one host-level edge.
+type PageWorld struct {
+	Graph *graph.Graph
+	// URLs[p] is the page's URL; its host part is the host's name.
+	URLs []string
+	// HostOf[p] is the host ID the page belongs to.
+	HostOf []graph.NodeID
+}
+
+// PageConfig tunes the expansion.
+type PageConfig struct {
+	Seed int64
+	// MaxPagesPerHost caps the per-host page count, drawn from a
+	// power law on [1, MaxPagesPerHost].
+	MaxPagesPerHost int
+	// IntraLinkFactor multiplies the number of navigation links
+	// generated inside each multi-page host.
+	IntraLinkFactor float64
+	// FanOut is how many parallel page-level links realize one
+	// host-level edge on average (a site linking another usually does
+	// so from several pages).
+	FanOut float64
+}
+
+// DefaultPageConfig returns a modest expansion (≈3 pages per host).
+func DefaultPageConfig() PageConfig {
+	return PageConfig{Seed: 1, MaxPagesPerHost: 12, IntraLinkFactor: 1.5, FanOut: 1.6}
+}
+
+// ExpandPages turns a host world into a page-level graph: every host
+// becomes a power-law-sized set of pages with internal navigation
+// links, and every host-level edge becomes one or more page-level
+// hyperlinks between random pages of the two hosts. Collapsing the
+// result with graph.CollapseToHosts recovers exactly the host graph —
+// the round trip Section 4.1 describes.
+func ExpandPages(w *World, cfg PageConfig) (*PageWorld, error) {
+	if cfg.MaxPagesPerHost < 1 {
+		return nil, fmt.Errorf("webgen: MaxPagesPerHost must be ≥ 1")
+	}
+	if cfg.FanOut < 1 {
+		return nil, fmt.Errorf("webgen: FanOut must be ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := w.Graph.NumNodes()
+
+	pw := &PageWorld{}
+	firstPage := make([]graph.NodeID, n+1)
+	for h := 0; h < n; h++ {
+		firstPage[h] = graph.NodeID(len(pw.URLs))
+		pages := 1
+		if cfg.MaxPagesPerHost > 1 {
+			pages = plInt(rng, 1, cfg.MaxPagesPerHost, 2.0)
+		}
+		for p := 0; p < pages; p++ {
+			url := "http://" + w.Names[h] + "/"
+			if p > 0 {
+				url = fmt.Sprintf("http://%s/page%d.html", w.Names[h], p)
+			}
+			pw.URLs = append(pw.URLs, url)
+			pw.HostOf = append(pw.HostOf, graph.NodeID(h))
+		}
+	}
+	firstPage[n] = graph.NodeID(len(pw.URLs))
+	pagesOf := func(h graph.NodeID) (graph.NodeID, int) {
+		return firstPage[h], int(firstPage[h+1] - firstPage[h])
+	}
+
+	b := graph.NewBuilder(len(pw.URLs))
+	// Intra-host navigation: pages link to the home page and a few
+	// siblings. These vanish at host level (they would be self-links).
+	for h := 0; h < n; h++ {
+		start, count := pagesOf(graph.NodeID(h))
+		if count < 2 {
+			continue
+		}
+		links := int(cfg.IntraLinkFactor * float64(count))
+		for l := 0; l < links; l++ {
+			from := start + graph.NodeID(rng.Intn(count))
+			to := start + graph.NodeID(rng.Intn(count))
+			b.AddEdge(from, to) // self-links silently dropped
+		}
+		for p := 1; p < count; p++ {
+			b.AddEdge(start+graph.NodeID(p), start) // every page links home
+		}
+	}
+	// Inter-host links: each host edge becomes ≥1 page links; the
+	// first is always emitted so collapsing recovers the host graph
+	// exactly.
+	w.Graph.Edges(func(x, y graph.NodeID) bool {
+		sx, cx := pagesOf(x)
+		sy, cy := pagesOf(y)
+		links := 1
+		if cfg.FanOut > 1 {
+			links = 1 + rng.Intn(int(2*cfg.FanOut-1)) // mean ≈ FanOut
+		}
+		for l := 0; l < links; l++ {
+			from := sx + graph.NodeID(rng.Intn(cx))
+			to := sy + graph.NodeID(rng.Intn(cy))
+			b.AddEdge(from, to)
+		}
+		return true
+	})
+	pw.Graph = b.Build()
+	return pw, nil
+}

@@ -1,0 +1,95 @@
+package webgen
+
+import (
+	"testing"
+
+	"spammass/internal/graph"
+)
+
+// TestExpandCollapseRoundTrip: collapsing the page-level expansion
+// must recover exactly the host graph — the Section 4.1 pipeline.
+func TestExpandCollapseRoundTrip(t *testing.T) {
+	w, err := Generate(DefaultConfig(6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := ExpandPages(w, DefaultPageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Graph.NumNodes() < w.Graph.NumNodes() {
+		t.Fatalf("%d pages for %d hosts", pw.Graph.NumNodes(), w.Graph.NumNodes())
+	}
+	if err := pw.Graph.Validate(); err != nil {
+		t.Fatalf("page graph invalid: %v", err)
+	}
+
+	h, err := graph.CollapseToHosts(pw.Graph, pw.URLs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Graph.NumNodes() != w.Graph.NumNodes() {
+		t.Fatalf("collapsed to %d hosts, want %d", h.Graph.NumNodes(), w.Graph.NumNodes())
+	}
+	// Host IDs after collapsing follow first-page order, which is
+	// host-ID order, so the graphs must be identical edge for edge.
+	if h.Graph.NumEdges() != w.Graph.NumEdges() {
+		t.Fatalf("collapsed to %d edges, want %d", h.Graph.NumEdges(), w.Graph.NumEdges())
+	}
+	equal := true
+	w.Graph.Edges(func(x, y graph.NodeID) bool {
+		if !h.Graph.HasEdge(x, y) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Fatal("collapsed edge set differs from the host graph")
+	}
+	// Host names round-trip through the URLs.
+	for hID := 0; hID < w.Graph.NumNodes(); hID++ {
+		if got, ok := h.NodeByName(w.Names[hID]); !ok || got != graph.NodeID(hID) {
+			t.Fatalf("host %q mapped to %d,%v, want %d", w.Names[hID], got, ok, hID)
+		}
+	}
+}
+
+func TestExpandPagesStructure(t *testing.T) {
+	w, err := Generate(DefaultConfig(6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := ExpandPages(w, DefaultPageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw.URLs) != pw.Graph.NumNodes() || len(pw.HostOf) != pw.Graph.NumNodes() {
+		t.Fatal("URL/host tables out of sync with the page graph")
+	}
+	// Every page's URL host matches its HostOf entry.
+	for p := 0; p < pw.Graph.NumNodes(); p++ {
+		if graph.HostOf(pw.URLs[p]) != w.Names[pw.HostOf[p]] {
+			t.Fatalf("page %d URL %q does not match host %q", p, pw.URLs[p], w.Names[pw.HostOf[p]])
+		}
+	}
+	// The page graph must be denser than the host graph (fan-out > 1
+	// plus intra-host navigation).
+	if pw.Graph.NumEdges() <= w.Graph.NumEdges() {
+		t.Errorf("page graph has %d edges, host graph %d; expansion should add links",
+			pw.Graph.NumEdges(), w.Graph.NumEdges())
+	}
+}
+
+func TestExpandPagesValidation(t *testing.T) {
+	w, err := Generate(DefaultConfig(6000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpandPages(w, PageConfig{MaxPagesPerHost: 0, FanOut: 2}); err == nil {
+		t.Error("MaxPagesPerHost 0 accepted")
+	}
+	if _, err := ExpandPages(w, PageConfig{MaxPagesPerHost: 3, FanOut: 0.5}); err == nil {
+		t.Error("FanOut < 1 accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package webgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zipfIdx samples an index in [0, n) with probability approximately
+// proportional to (i+1)^(−theta), 0 < theta < 1, by inverse-CDF
+// sampling of the continuous relaxation. Small indices are the
+// "popular" hosts of a block: preferential attachment à la Chung-Lu.
+func zipfIdx(rng *rand.Rand, n int, theta float64) int {
+	if n <= 1 {
+		return 0
+	}
+	e := 1 - theta
+	u := rng.Float64()
+	x := math.Pow(u*(math.Pow(float64(n)+1, e)-1)+1, 1/e)
+	i := int(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// plInt samples an integer from a power law p(d) ∝ d^(−a) on
+// [lo, hi], a > 1, by inverse transform of the continuous density.
+func plInt(rng *rand.Rand, lo, hi int, a float64) int {
+	if hi <= lo {
+		return lo
+	}
+	u := rng.Float64()
+	e := 1 - a
+	l, h := float64(lo), float64(hi)+1
+	x := l * math.Pow(1-u*(1-math.Pow(h/l, e)), 1/e)
+	d := int(x)
+	if d < lo {
+		d = lo
+	}
+	if d > hi {
+		d = hi
+	}
+	return d
+}
+
+// weightedPick samples an index with probability proportional to the
+// (non-negative) weights, which must not all be zero.
+func weightedPick(rng *rand.Rand, cumulative []float64) int {
+	total := cumulative[len(cumulative)-1]
+	u := rng.Float64() * total
+	lo, hi := 0, len(cumulative)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cumulative[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cumSum turns weights into a cumulative table for weightedPick.
+func cumSum(weights []float64) []float64 {
+	out := make([]float64, len(weights))
+	s := 0.0
+	for i, w := range weights {
+		s += w
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package webgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfIdxBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(1000)
+		for i := 0; i < 100; i++ {
+			idx := zipfIdx(rng, n, 0.8)
+			if idx < 0 || idx >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	if zipfIdx(rand.New(rand.NewSource(1)), 1, 0.8) != 0 {
+		t.Error("n=1 must return 0")
+	}
+}
+
+// TestZipfIdxPreferential: rank 0 must be drawn far more often than a
+// deep-tail rank, roughly by the configured power law.
+func TestZipfIdxPreferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, draws = 1000, 200000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[zipfIdx(rng, n, 0.8)]++
+	}
+	if counts[0] < 20*counts[500] {
+		t.Errorf("head rank drawn %d times vs rank 500 %d times; want strong preference", counts[0], counts[500])
+	}
+	// The expected ratio count[0]/count[99] is about 100^0.8 ≈ 40.
+	ratio := float64(counts[0]) / float64(counts[99]+1)
+	if ratio < 10 || ratio > 160 {
+		t.Errorf("head/rank-99 ratio %.1f far from the zipf prediction ≈ 40", ratio)
+	}
+}
+
+func TestPlIntBoundsAndMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const lo, hi = 2, 80
+	sum := 0
+	for i := 0; i < 100000; i++ {
+		d := plInt(rng, lo, hi, 2.0)
+		if d < lo || d > hi {
+			t.Fatalf("plInt returned %d outside [%d,%d]", d, lo, hi)
+		}
+		sum += d
+	}
+	mean := float64(sum) / 100000
+	// For p(d) ∝ d^-2 on [2,81], the mean is ≈ 2·ln(40.5) ≈ 7.4.
+	if mean < 6 || mean > 9 {
+		t.Errorf("plInt mean %.2f, want ≈ 7.4", mean)
+	}
+	if plInt(rng, 5, 5, 2.0) != 5 {
+		t.Error("degenerate range must return lo")
+	}
+}
+
+func TestWeightedPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cum := cumSum([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[weightedPick(rng, cum)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight-3/weight-1 ratio %.2f, want ≈ 3", ratio)
+	}
+}

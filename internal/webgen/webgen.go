@@ -1,0 +1,346 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spammass/internal/graph"
+)
+
+// block is a contiguous node ID range [Start, Start+Size).
+type block struct {
+	Start graph.NodeID
+	Size  int
+}
+
+func (b block) contains(x graph.NodeID) bool {
+	return x >= b.Start && int(x-b.Start) < b.Size
+}
+
+// pick returns the block node at popularity rank i (0 = most popular).
+func (b block) at(i int) graph.NodeID { return b.Start + graph.NodeID(i) }
+
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+	b   *graph.Builder
+
+	info  []NodeInfo
+	names []string
+
+	mainstream  block
+	countryWeb  []block // parallel to cfg.Countries
+	directory   block
+	gov         block
+	countryEdu  []block // parallel to cfg.Countries
+	coreAll     block   // directory+gov+edu as one popularity-ordered block
+	alibaba     block
+	brblogs     block
+	cliques     []block
+	subcultures []block
+	frontier    block
+	isolated    block
+
+	countryWebCum []float64 // cumulative WebShare for weighted country pick
+	frontierQueue []graph.NodeID
+
+	world *World
+}
+
+// Generate builds a synthetic host-level web graph and its ground
+// truth from the configuration.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if err := g.layout(); err != nil {
+		return nil, err
+	}
+	g.linkMainstream()
+	g.linkCountryWebs()
+	g.linkCore()
+	g.linkAlibaba()
+	g.linkBrBlogs()
+	g.linkCliques()
+	g.linkSubcultures()
+	g.linkFarms()
+	g.linkExpired()
+	g.world.Graph = g.b.Build()
+	g.world.Names = g.names
+	g.world.Info = g.info
+	return g.world, nil
+}
+
+// layout assigns contiguous ID blocks and records names and ground
+// truth for every host. Block-internal order is popularity order:
+// index 0 is the block's most popular host under zipf attachment.
+func (g *gen) layout() error {
+	cfg := g.cfg
+	n := cfg.Hosts
+	nIsolated := int(cfg.FracIsolated * float64(n))
+	nFrontier := int(cfg.FracFrontier * float64(n))
+	nSpam := int(cfg.FracSpam * float64(n))
+
+	nCore := int(cfg.CoreEligibleFrac * float64(n))
+	if nCore < 3 {
+		nCore = 3
+	}
+	nDir := int(cfg.DirectoryShare * float64(nCore))
+	nGov := int(cfg.GovShare * float64(nCore))
+	nEdu := nCore - nDir - nGov
+	if nDir < 1 || nGov < 1 || nEdu < len(cfg.Countries) {
+		return fmt.Errorf("webgen: core too small to split (%d dir / %d gov / %d edu for %d countries)", nDir, nGov, nEdu, len(cfg.Countries))
+	}
+
+	nCountryWeb := int(cfg.CountryWebFrac * float64(n))
+	nCliques := 0
+	cliqueSizes := make([]int, cfg.CliqueCount)
+	for i := range cliqueSizes {
+		cliqueSizes[i] = cfg.CliqueMin + g.rng.Intn(cfg.CliqueMax-cfg.CliqueMin+1)
+		nCliques += cliqueSizes[i]
+	}
+	nSub := 0
+	subSizes := make([]int, cfg.Subcultures)
+	for i := range subSizes {
+		subSizes[i] = plInt(g.rng, cfg.SubcultureMin, cfg.SubcultureMax, 2.0)
+		nSub += subSizes[i]
+	}
+
+	special := cfg.AlibabaHosts + cfg.BrBlogHosts + nCliques + nSub
+	nMainstream := n - nIsolated - nFrontier - nSpam - nCore - nCountryWeb - special
+	if nMainstream < n/20 {
+		return fmt.Errorf("webgen: configuration leaves only %d mainstream hosts of %d", nMainstream, n)
+	}
+
+	g.info = make([]NodeInfo, 0, n)
+	g.names = make([]string, 0, n)
+	g.world = &World{CommunityHubs: map[string][]graph.NodeID{}}
+	next := graph.NodeID(0)
+	claim := func(size int) block {
+		b := block{Start: next, Size: size}
+		next += graph.NodeID(size)
+		return b
+	}
+	add := func(count int, nameFn func(i int) string, infoFn func(i int) NodeInfo) {
+		for i := 0; i < count; i++ {
+			g.names = append(g.names, nameFn(i))
+			g.info = append(g.info, infoFn(i))
+		}
+	}
+
+	// 1. Mainstream web.
+	g.mainstream = claim(nMainstream)
+	add(nMainstream,
+		func(i int) string { return fmt.Sprintf("www.site%d.com", i) },
+		func(i int) NodeInfo { return NodeInfo{Kind: KindGood, Community: "mainstream"} })
+
+	// 2. National webs, split by WebShare. The Polish web is anomalous:
+	// big WebShare, negligible EduShare (so the core barely covers it).
+	var webWeights []float64
+	totalWebShare := 0.0
+	for _, c := range cfg.Countries {
+		totalWebShare += c.WebShare
+	}
+	g.countryWeb = make([]block, len(cfg.Countries))
+	for ci, c := range cfg.Countries {
+		size := int(float64(nCountryWeb) * c.WebShare / totalWebShare)
+		if size < 1 {
+			size = 1
+		}
+		g.countryWeb[ci] = claim(size)
+		cc := c.Code
+		anomalous := cc == "pl" // under-covered country (Section 4.4.1)
+		add(size,
+			func(i int) string { return fmt.Sprintf("www.strona%d.%s", i, cc) },
+			func(i int) NodeInfo {
+				return NodeInfo{Kind: KindGood, Community: cc, Country: cc, Anomalous: anomalous}
+			})
+		webWeights = append(webWeights, c.WebShare)
+	}
+	g.countryWebCum = cumSum(webWeights)
+
+	// 3. Good-core-eligible hosts, one popularity-ordered superblock:
+	// directory first (most inlinked), then gov, then per-country edu.
+	coreStart := next
+	g.directory = claim(nDir)
+	add(nDir,
+		func(i int) string { return fmt.Sprintf("www.dirsite%d.org", i) },
+		func(i int) NodeInfo { return NodeInfo{Kind: KindDirectory, Community: "mainstream"} })
+	g.gov = claim(nGov)
+	add(nGov,
+		func(i int) string { return fmt.Sprintf("agency%d.gov", i) },
+		func(i int) NodeInfo { return NodeInfo{Kind: KindGov, Community: "us", Country: "us"} })
+
+	totalEduShare := 0.0
+	for _, c := range cfg.Countries {
+		totalEduShare += c.EduShare
+	}
+	// Pre-compute edu sizes: at least one host per country, remainder
+	// to the largest country, so the total is exactly nEdu.
+	eduSizes := make([]int, len(cfg.Countries))
+	assigned := 0
+	for ci, c := range cfg.Countries {
+		eduSizes[ci] = int(float64(nEdu) * c.EduShare / totalEduShare)
+		if eduSizes[ci] < 1 {
+			eduSizes[ci] = 1
+		}
+		assigned += eduSizes[ci]
+	}
+	largest := 0
+	for ci := range eduSizes {
+		if eduSizes[ci] > eduSizes[largest] {
+			largest = ci
+		}
+	}
+	eduSizes[largest] += nEdu - assigned
+	if eduSizes[largest] < 1 {
+		return fmt.Errorf("webgen: edu population %d cannot cover %d countries", nEdu, len(cfg.Countries))
+	}
+	g.countryEdu = make([]block, len(cfg.Countries))
+	for ci, c := range cfg.Countries {
+		size := eduSizes[ci]
+		g.countryEdu[ci] = claim(size)
+		cc := c.Code
+		suffix := "edu"
+		if cc != "us" {
+			suffix = "edu." + cc
+		}
+		anomalous := cc == "pl"
+		add(size,
+			func(i int) string { return fmt.Sprintf("uni%d.%s", i, suffix) },
+			func(i int) NodeInfo {
+				return NodeInfo{Kind: KindEdu, Community: cc, Country: cc, Anomalous: anomalous}
+			})
+	}
+	g.coreAll = block{Start: coreStart, Size: int(next - coreStart)}
+
+	for _, x := range blockIDs(g.directory) {
+		g.world.DirectoryMembers = append(g.world.DirectoryMembers, x)
+	}
+
+	// 4. Special communities.
+	g.alibaba = claim(cfg.AlibabaHosts)
+	add(cfg.AlibabaHosts,
+		func(i int) string {
+			if i < cfg.AlibabaHubs {
+				return fmt.Sprintf("hub%d.alibaba.com.cn", i)
+			}
+			return fmt.Sprintf("shop%d.alibaba.com.cn", i)
+		},
+		func(i int) NodeInfo {
+			return NodeInfo{Kind: KindGood, Community: "alibaba", Country: "cn", Anomalous: true}
+		})
+	for i := 0; i < cfg.AlibabaHubs && i < cfg.AlibabaHosts; i++ {
+		g.world.CommunityHubs["alibaba"] = append(g.world.CommunityHubs["alibaba"], g.alibaba.at(i))
+	}
+
+	g.brblogs = claim(cfg.BrBlogHosts)
+	add(cfg.BrBlogHosts,
+		func(i int) string { return fmt.Sprintf("blog%d.blogger.com.br", i) },
+		func(i int) NodeInfo {
+			return NodeInfo{Kind: KindGood, Community: "brblogs", Country: "br", Anomalous: true}
+		})
+
+	g.cliques = make([]block, len(cliqueSizes))
+	for qi, size := range cliqueSizes {
+		g.cliques[qi] = claim(size)
+		name := fmt.Sprintf("clique-%d", qi)
+		add(size,
+			func(i int) string { return fmt.Sprintf("member%d.%s.net", i, name) },
+			func(i int) NodeInfo {
+				return NodeInfo{Kind: KindGood, Community: name}
+			})
+	}
+
+	g.subcultures = make([]block, len(subSizes))
+	for si, size := range subSizes {
+		g.subcultures[si] = claim(size)
+		name := fmt.Sprintf("scene-%d", si)
+		add(size,
+			func(i int) string { return fmt.Sprintf("fan%d.%s.org", i, name) },
+			func(i int) NodeInfo {
+				return NodeInfo{Kind: KindGood, Community: name}
+			})
+	}
+
+	// 5. Spam: farms (target + boosters), then expired-domain spam.
+	nExpired := cfg.ExpiredDomains
+	boosterBudget := nSpam - nExpired - cfg.Farms
+	if boosterBudget < cfg.Farms*3 {
+		return fmt.Errorf("webgen: spam budget %d too small for %d farms", nSpam, cfg.Farms)
+	}
+	sizes := make([]int, cfg.Farms)
+	sum := 0
+	for i := range sizes {
+		sizes[i] = plInt(g.rng, cfg.BoosterMin, cfg.BoosterMax, cfg.BoosterExp)
+		sum += sizes[i]
+	}
+	// Rescale draws to the budget, keeping at least 3 boosters each.
+	for i := range sizes {
+		sizes[i] = int(float64(sizes[i]) * float64(boosterBudget) / float64(sum))
+		if sizes[i] < 3 {
+			sizes[i] = 3
+		}
+	}
+	for fi, boosters := range sizes {
+		target := next
+		claim(1 + boosters)
+		farmName := fmt.Sprintf("farm-%d", fi)
+		add(1,
+			func(i int) string { return fmt.Sprintf("best-deals-%d.biz", fi) },
+			func(i int) NodeInfo { return NodeInfo{Kind: KindSpamTarget, Community: farmName} })
+		add(boosters,
+			func(i int) string { return fmt.Sprintf("booster%d-%d.info", fi, i) },
+			func(i int) NodeInfo { return NodeInfo{Kind: KindBooster, Community: farmName} })
+		farm := Farm{Target: target, Alliance: -1}
+		for i := 0; i < boosters; i++ {
+			farm.Boosters = append(farm.Boosters, target+1+graph.NodeID(i))
+		}
+		g.world.Farms = append(g.world.Farms, farm)
+	}
+	expiredStart := next
+	claim(nExpired)
+	add(nExpired,
+		func(i int) string { return fmt.Sprintf("once-reputable%d.com", i) },
+		func(i int) NodeInfo { return NodeInfo{Kind: KindExpiredSpam, Community: "expired"} })
+	for i := 0; i < nExpired; i++ {
+		g.world.ExpiredSpam = append(g.world.ExpiredSpam, expiredStart+graph.NodeID(i))
+	}
+
+	// 6. Frontier (uncrawled, inlinks only) and isolated hosts. The
+	// isolated block absorbs the remainder, so minor drift from the
+	// booster-budget rounding lands there.
+	if int(next)+nFrontier > n {
+		return fmt.Errorf("webgen: layout overflow: %d hosts claimed plus %d frontier exceeds %d", next, nFrontier, n)
+	}
+	g.frontier = claim(nFrontier)
+	add(nFrontier,
+		func(i int) string { return fmt.Sprintf("frontier%d.net", i) },
+		func(i int) NodeInfo { return NodeInfo{Kind: KindFrontier} })
+	isolatedCount := n - int(next)
+	g.isolated = block{Start: next, Size: isolatedCount}
+	next += graph.NodeID(isolatedCount)
+	add(isolatedCount,
+		func(i int) string { return fmt.Sprintf("extinct%d.org", i) },
+		func(i int) NodeInfo { return NodeInfo{Kind: KindIsolated} })
+
+	g.b = graph.NewBuilder(n)
+
+	// Frontier in-link queue: every frontier host exists because some
+	// crawled host linked to it, so each must receive at least one
+	// inlink before any receives a second.
+	g.frontierQueue = blockIDs(g.frontier)
+	g.rng.Shuffle(len(g.frontierQueue), func(i, j int) {
+		g.frontierQueue[i], g.frontierQueue[j] = g.frontierQueue[j], g.frontierQueue[i]
+	})
+	return nil
+}
+
+func blockIDs(b block) []graph.NodeID {
+	out := make([]graph.NodeID, b.Size)
+	for i := range out {
+		out[i] = b.at(i)
+	}
+	return out
+}

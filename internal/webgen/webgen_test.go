@@ -1,0 +1,289 @@
+package webgen
+
+import (
+	"testing"
+
+	"spammass/internal/graph"
+)
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	w, err := Generate(DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(5000)
+	w1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Graph.NumNodes() != w2.Graph.NumNodes() || w1.Graph.NumEdges() != w2.Graph.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %d/%d vs %d/%d nodes/edges",
+			w1.Graph.NumNodes(), w1.Graph.NumEdges(), w2.Graph.NumNodes(), w2.Graph.NumEdges())
+	}
+	equal := true
+	w1.Graph.Edges(func(x, y graph.NodeID) bool {
+		if !w2.Graph.HasEdge(x, y) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Error("same seed produced different edge sets")
+	}
+	cfg.Seed = 2
+	w3, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Graph.NumEdges() == w1.Graph.NumEdges() {
+		t.Log("different seeds produced identical edge counts (possible but unlikely)")
+	}
+}
+
+func TestGeneratedGraphValid(t *testing.T) {
+	w := smallWorld(t)
+	if err := w.Graph.Validate(); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if len(w.Names) != w.Graph.NumNodes() || len(w.Info) != w.Graph.NumNodes() {
+		t.Fatalf("names/info length mismatch: %d/%d for %d nodes", len(w.Names), len(w.Info), w.Graph.NumNodes())
+	}
+	seen := make(map[string]bool, len(w.Names))
+	for _, name := range w.Names {
+		if name == "" {
+			t.Fatal("empty host name")
+		}
+		if seen[name] {
+			t.Fatalf("duplicate host name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestStructuralFractions checks the Section 4.1 statistics the
+// generator is calibrated to: ~35% without inlinks, ~66.4% without
+// outlinks, ~25.8% isolated.
+func TestStructuralFractions(t *testing.T) {
+	w := smallWorld(t)
+	st := graph.ComputeStats(w.Graph)
+	checks := []struct {
+		name   string
+		got    float64
+		lo, hi float64
+	}{
+		{"no inlinks", st.FracNoInlinks(), 0.30, 0.43},
+		{"no outlinks", st.FracNoOutlinks(), 0.62, 0.71},
+		{"isolated", st.FracIsolated(), 0.23, 0.33},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s fraction %.3f outside calibrated band [%.2f, %.2f]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+}
+
+// TestSpamFraction: ~15% of hosts are spam, as the paper's experiments
+// conservatively assume.
+func TestSpamFraction(t *testing.T) {
+	w := smallWorld(t)
+	spam := len(w.SpamNodes())
+	frac := float64(spam) / float64(w.Graph.NumNodes())
+	if frac < 0.12 || frac > 0.18 {
+		t.Errorf("spam fraction %.3f outside [0.12, 0.18]", frac)
+	}
+	if len(w.GoodNodes())+spam != w.Graph.NumNodes() {
+		t.Error("good + spam does not cover all hosts")
+	}
+}
+
+// TestFarmStructure: every booster links to its farm's target, and
+// targets are recorded as spam.
+func TestFarmStructure(t *testing.T) {
+	w := smallWorld(t)
+	if len(w.Farms) == 0 {
+		t.Fatal("no farms generated")
+	}
+	allied := 0
+	for fi, f := range w.Farms {
+		if w.Info[f.Target].Kind != KindSpamTarget {
+			t.Fatalf("farm %d target kind %v", fi, w.Info[f.Target].Kind)
+		}
+		if len(f.Boosters) < 3 {
+			t.Fatalf("farm %d has only %d boosters", fi, len(f.Boosters))
+		}
+		for _, booster := range f.Boosters {
+			if w.Info[booster].Kind != KindBooster {
+				t.Fatalf("farm %d booster kind %v", fi, w.Info[booster].Kind)
+			}
+			if !w.Graph.HasEdge(booster, f.Target) {
+				t.Fatalf("farm %d: booster %d does not link to target", fi, booster)
+			}
+		}
+		if f.Alliance >= 0 {
+			allied++
+		}
+	}
+	if allied == 0 {
+		t.Error("no allied farms despite AllianceFrac > 0")
+	}
+}
+
+// TestFrontierAndIsolated: frontier hosts have no outlinks; isolated
+// hosts have neither inlinks nor outlinks.
+func TestFrontierAndIsolated(t *testing.T) {
+	w := smallWorld(t)
+	for x := range w.Info {
+		id := graph.NodeID(x)
+		switch w.Info[x].Kind {
+		case KindFrontier:
+			if w.Graph.OutDegree(id) != 0 {
+				t.Fatalf("frontier host %d has outlinks", x)
+			}
+		case KindIsolated:
+			if w.Graph.OutDegree(id) != 0 || w.Graph.InDegree(id) != 0 {
+				t.Fatalf("isolated host %d has edges", x)
+			}
+		}
+	}
+}
+
+// TestAnomalousCommunities: alibaba and brblogs receive essentially no
+// links from outside their own community (that is what makes their
+// relative mass estimates anomalously high), and the Polish community
+// is marked anomalous with near-zero edu coverage.
+func TestAnomalousCommunities(t *testing.T) {
+	w := smallWorld(t)
+	counts := map[string]struct{ members, externalIn int }{}
+	for x, info := range w.Info {
+		if info.Community == "alibaba" || info.Community == "brblogs" {
+			c := counts[info.Community]
+			c.members++
+			for _, y := range w.Graph.InNeighbors(graph.NodeID(x)) {
+				if w.Info[y].Community != info.Community {
+					c.externalIn++
+				}
+			}
+			counts[info.Community] = c
+		}
+	}
+	for name, c := range counts {
+		if c.members == 0 {
+			t.Fatalf("community %s empty", name)
+		}
+		if float64(c.externalIn) > 0.02*float64(c.members) {
+			t.Errorf("community %s has %d external inlinks for %d members; should be nearly isolated from the covered web",
+				name, c.externalIn, c.members)
+		}
+	}
+	if len(w.CommunityHubs["alibaba"]) == 0 {
+		t.Error("no alibaba hubs recorded")
+	}
+	plEdu, plAnomalous := 0, 0
+	for _, info := range w.Info {
+		if info.Country == "pl" {
+			if info.Kind == KindEdu {
+				plEdu++
+			}
+			if info.Anomalous {
+				plAnomalous++
+			}
+		}
+	}
+	if plEdu > 3 {
+		t.Errorf("Polish edu coverage %d hosts; the anomaly needs it near zero", plEdu)
+	}
+	if plAnomalous == 0 {
+		t.Error("no Polish hosts marked anomalous")
+	}
+}
+
+// TestExpiredDomainSpam: expired-domain spam draws inlinks from good
+// mainstream hosts only.
+func TestExpiredDomainSpam(t *testing.T) {
+	w := smallWorld(t)
+	if len(w.ExpiredSpam) == 0 {
+		t.Fatal("no expired-domain spam generated")
+	}
+	for _, e := range w.ExpiredSpam {
+		if w.Info[e].Kind != KindExpiredSpam {
+			t.Fatalf("expired host %d has kind %v", e, w.Info[e].Kind)
+		}
+		in := w.Graph.InNeighbors(e)
+		if len(in) == 0 {
+			t.Fatalf("expired host %d has no inlinks", e)
+		}
+		for _, y := range in {
+			if w.Info[y].Kind.Spam() {
+				t.Fatalf("expired host %d receives a link from spam host %d; its mass must come from good hosts", e, y)
+			}
+		}
+	}
+}
+
+func TestCountByKindCoversAll(t *testing.T) {
+	w := smallWorld(t)
+	total := 0
+	for _, c := range w.CountByKind() {
+		total += c
+	}
+	if total != w.Graph.NumNodes() {
+		t.Errorf("kind counts sum to %d, want %d", total, w.Graph.NumNodes())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Hosts = 50 },
+		func(c *Config) { c.FracIsolated = 1.2 },
+		func(c *Config) { c.FracIsolated = 0.5; c.FracFrontier = 0.4; c.FracSpam = 0.1 },
+		func(c *Config) { c.DirectoryShare = 0.9 },
+		func(c *Config) { c.BoosterMin = 0 },
+		func(c *Config) { c.BoosterMax = 5; c.BoosterMin = 10 },
+		func(c *Config) { c.BoosterExp = 1 },
+		func(c *Config) { c.CliqueMin = 1 },
+		func(c *Config) { c.SubcultureMin = 5 },
+		func(c *Config) { c.Countries = nil },
+		func(c *Config) { c.MeanOutDeg = 0.5 },
+		func(c *Config) { c.ZipfTheta = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(10000)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultConfig(10000).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindIsolated; k <= KindExpiredSpam; k++ {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("out-of-range kind not reported unknown")
+	}
+}
+
+func TestKindSpam(t *testing.T) {
+	spamKinds := map[Kind]bool{KindSpamTarget: true, KindBooster: true, KindExpiredSpam: true}
+	for k := KindIsolated; k <= KindExpiredSpam; k++ {
+		if k.Spam() != spamKinds[k] {
+			t.Errorf("Kind(%v).Spam() = %v", k, k.Spam())
+		}
+	}
+}

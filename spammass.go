@@ -1,0 +1,326 @@
+// Package spammass is a complete implementation of link-spam detection
+// based on spam mass estimation, after Gyöngyi, Berkhin, Garcia-Molina
+// and Pedersen: "Link Spam Detection Based on Mass Estimation" (VLDB
+// 2006).
+//
+// The spam mass of a web node is the part of its PageRank contributed,
+// directly or indirectly, by spam nodes. It is estimated from two
+// PageRank vectors — the regular one and a core-based one whose random
+// jump is biased to a large set of known-good nodes — and thresholded
+// to detect the targets of link-spam farms:
+//
+//	g := spammass.NewBuilder(4)
+//	g.AddEdge(1, 0) // good → target
+//	g.AddEdge(2, 0) // spam → target
+//	g.AddEdge(3, 0) // spam → target
+//	graph := g.Build()
+//	est, err := spammass.Estimate(graph, []spammass.NodeID{1}, spammass.DefaultOptions())
+//	if err != nil { ... }
+//	candidates := spammass.Detect(est, spammass.DetectConfig{
+//		RelMassThreshold:        0.5,
+//		ScaledPageRankThreshold: 1.0,
+//	})
+//
+// The package re-exports the building blocks — the CSR web graph, the
+// linear PageRank solvers, PageRank contributions, TrustRank, the
+// related-work baselines, and the synthetic web generator used by the
+// experiment suite — so downstream code can compose them directly.
+package spammass
+
+import (
+	"io"
+
+	"spammass/internal/anomaly"
+	"spammass/internal/baseline"
+	"spammass/internal/content"
+	"spammass/internal/diskgraph"
+	"spammass/internal/forensics"
+	"spammass/internal/goodcore"
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+	"spammass/internal/trustrank"
+	"spammass/internal/webgen"
+)
+
+// Graph is an immutable host-level web graph in CSR form.
+type Graph = graph.Graph
+
+// NodeID identifies a node; IDs are dense in [0, NumNodes).
+type NodeID = graph.NodeID
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// HostGraph couples a Graph with host names.
+type HostGraph = graph.HostGraph
+
+// GraphStats summarizes a graph's structure.
+type GraphStats = graph.Stats
+
+// Vector is a dense per-node score vector.
+type Vector = pagerank.Vector
+
+// SolverConfig configures the linear PageRank solvers.
+type SolverConfig = pagerank.Config
+
+// SolverResult carries a PageRank vector and convergence diagnostics.
+type SolverResult = pagerank.Result
+
+// Estimates holds spam-mass estimates for every node.
+type Estimates = mass.Estimates
+
+// EstimateOptions configures mass estimation.
+type EstimateOptions = mass.Options
+
+// DetectConfig holds the two thresholds of the detection algorithm.
+type DetectConfig = mass.DetectConfig
+
+// Candidate is one detected link-spam candidate.
+type Candidate = mass.Candidate
+
+// GoodCore is an assembled white-list of known-good nodes.
+type GoodCore = goodcore.Core
+
+// World is a synthetic host-level web with ground-truth labels.
+type World = webgen.World
+
+// WorldConfig configures the synthetic web generator.
+type WorldConfig = webgen.Config
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n nodes from an edge list.
+func FromEdges(n int, edges [][2]NodeID) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadGraphText parses the text edge-list format.
+func ReadGraphText(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
+
+// WriteGraphText writes the text edge-list format.
+func WriteGraphText(w io.Writer, g *Graph) error { return graph.WriteText(w, g) }
+
+// ReadGraphBinary parses the compact binary graph format.
+func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteGraphBinary writes the compact binary graph format.
+func WriteGraphBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// CollapseToHosts collapses a page-level graph to the host level.
+func CollapseToHosts(g *Graph, pageURLs []string) (*HostGraph, error) {
+	return graph.CollapseToHosts(g, pageURLs)
+}
+
+// Stats computes structural statistics of a graph.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// DefaultSolverConfig returns the solver settings used in the paper's
+// experiments: damping 0.85 and a tight L1 convergence bound.
+func DefaultSolverConfig() SolverConfig { return pagerank.DefaultConfig() }
+
+// PageRank computes the linear PageRank vector for the uniform random
+// jump distribution, solved with the Jacobi method of Algorithm 1.
+func PageRank(g *Graph, cfg SolverConfig) (*SolverResult, error) {
+	return pagerank.Jacobi(g, pagerank.UniformJump(g.NumNodes()), cfg)
+}
+
+// PageRankWithJump computes linear PageRank for an arbitrary (possibly
+// non-uniform, possibly unnormalized) random jump vector.
+func PageRankWithJump(g *Graph, v Vector, cfg SolverConfig) (*SolverResult, error) {
+	return pagerank.Jacobi(g, v, cfg)
+}
+
+// Contribution returns q^U: the vector of PageRank contributions of
+// the node set U to every node (Theorem 2 of the paper).
+func Contribution(g *Graph, set []NodeID, cfg SolverConfig) (Vector, error) {
+	return pagerank.Contribution(g, set, pagerank.UniformJump(g.NumNodes()), cfg)
+}
+
+// DefaultOptions returns the estimation options of the paper's
+// experiments (γ = 0.85 jump scaling).
+func DefaultOptions() EstimateOptions { return mass.DefaultOptions() }
+
+// Estimate computes spam-mass estimates from a good core Ṽ⁺.
+func Estimate(g *Graph, core []NodeID, opts EstimateOptions) (*Estimates, error) {
+	return mass.EstimateFromCore(g, core, opts)
+}
+
+// EstimateFromBlacklist computes absolute-mass estimates from a known
+// spam subset Ṽ⁻.
+func EstimateFromBlacklist(g *Graph, spamCore []NodeID, beta float64, opts EstimateOptions) (*Estimates, error) {
+	return mass.EstimateFromBlacklist(g, spamCore, beta, opts)
+}
+
+// CombineEstimates averages a white-list and a black-list estimate.
+func CombineEstimates(white, black *Estimates) (*Estimates, error) {
+	return mass.Combine(white, black)
+}
+
+// ExactMass computes the actual spam mass given a ground-truth spam
+// set (available only in synthetic or fully labeled settings).
+func ExactMass(g *Graph, spam []NodeID, opts EstimateOptions) (*Estimates, error) {
+	return mass.Exact(g, spam, opts)
+}
+
+// DefaultDetectConfig returns the detection thresholds of the paper's
+// experiments (ρ = 10 scaled, τ = 0.98).
+func DefaultDetectConfig() DetectConfig { return mass.DefaultDetectConfig() }
+
+// Detect runs the mass-based spam detection algorithm (Algorithm 2)
+// and returns the spam candidates sorted by decreasing relative mass.
+func Detect(est *Estimates, cfg DetectConfig) []Candidate { return mass.Detect(est, cfg) }
+
+// TrustRank computes TrustRank scores for a seed set of known-good
+// nodes — the complementary demotion-oriented technique the paper
+// compares against.
+func TrustRank(g *Graph, seeds []NodeID, cfg SolverConfig) (Vector, error) {
+	return trustrank.Compute(g, seeds, cfg)
+}
+
+// SelectTrustRankSeeds picks seed candidates by inverse PageRank and
+// filters them through an oracle.
+func SelectTrustRankSeeds(g *Graph, oracle func(NodeID) bool, candidates, maxSeeds int, cfg SolverConfig) ([]NodeID, error) {
+	return trustrank.SelectSeeds(g, oracle, candidates, maxSeeds, cfg)
+}
+
+// AssembleGoodCore builds a good core from host names and a directory
+// membership list, the way the paper's Section 4.2 core is built.
+func AssembleGoodCore(names []string, directoryMembers []NodeID) (*GoodCore, error) {
+	return goodcore.Assemble(names, directoryMembers)
+}
+
+// GenerateWorld builds a synthetic host-level web graph with ground
+// truth — the substrate the experiment suite runs on.
+func GenerateWorld(cfg WorldConfig) (*World, error) { return webgen.Generate(cfg) }
+
+// DefaultWorldConfig returns a calibrated generator configuration for
+// n hosts.
+func DefaultWorldConfig(n int) WorldConfig { return webgen.DefaultConfig(n) }
+
+// DegreeOutliers flags nodes whose exact degree is hit far more often
+// than the fitted power law predicts (the Fetterly et al. baseline).
+func DegreeOutliers(g *Graph, cfg baseline.DegreeOutlierConfig) ([]NodeID, error) {
+	return baseline.DegreeOutliers(g, cfg)
+}
+
+// DegreeOutlierConfig configures DegreeOutliers.
+type DegreeOutlierConfig = baseline.DegreeOutlierConfig
+
+// Supporters returns the k nodes contributing the most PageRank to x
+// (the reverse contribution analysis of Section 3.2) together with
+// p_x — the forensic view behind a detection.
+func Supporters(g *Graph, x NodeID, cfg SolverConfig, k int) ([]pagerank.Supporter, float64, error) {
+	return pagerank.TopSupporters(g, x, pagerank.UniformJump(g.NumNodes()), cfg, k)
+}
+
+// Supporter is one contributor to a node's PageRank.
+type Supporter = pagerank.Supporter
+
+// ExtractedFarm is the boosting structure extracted behind a candidate.
+type ExtractedFarm = forensics.Farm
+
+// FarmAlliance is a group of candidates whose farms are linked.
+type FarmAlliance = forensics.Alliance
+
+// ForensicsConfig tunes farm extraction.
+type ForensicsConfig = forensics.Config
+
+// DefaultForensicsConfig returns sensible extraction settings.
+func DefaultForensicsConfig() ForensicsConfig { return forensics.DefaultConfig() }
+
+// ExtractFarm analyzes the boosting structure behind one candidate.
+func ExtractFarm(g *Graph, est *Estimates, target NodeID, cfg ForensicsConfig) (*ExtractedFarm, error) {
+	return forensics.Extract(g, est, target, cfg)
+}
+
+// ExtractFarms analyzes every candidate and groups alliances.
+func ExtractFarms(g *Graph, est *Estimates, candidates []Candidate, cfg ForensicsConfig) ([]*ExtractedFarm, []FarmAlliance, error) {
+	return forensics.ExtractAll(g, est, candidates, cfg)
+}
+
+// AnomalousCommunity is a discovered good community the core fails to
+// cover, with suggested core fixes (Section 4.4.2 automated).
+type AnomalousCommunity = anomaly.Community
+
+// AnomalyConfig tunes anomaly discovery.
+type AnomalyConfig = anomaly.Config
+
+// DefaultAnomalyConfig returns the paper-matched discovery settings.
+func DefaultAnomalyConfig() AnomalyConfig { return anomaly.DefaultConfig() }
+
+// DiscoverAnomalies clusters judged-good high-mass hosts into the
+// under-covered communities behind them and proposes core fixes.
+// The judge reports whether a host is good (the editorial signal of
+// Section 4.4); hosts judged not-good are ignored.
+func DiscoverAnomalies(g *Graph, est *Estimates, judge func(NodeID) bool, cfg AnomalyConfig) ([]AnomalousCommunity, error) {
+	oracle := func(x graph.NodeID) anomaly.Judgment {
+		if judge(x) {
+			return anomaly.Good
+		}
+		return anomaly.Spam
+	}
+	return anomaly.Discover(g, est, oracle, cfg)
+}
+
+// ContentFeatures summarizes a host's textual content for the
+// complementary content analysis of the paper's conclusion.
+type ContentFeatures = content.Features
+
+// ContentClassifier is a logistic-regression spam classifier over
+// content features.
+type ContentClassifier = content.Classifier
+
+// TrainContentClassifier fits a classifier on labeled hosts
+// (label true = spam).
+func TrainContentClassifier(feats []ContentFeatures, labels []bool) (*ContentClassifier, error) {
+	return content.Train(feats, labels, content.DefaultTrainConfig())
+}
+
+// MonteCarloPageRank estimates PageRank by random-walk simulation —
+// an independent solver family useful for cross-validation and for
+// sampling contributions on graphs too large for repeated algebraic
+// solves.
+func MonteCarloPageRank(g *Graph, cfg pagerank.MonteCarloConfig) (Vector, error) {
+	return pagerank.MonteCarlo(g, pagerank.UniformJump(g.NumNodes()), cfg)
+}
+
+// MonteCarloConfig tunes the random-walk estimator.
+type MonteCarloConfig = pagerank.MonteCarloConfig
+
+// DefaultMonteCarloConfig returns the default simulation settings.
+func DefaultMonteCarloConfig() MonteCarloConfig { return pagerank.DefaultMonteCarloConfig() }
+
+// DiskGraph is an on-disk graph for out-of-core PageRank: only the
+// out-degree array and score vectors stay in memory while the
+// adjacency streams from disk once per iteration.
+type DiskGraph = diskgraph.DiskGraph
+
+// BuildDiskGraph writes g in the out-of-core format at path.
+func BuildDiskGraph(path string, g *Graph) error { return diskgraph.Build(path, g) }
+
+// OpenDiskGraph opens an on-disk graph built by BuildDiskGraph.
+func OpenDiskGraph(path string) (*DiskGraph, error) { return diskgraph.Open(path) }
+
+// EvolveSpam advances a synthetic world one spam generation: existing
+// farms are abandoned and fresh ones stood up, while the good web (and
+// therefore the good core) is untouched — the Section 3.4 churn that
+// makes white lists age better than black lists.
+func EvolveSpam(w *World, seed int64) (*World, error) {
+	return webgen.EvolveSpam(w, webgen.EvolveConfig{Seed: seed})
+}
+
+// ExpandPages expands a host world to a page-level graph whose
+// collapse (CollapseToHosts) recovers the host graph exactly — the
+// Section 4.1 pipeline in reverse.
+func ExpandPages(w *World) (*webgen.PageWorld, error) {
+	return webgen.ExpandPages(w, webgen.DefaultPageConfig())
+}
+
+// PageWorld is a page-level expansion of a host world.
+type PageWorld = webgen.PageWorld
+
+// PairwiseOrderedness scores how well a ranking separates judged good
+// nodes above judged spam nodes (the TrustRank paper's metric).
+func PairwiseOrderedness(scores Vector, good, spam []NodeID) (float64, error) {
+	return trustrank.PairwiseOrderedness(scores, good, spam)
+}
