@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test bench race vet verify clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Race-check the concurrent solver engine and the mass layer on top.
+race:
+	$(GO) test -race ./internal/pagerank/... ./internal/mass/...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the tier-1 gate: vet, full build, full test suite, and the
+# race detector over the engine and estimator packages.
+verify: vet build test race
+	@echo "verify: OK"
+
+clean:
+	$(GO) clean ./...

@@ -26,6 +26,7 @@ import (
 
 	"spammass/internal/eval"
 	"spammass/internal/experiments"
+	"spammass/internal/pagerank"
 	"spammass/internal/stats"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	sampleFrac := flag.Float64("sample", 0.4, "evaluation sample fraction of T")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	reportPath := flag.String("report", "", "write a markdown reproduction report to this file")
+	verbose := flag.Bool("v", false, "print per-iteration solver residual traces to stderr")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -46,6 +48,12 @@ func main() {
 	cfg.Rho = *rho
 	cfg.Gamma = *gamma
 	cfg.SampleFrac = *sampleFrac
+	if *verbose {
+		cfg.Solver.Trace = func(ev pagerank.TraceEvent) {
+			fmt.Fprintf(os.Stderr, "%s batch=%d iter=%3d residual=%.3e elapsed=%s\n",
+				ev.Algorithm, ev.Batch, ev.Iteration, ev.Residual, ev.Elapsed.Round(time.Microsecond))
+		}
+	}
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
@@ -102,6 +110,7 @@ func main() {
 	if err != nil {
 		fail("setup", err)
 	}
+	defer env.Close()
 
 	if want("dataset") {
 		env.RunDataSet(out)

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"spammass/internal/forensics"
 	"spammass/internal/graph"
@@ -38,6 +39,7 @@ func main() {
 	top := flag.Int("top", 50, "print at most this many candidates (0 = all)")
 	explain := flag.Int("explain", 0, "for the top-k candidates, extract the boosting structure behind them")
 	jsonOut := flag.Bool("json", false, "emit candidates as JSON lines instead of a table")
+	verbose := flag.Bool("v", false, "print per-iteration solver residual traces to stderr")
 	flag.Parse()
 	if *graphPath == "" || *corePath == "" {
 		die("missing -graph or -core")
@@ -65,9 +67,25 @@ func main() {
 		Solver: pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000},
 		Gamma:  *gamma,
 	}
-	est, err := mass.EstimateFromCore(g, core, opts)
+	if *verbose {
+		opts.Solver.Trace = func(ev pagerank.TraceEvent) {
+			fmt.Fprintf(os.Stderr, "%s batch=%d iter=%3d residual=%.3e elapsed=%s\n",
+				ev.Algorithm, ev.Batch, ev.Iteration, ev.Residual, ev.Elapsed.Round(time.Microsecond))
+		}
+	}
+	es, err := mass.NewEstimator(g, opts)
 	if err != nil {
 		die("estimate: %v", err)
+	}
+	defer es.Close()
+	est, err := es.EstimateFromCore(core)
+	if err != nil {
+		die("estimate: %v", err)
+	}
+	if *verbose {
+		if stats := est.SolveStats; stats != nil {
+			fmt.Fprintf(os.Stderr, "solve: %s\n", stats)
+		}
 	}
 	cands := mass.Detect(est, mass.DetectConfig{
 		RelMassThreshold:        *tau,

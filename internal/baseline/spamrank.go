@@ -87,6 +87,24 @@ func SpamRankScores(g *graph.Graph, p pagerank.Vector, cfg SpamRankConfig) ([]fl
 	return scores, nil
 }
 
+// SpamRank computes the supporting PageRank vector on a solver engine
+// bound to g and scores every node with SpamRankScores. Callers that
+// already hold a PageRank vector (the benches reuse the mass
+// estimator's p) should call SpamRankScores directly; this entry point
+// exists for standalone use of the detector.
+func SpamRank(g *graph.Graph, cfg SpamRankConfig, solver pagerank.Config) ([]float64, error) {
+	eng, err := pagerank.NewEngine(g, solver)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer eng.Close()
+	res, err := eng.Solve(pagerank.UniformJump(g.NumNodes()))
+	if err != nil {
+		return nil, fmt.Errorf("baseline: supporting PageRank: %w", err)
+	}
+	return SpamRankScores(g, res.Scores, cfg)
+}
+
 // powerLawDeviation fits log density vs log bin center and returns
 // 1 − exp(−mean squared residual); 0 when a fit is impossible or the
 // histogram is too concentrated to test (a single bin deviates

@@ -199,15 +199,7 @@ func (dg *DiskGraph) sweep(br *bufio.Reader, cur, next pagerank.Vector, c float6
 // PageRank solves the linear PageRank system over the on-disk graph
 // with the Jacobi iteration, reading the adjacency once per iteration.
 func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank.Result, error) {
-	if cfg.Damping == 0 {
-		cfg.Damping = 0.85
-	}
-	if cfg.Epsilon == 0 {
-		cfg.Epsilon = 1e-12
-	}
-	if cfg.MaxIter == 0 {
-		cfg.MaxIter = 1000
-	}
+	cfg = cfg.WithDefaults()
 	if cfg.Damping <= 0 || cfg.Damping >= 1 || cfg.Epsilon <= 0 {
 		return nil, fmt.Errorf("diskgraph: invalid solver config %+v", cfg)
 	}
@@ -230,7 +222,7 @@ func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank
 	next := make(pagerank.Vector, dg.n)
 	res := &pagerank.Result{}
 	br := bufio.NewReaderSize(f, 1<<20)
-	for res.Iterations = 1; res.Iterations <= cfg.MaxIter; res.Iterations++ {
+	for it := 1; it <= cfg.MaxIter; it++ {
 		if _, err := f.Seek(dg.start, io.SeekStart); err != nil {
 			return nil, fmt.Errorf("diskgraph: seek: %w", err)
 		}
@@ -239,15 +231,21 @@ func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank
 			return nil, err
 		}
 		res.Residual = next.Diff1(cur)
+		res.Iterations = it
 		cur, next = next, cur
 		if res.Residual < cfg.Epsilon {
 			res.Converged = true
 			break
 		}
 	}
-	if res.Iterations > cfg.MaxIter {
-		res.Iterations = cfg.MaxIter
-	}
 	res.Scores = cur
+	if !res.Converged && !cfg.AllowTruncated {
+		return res, &pagerank.ErrNotConverged{
+			Algorithm:  pagerank.AlgoJacobi,
+			Iterations: res.Iterations,
+			Residual:   res.Residual,
+			Epsilon:    cfg.Epsilon,
+		}
+	}
 	return res, nil
 }

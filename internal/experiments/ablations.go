@@ -207,7 +207,7 @@ func (e *Env) RunBaselines(w io.Writer) ([]BaselineResult, error) {
 	// 2. TrustRank demotion: seeds from the directory (small, highly
 	// selective), flag T members in the bottom trust tier.
 	seeds := e.World.DirectoryMembers
-	trust, err := trustrank.Compute(e.World.Graph, seeds, e.Cfg.Solver)
+	trust, err := trustrank.ComputeOn(e.Engine(), seeds)
 	if err != nil {
 		return nil, err
 	}
@@ -301,15 +301,23 @@ func (e *Env) RunSolvers(w io.Writer) ([]SolverResult, error) {
 	section(w, "Ablation: linear PageRank solver comparison")
 	g := e.World.Graph
 	v := pagerank.UniformJump(g.NumNodes())
-	ja, err := pagerank.Jacobi(g, v, e.Cfg.Solver)
+	// All three algorithms run on the shared engine: its cached
+	// out-degree and dangling state are algorithm-independent.
+	withAlgo := func(a pagerank.Algorithm) pagerank.Config {
+		cfg := e.Cfg.Solver
+		cfg.Algorithm = a
+		return cfg
+	}
+	eng := e.Engine()
+	ja, err := eng.SolveConfig(v, withAlgo(pagerank.AlgoJacobi))
 	if err != nil {
 		return nil, err
 	}
-	gs, err := pagerank.GaussSeidel(g, v, e.Cfg.Solver)
+	gs, err := eng.SolveConfig(v, withAlgo(pagerank.AlgoGaussSeidel))
 	if err != nil {
 		return nil, err
 	}
-	pw, err := pagerank.PowerIteration(g, v, e.Cfg.Solver)
+	pw, err := eng.SolveConfig(v, withAlgo(pagerank.AlgoPowerIteration))
 	if err != nil {
 		return nil, err
 	}

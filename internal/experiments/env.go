@@ -60,9 +60,14 @@ type Env struct {
 	World  *webgen.World
 	Core   *goodcore.Core
 	Est    *mass.Estimates
-	T      []graph.NodeID
-	Sample []eval.SampleHost
-	Groups []eval.Group
+	// Estimator is the shared mass estimator bound to the world graph.
+	// Every experiment method that re-estimates on the same graph goes
+	// through it, reusing the solver engine's cached out-degree and
+	// dangling state across all solves.
+	Estimator *mass.Estimator
+	T         []graph.NodeID
+	Sample    []eval.SampleHost
+	Groups    []eval.Group
 }
 
 // NewEnv generates the world and runs the shared computations.
@@ -77,11 +82,16 @@ func NewEnv(cfg Config) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: assembling core: %w", err)
 	}
-	est, err := mass.EstimateFromCore(world.Graph, core.Nodes, mass.Options{Solver: cfg.Solver, Gamma: cfg.Gamma})
+	estor, err := mass.NewEstimator(world.Graph, mass.Options{Solver: cfg.Solver, Gamma: cfg.Gamma})
 	if err != nil {
+		return nil, fmt.Errorf("experiments: building estimator: %w", err)
+	}
+	est, err := estor.EstimateFromCore(core.Nodes)
+	if err != nil {
+		estor.Close()
 		return nil, fmt.Errorf("experiments: estimating mass: %w", err)
 	}
-	env := &Env{Cfg: cfg, World: world, Core: core, Est: est}
+	env := &Env{Cfg: cfg, World: world, Core: core, Est: est, Estimator: estor}
 	env.T = mass.FilterByPageRank(est, cfg.Rho)
 	k := int(cfg.SampleFrac * float64(len(env.T)))
 	if k < cfg.Groups {
@@ -91,14 +101,23 @@ func NewEnv(cfg Config) (*Env, error) {
 	jc.Seed = cfg.Seed + 7
 	env.Sample, err = eval.Sample(env.T, k, est, world, jc)
 	if err != nil {
+		estor.Close()
 		return nil, fmt.Errorf("experiments: sampling T: %w", err)
 	}
 	env.Groups, err = eval.SplitGroups(env.Sample, cfg.Groups)
 	if err != nil {
+		estor.Close()
 		return nil, fmt.Errorf("experiments: grouping sample: %w", err)
 	}
 	return env, nil
 }
+
+// Engine exposes the shared solver engine bound to the world graph.
+func (e *Env) Engine() *pagerank.Engine { return e.Estimator.Engine() }
+
+// Close releases the shared solver engine's worker pool. The Env must
+// not be used afterwards.
+func (e *Env) Close() { e.Estimator.Close() }
 
 func min(a, b int) int {
 	if a < b {
@@ -111,7 +130,14 @@ func min(a, b int) int {
 // reusing the already-computed regular PageRank vector and
 // warm-starting the core-based solve from the baseline one.
 func (e *Env) estimateWithCore(core []graph.NodeID) (*mass.Estimates, error) {
-	return mass.Recompute(e.World.Graph, e.Est, core, mass.Options{Solver: e.Cfg.Solver, Gamma: e.Cfg.Gamma})
+	return e.Estimator.Recompute(e.Est, core)
+}
+
+// estimateWithCores is the batched form: all core variants share one
+// in-neighbor sweep per iteration (Engine.SolveMany), which is how the
+// core-size and stability experiments amortize their solves.
+func (e *Env) estimateWithCores(cores [][]graph.NodeID) ([]*mass.Estimates, error) {
+	return e.Estimator.RecomputeMany(e.Est, cores)
 }
 
 // resample judges a fresh sample against alternative estimates but the

@@ -12,7 +12,6 @@ import (
 	"spammass/internal/goodcore"
 	"spammass/internal/graph"
 	"spammass/internal/mass"
-	"spammass/internal/pagerank"
 	"spammass/internal/webgen"
 )
 
@@ -392,18 +391,15 @@ func (e *Env) RunAdversarial(w io.Writer, steps []int) ([]AdversarialPoint, erro
 }
 
 // estimateOnGraph recomputes both PageRank vectors on a modified graph
-// with the environment's core and settings.
+// with the environment's core and settings. The two solves run as one
+// batch on a throwaway estimator bound to the modified graph.
 func (e *Env) estimateOnGraph(g *graph.Graph) (*mass.Estimates, error) {
-	p, err := pagerank.Jacobi(g, pagerank.UniformJump(g.NumNodes()), e.Cfg.Solver)
+	es, err := mass.NewEstimator(g, mass.Options{Solver: e.Cfg.Solver, Gamma: e.Cfg.Gamma})
 	if err != nil {
 		return nil, err
 	}
-	wj := pagerank.ScaledCoreJump(g.NumNodes(), e.Core.Nodes, e.Cfg.Gamma)
-	pc, err := pagerank.Jacobi(g, wj, e.Cfg.Solver)
-	if err != nil {
-		return nil, err
-	}
-	return mass.Derive(p.Scores, pc.Scores, e.Est.Damping), nil
+	defer es.Close()
+	return es.EstimateFromCore(e.Core.Nodes)
 }
 
 // largestFarmTargetInT picks the biggest farm whose target is in T.
@@ -500,8 +496,12 @@ type CoreGrowthPoint struct {
 func (e *Env) RunCoreGrowth(w io.Writer) ([]CoreGrowthPoint, error) {
 	section(w, "Extension: incremental core growth (Section 4.5 deployment advice)")
 	fmt.Fprintf(w, "%-8s %10s %10s\n", "frac", "core size", "precision")
-	var out []CoreGrowthPoint
-	for _, frac := range []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0} {
+	fracs := []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0}
+	// Batch the whole growth curve: six core-biased solves sharing one
+	// in-neighbor sweep per iteration.
+	cores := make([][]graph.NodeID, len(fracs))
+	sizes := make([]int, len(fracs))
+	for i, frac := range fracs {
 		core := e.Core
 		if frac < 1 {
 			sub, err := goodcore.Subsample(e.Core, frac, e.Cfg.Seed+int64(frac*10000))
@@ -510,10 +510,16 @@ func (e *Env) RunCoreGrowth(w io.Writer) ([]CoreGrowthPoint, error) {
 			}
 			core = sub
 		}
-		est, err := e.estimateWithCore(core.Nodes)
-		if err != nil {
-			return nil, err
-		}
+		cores[i] = core.Nodes
+		sizes[i] = core.Size()
+	}
+	ests, err := e.estimateWithCores(cores)
+	if err != nil {
+		return nil, err
+	}
+	var out []CoreGrowthPoint
+	for i, frac := range fracs {
+		est := ests[i]
 		cands := mass.Detect(est, mass.DetectConfig{RelMassThreshold: 0.9, ScaledPageRankThreshold: e.Cfg.Rho})
 		spam := 0
 		for _, c := range cands {
@@ -521,7 +527,7 @@ func (e *Env) RunCoreGrowth(w io.Writer) ([]CoreGrowthPoint, error) {
 				spam++
 			}
 		}
-		pt := CoreGrowthPoint{Frac: frac, CoreSize: core.Size()}
+		pt := CoreGrowthPoint{Frac: frac, CoreSize: sizes[i]}
 		if len(cands) > 0 {
 			pt.Precision = float64(spam) / float64(len(cands))
 		}

@@ -74,13 +74,17 @@ func (e *Env) WriteReport(w io.Writer, generatedAt time.Time) error {
 	}
 	fmt.Fprintf(w, "| positive-mass power-law exponent | −2.31 | %.2f |\n\n", fig6.PositiveExponent)
 
-	// Solver health.
-	res, err := pagerank.Jacobi(e.World.Graph, pagerank.UniformJump(e.World.Graph.NumNodes()), e.Cfg.Solver)
+	// Solver health, via the shared engine.
+	res, err := e.Engine().Solve(pagerank.UniformJump(e.World.Graph.NumNodes()))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "## Solver\n\nJacobi converged in %d iterations (residual %.2e) over %d edges.\n",
+	fmt.Fprintf(w, "## Solver\n\nJacobi converged in %d iterations (residual %.2e) over %d edges",
 		res.Iterations, res.Residual, e.World.Graph.NumEdges())
+	if res.Stats != nil {
+		fmt.Fprintf(w, " (%.1fms, %.1fM edges/s)", float64(res.Stats.WallTime.Microseconds())/1000, res.Stats.EdgesPerSecond/1e6)
+	}
+	fmt.Fprintln(w, ".")
 
 	// Ground-truth detection summary.
 	spamInT := 0

@@ -36,17 +36,23 @@ func (e *Env) RunStability(w io.Writer, resamples int) ([]StabilityBucket, error
 		return nil, fmt.Errorf("experiments: need at least 2 resamples")
 	}
 	n := e.Est.N()
-	rels := make([][]float64, resamples)
+	// All half-core re-estimates run as one batch: every resample's
+	// core-biased solve shares the per-iteration graph sweep.
+	cores := make([][]graph.NodeID, resamples)
 	for r := 0; r < resamples; r++ {
 		sub, err := goodcore.Subsample(e.Core, 0.5, e.Cfg.Seed+int64(100+r))
 		if err != nil {
 			return nil, err
 		}
-		est, err := e.estimateWithCore(sub.Nodes)
-		if err != nil {
-			return nil, err
-		}
-		rels[r] = est.Rel
+		cores[r] = sub.Nodes
+	}
+	ests, err := e.estimateWithCores(cores)
+	if err != nil {
+		return nil, err
+	}
+	rels := make([][]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		rels[r] = ests[r].Rel
 	}
 
 	// Bucket by scaled PageRank decades starting at 1.

@@ -46,15 +46,21 @@ func (e *Env) RunTemporal(w io.Writer) (*TemporalResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	p1, err := pagerank.Jacobi(world1.Graph, pagerank.UniformJump(world1.Graph.NumNodes()), e.Cfg.Solver)
+	// All three t1 solves (uniform, aged-core jump, stale-black-list
+	// jump) run as one batch on an engine bound to the evolved graph.
+	eng1, err := pagerank.NewEngine(world1.Graph, e.Cfg.Solver)
 	if err != nil {
 		return nil, err
 	}
-	wj := pagerank.ScaledCoreJump(world1.Graph.NumNodes(), e.Core.Nodes, e.Cfg.Gamma)
-	pc1, err := pagerank.Jacobi(world1.Graph, wj, e.Cfg.Solver)
+	defer eng1.Close()
+	n1 := world1.Graph.NumNodes()
+	wj := pagerank.ScaledCoreJump(n1, e.Core.Nodes, e.Cfg.Gamma)
+	blackV := pagerank.ScaledCoreJump(n1, blacklist, 1-e.Cfg.Gamma)
+	rs, err := eng1.SolveMany([]pagerank.Vector{pagerank.UniformJump(n1), wj, blackV})
 	if err != nil {
 		return nil, err
 	}
+	p1, pc1, mHat := rs[0], rs[1], rs[2]
 	est1 := mass.Derive(p1.Scores, pc1.Scores, e.Est.Damping)
 
 	r := &TemporalResult{}
@@ -94,12 +100,7 @@ func (e *Env) RunTemporal(w io.Writer) (*TemporalResult, error) {
 	r.WhiteRecallT0 = recall(e.Est, e.World)
 	r.WhiteRecallT1 = recall(est1, world1)
 
-	// Stale black-list estimator at t1.
-	blackV := pagerank.ScaledCoreJump(world1.Graph.NumNodes(), blacklist, 1-e.Cfg.Gamma)
-	mHat, err := pagerank.Jacobi(world1.Graph, blackV, e.Cfg.Solver)
-	if err != nil {
-		return nil, err
-	}
+	// Stale black-list estimator at t1 (mHat solved in the batch above).
 	blackEst := mass.Derive(p1.Scores, p1.Scores.Clone().Sub(mHat.Scores), e.Est.Damping)
 	r.BlackRecallT1 = recall(blackEst, world1)
 

@@ -47,7 +47,7 @@ func (e *Env) RunTrustRankSeeds(w io.Writer, seedBudget int) ([]TrustRankSeedRes
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %v seeds: %w", strategy, err)
 		}
-		trust, err := trustrank.Compute(e.World.Graph, seeds, e.Cfg.Solver)
+		trust, err := trustrank.ComputeOn(e.Engine(), seeds)
 		if err != nil {
 			return nil, err
 		}

@@ -213,12 +213,18 @@ func (e *Env) RunFigure5(w io.Writer) ([]CoreVariant, error) {
 		Size:   e.Core.Size(),
 		Points: eval.PrecisionCurve(e.Sample, thresholds),
 	}}
-	for _, v := range variants {
-		est, err := e.estimateWithCore(v.core)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: core variant %q: %w", v.name, err)
-		}
-		sample := e.resample(est)
+	// One batched solve: all core variants share each iteration's
+	// in-neighbor sweep instead of re-traversing the graph per variant.
+	cores := make([][]graph.NodeID, len(variants))
+	for i, v := range variants {
+		cores[i] = v.core
+	}
+	ests, err := e.estimateWithCores(cores)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: core variants: %w", err)
+	}
+	for i, v := range variants {
+		sample := e.resample(ests[i])
 		out = append(out, CoreVariant{Name: v.name, Size: len(v.core), Points: eval.PrecisionCurve(sample, thresholds)})
 	}
 	fmt.Fprintf(w, "%-12s %8s", "threshold", "")

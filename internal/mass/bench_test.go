@@ -28,6 +28,45 @@ func BenchmarkEstimateFromCore(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateFromCore10k is the acceptance benchmark for the
+// batched engine: both PageRank solves (p and p') share one adjacency
+// sweep per iteration via Engine.SolveMany.
+func BenchmarkEstimateFromCore10k(b *testing.B) {
+	g, core := benchSetup(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateFromCore(g, core, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecomputeMany10k measures the batched warm re-estimation
+// path used by the core-size and stability experiments: eight core
+// variants per batch.
+func BenchmarkRecomputeMany10k(b *testing.B) {
+	g, core := benchSetup(10000)
+	es, err := NewEstimator(g, DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer es.Close()
+	est, err := es.EstimateFromCore(core)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores := make([][]graph.NodeID, 8)
+	for i := range cores {
+		cores[i] = core[:len(core)-i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := es.RecomputeMany(est, cores); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDetect(b *testing.B) {
 	g, core := benchSetup(100000)
 	est, err := EstimateFromCore(g, core, DefaultOptions())

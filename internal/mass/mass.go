@@ -12,6 +12,17 @@
 // where p = PR(v) uses the uniform random jump and p' = PR(w) uses a
 // jump restricted to the good core, scaled so that ‖w‖ = γ, the
 // estimated fraction of good nodes on the web (Section 3.5).
+//
+// All estimation runs on a pagerank.Engine; an Estimator binds the
+// engine to one graph so repeated estimations (core variants, warm
+// recomputes, γ sweeps) reuse the cached graph state, and the two
+// solves of Definition 3 share one adjacency sweep per iteration via
+// the engine's batched SolveMany.
+//
+// A solve that hits MaxIter without meeting Epsilon surfaces as a
+// pagerank.ErrNotConverged; a truncated p' can therefore never skew
+// M̃ = p − p' silently. Callers that deliberately accept truncated
+// solves opt in via Options.Solver.AllowTruncated.
 package mass
 
 import (
@@ -46,6 +57,11 @@ func DefaultOptions() Options {
 // Estimates holds the outcome of spam-mass estimation for every node.
 // All vectors are in unscaled PageRank units; use Scaled reporting
 // helpers (or pagerank.Vector.Scaled) for the paper's n/(1−c) scaling.
+//
+// Every constructor clones its inputs, so the vectors of an Estimates
+// never alias caller-owned vectors or those of another Estimates:
+// mutating one estimate in place (Vector.Scale/Add/Sub) cannot corrupt
+// its siblings.
 type Estimates struct {
 	// P is the regular PageRank vector p = PR(v).
 	P pagerank.Vector
@@ -59,6 +75,9 @@ type Estimates struct {
 	Rel pagerank.Vector
 	// Damping is the damping factor used, kept for scaled reporting.
 	Damping float64
+	// SolveStats, when the estimate came from an Estimator, holds the
+	// telemetry of the batched solve that produced P and PCore.
+	SolveStats *pagerank.SolveStats
 }
 
 // N returns the number of nodes covered by the estimates.
@@ -75,33 +94,77 @@ func (e *Estimates) ScaledAbsMass(x graph.NodeID) float64 {
 	return e.Abs[x] * float64(e.N()) / (1 - e.Damping)
 }
 
-// EstimateFromCore runs the two PageRank computations of Section 3.4
-// and derives the absolute and relative mass estimates of every node.
-func EstimateFromCore(g *graph.Graph, core []graph.NodeID, opts Options) (*Estimates, error) {
-	if err := validateCore(g, core); err != nil {
+// Estimator binds mass estimation to a reusable pagerank.Engine. Use
+// it instead of the free functions when estimating repeatedly on one
+// graph: the inverse out-degrees, dangling list, solver buffers, and
+// worker pool are built once, and batched estimations share adjacency
+// sweeps. Close releases the engine's worker pool.
+type Estimator struct {
+	g    *graph.Graph
+	eng  *pagerank.Engine
+	opts Options
+}
+
+// NewEstimator validates opts once — Gamma here, the solver settings
+// in pagerank.NewEngine — and builds the engine.
+func NewEstimator(g *graph.Graph, opts Options) (*Estimator, error) {
+	if err := validateFraction("gamma", opts.Gamma); err != nil {
 		return nil, err
 	}
-	cfg := opts.Solver
-	n := g.NumNodes()
+	eng, err := pagerank.NewEngine(g, opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	opts.Solver = eng.Config()
+	return &Estimator{g: g, eng: eng, opts: opts}, nil
+}
 
-	pRes, err := pagerank.Solve(g, pagerank.UniformJump(n), cfg)
+// Engine exposes the underlying solver engine (e.g. for custom
+// batched solves alongside estimation).
+func (es *Estimator) Engine() *pagerank.Engine { return es.eng }
+
+// Close releases the engine's worker pool.
+func (es *Estimator) Close() { es.eng.Close() }
+
+func (es *Estimator) damping() float64 { return es.opts.Solver.Damping }
+
+// coreJump builds the jump vector for a core under fraction frac:
+// ‖w‖ = frac when frac > 0, weight 1/n per core node when frac == 0.
+// Fraction ranges are validated by the Estimator constructor (γ) or
+// the blacklist entry point (β); this helper assumes a valid frac.
+func coreJump(n int, core []graph.NodeID, frac float64) pagerank.Vector {
+	if frac > 0 {
+		return pagerank.ScaledCoreJump(n, core, frac)
+	}
+	return pagerank.CoreJump(n, core, 1/float64(n))
+}
+
+func validateFraction(name string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("mass: %s %v outside [0,1]", name, v)
+	}
+	return nil
+}
+
+// EstimateFromCore runs the two PageRank computations of Section 3.4
+// as one batched solve — the p = PR(v) and p' = PR(w) sweeps share a
+// single traversal of the in-neighbor lists per iteration — and
+// derives the absolute and relative mass estimates of every node.
+func (es *Estimator) EstimateFromCore(core []graph.NodeID) (*Estimates, error) {
+	if err := validateCore(es.g, core); err != nil {
+		return nil, err
+	}
+	n := es.g.NumNodes()
+	rs, err := es.eng.SolveMany([]pagerank.Vector{
+		pagerank.UniformJump(n),
+		coreJump(n, core, es.opts.Gamma),
+	})
 	if err != nil {
-		return nil, fmt.Errorf("mass: regular PageRank: %w", err)
+		return nil, fmt.Errorf("mass: batched PageRank solves: %w", err)
 	}
-	var w pagerank.Vector
-	if opts.Gamma > 0 {
-		if opts.Gamma > 1 {
-			return nil, fmt.Errorf("mass: gamma %v outside (0,1]", opts.Gamma)
-		}
-		w = pagerank.ScaledCoreJump(n, core, opts.Gamma)
-	} else {
-		w = pagerank.CoreJump(n, core, 1/float64(n))
-	}
-	pCoreRes, err := pagerank.Solve(g, w, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("mass: core-based PageRank: %w", err)
-	}
-	return Derive(pRes.Scores, pCoreRes.Scores, damping(cfg)), nil
+	e := Derive(rs[0].Scores, rs[1].Scores, es.damping())
+	e.SolveStats = rs[0].Stats
+	return e, nil
 }
 
 // Recompute derives fresh estimates for an updated good core, reusing
@@ -109,39 +172,164 @@ func EstimateFromCore(g *graph.Graph, core []graph.NodeID, opts Options) (*Estim
 // the previous core-based vector warm-starts the new solve, so a small
 // core edit (the Section 4.4.2 anomaly fix, or incremental core growth
 // per Section 4.5) converges in a fraction of the cold iterations.
-func Recompute(g *graph.Graph, prev *Estimates, core []graph.NodeID, opts Options) (*Estimates, error) {
-	if err := validateCore(g, core); err != nil {
+func (es *Estimator) Recompute(prev *Estimates, core []graph.NodeID) (*Estimates, error) {
+	ests, err := es.RecomputeMany(prev, [][]graph.NodeID{core})
+	if err != nil {
 		return nil, err
 	}
-	if prev.N() != g.NumNodes() {
-		return nil, fmt.Errorf("mass: previous estimates cover %d nodes, graph has %d", prev.N(), g.NumNodes())
+	return ests[0], nil
+}
+
+// RecomputeMany is Recompute for several core variants at once: all
+// core-based solves are batched through one SolveMany, sharing one
+// adjacency sweep per iteration and the same warm start. This is the
+// workhorse of the core-size and coverage experiments (Section 4.5).
+func (es *Estimator) RecomputeMany(prev *Estimates, cores [][]graph.NodeID) ([]*Estimates, error) {
+	if prev.N() != es.g.NumNodes() {
+		return nil, fmt.Errorf("mass: previous estimates cover %d nodes, graph has %d", prev.N(), es.g.NumNodes())
 	}
-	cfg := opts.Solver
-	cfg.WarmStart = prev.PCore
-	n := g.NumNodes()
-	var w pagerank.Vector
-	if opts.Gamma > 0 {
-		if opts.Gamma > 1 {
-			return nil, fmt.Errorf("mass: gamma %v outside (0,1]", opts.Gamma)
+	n := es.g.NumNodes()
+	ws := make([]pagerank.Vector, len(cores))
+	for i, core := range cores {
+		if err := validateCore(es.g, core); err != nil {
+			return nil, err
 		}
-		w = pagerank.ScaledCoreJump(n, core, opts.Gamma)
-	} else {
-		w = pagerank.CoreJump(n, core, 1/float64(n))
+		ws[i] = coreJump(n, core, es.opts.Gamma)
 	}
-	res, err := pagerank.Solve(g, w, cfg)
+	cfg := es.opts.Solver
+	cfg.WarmStart = prev.PCore
+	rs, err := es.eng.SolveManyConfig(ws, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("mass: warm core-based PageRank: %w", err)
 	}
-	return Derive(prev.P, res.Scores, prev.Damping), nil
+	out := make([]*Estimates, len(rs))
+	for i, r := range rs {
+		out[i] = Derive(prev.P, r.Scores, prev.Damping)
+		out[i].SolveStats = r.Stats
+	}
+	return out, nil
+}
+
+// EstimateFromBlacklist estimates absolute mass from a known spam
+// subset Ṽ⁻ as M̂ = PR(v^{Ṽ⁻}) (Section 3.4). If beta > 0 the jump
+// vector is scaled to ‖·‖ = beta (the estimated fraction of spam
+// nodes), symmetric to the γ-scaling of the good-core estimator. The
+// regular and blacklist solves are batched into one engine sweep.
+func (es *Estimator) EstimateFromBlacklist(spamCore []graph.NodeID, beta float64) (*Estimates, error) {
+	if err := validateCore(es.g, spamCore); err != nil {
+		return nil, err
+	}
+	if err := validateFraction("beta", beta); err != nil {
+		return nil, err
+	}
+	n := es.g.NumNodes()
+	rs, err := es.eng.SolveMany([]pagerank.Vector{
+		pagerank.UniformJump(n),
+		coreJump(n, spamCore, beta),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mass: batched PageRank solves: %w", err)
+	}
+	p, mHat := rs[0].Scores, rs[1].Scores
+	e := &Estimates{
+		P:          p.Clone(),
+		PCore:      p.Clone().Sub(mHat), // good contribution q^{V⁺} = p − M̂
+		Abs:        mHat.Clone(),
+		Rel:        make(pagerank.Vector, n),
+		Damping:    es.damping(),
+		SolveStats: rs[0].Stats,
+	}
+	for x := range e.Rel {
+		if e.P[x] > 0 {
+			e.Rel[x] = e.Abs[x] / e.P[x]
+		}
+	}
+	return e, nil
+}
+
+// Exact computes the actual (not estimated) spam mass M = q^{V⁻} and
+// m = M/p, given the ground-truth set of spam nodes, via Theorem 2:
+// the contribution of V⁻ is the PageRank for the jump vector v^{V⁻}.
+// Only synthetic settings (and Table 1) have this luxury; it is the
+// reference the estimators are judged against in tests.
+func (es *Estimator) Exact(spam []graph.NodeID) (*Estimates, error) {
+	n := es.g.NumNodes()
+	v := pagerank.UniformJump(n)
+	rs, err := es.eng.SolveMany([]pagerank.Vector{v, pagerank.JumpRestriction(v, spam)})
+	if err != nil {
+		return nil, fmt.Errorf("mass: batched PageRank solves: %w", err)
+	}
+	p, q := rs[0].Scores, rs[1].Scores
+	e := &Estimates{
+		P:          p.Clone(),
+		PCore:      p.Clone().Sub(q), // good contribution q^{V⁺} = p − q^{V⁻}
+		Abs:        q.Clone(),
+		Rel:        make(pagerank.Vector, n),
+		Damping:    es.damping(),
+		SolveStats: rs[0].Stats,
+	}
+	for x := range e.Rel {
+		if e.P[x] > 0 {
+			e.Rel[x] = q[x] / e.P[x]
+		}
+	}
+	return e, nil
+}
+
+// EstimateFromCore runs the two PageRank computations of Section 3.4
+// and derives the absolute and relative mass estimates of every node.
+// It is a convenience wrapper constructing a throwaway Estimator; hold
+// an Estimator for repeated estimation on one graph.
+func EstimateFromCore(g *graph.Graph, core []graph.NodeID, opts Options) (*Estimates, error) {
+	es, err := NewEstimator(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer es.Close()
+	return es.EstimateFromCore(core)
+}
+
+// Recompute derives fresh estimates for an updated good core; see
+// Estimator.Recompute.
+func Recompute(g *graph.Graph, prev *Estimates, core []graph.NodeID, opts Options) (*Estimates, error) {
+	es, err := NewEstimator(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer es.Close()
+	return es.Recompute(prev, core)
+}
+
+// Exact computes the actual spam mass from ground truth; see
+// Estimator.Exact.
+func Exact(g *graph.Graph, spam []graph.NodeID, opts Options) (*Estimates, error) {
+	es, err := NewEstimator(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer es.Close()
+	return es.Exact(spam)
+}
+
+// EstimateFromBlacklist estimates absolute mass from a known spam
+// subset; see Estimator.EstimateFromBlacklist.
+func EstimateFromBlacklist(g *graph.Graph, spamCore []graph.NodeID, beta float64, opts Options) (*Estimates, error) {
+	es, err := NewEstimator(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer es.Close()
+	return es.EstimateFromBlacklist(spamCore, beta)
 }
 
 // Derive computes mass estimates from two already-computed PageRank
 // vectors, per Definition 3. It is useful when p is shared across many
-// core variants (e.g. the core-size experiment of Section 4.5).
+// core variants (e.g. the core-size experiment of Section 4.5). The
+// inputs are cloned: the returned Estimates owns all its vectors.
 func Derive(p, pCore pagerank.Vector, c float64) *Estimates {
 	e := &Estimates{
-		P:       p,
-		PCore:   pCore,
+		P:       p.Clone(),
+		PCore:   pCore.Clone(),
 		Abs:     p.Clone().Sub(pCore),
 		Rel:     make(pagerank.Vector, len(p)),
 		Damping: c,
@@ -152,13 +340,6 @@ func Derive(p, pCore pagerank.Vector, c float64) *Estimates {
 		}
 	}
 	return e
-}
-
-func damping(cfg pagerank.Config) float64 {
-	if cfg.Damping == 0 {
-		return 0.85
-	}
-	return cfg.Damping
 }
 
 func validateCore(g *graph.Graph, core []graph.NodeID) error {
@@ -178,106 +359,18 @@ func validateCore(g *graph.Graph, core []graph.NodeID) error {
 	return nil
 }
 
-// Exact computes the actual (not estimated) spam mass M = q^{V⁻} and
-// m = M/p, given the ground-truth set of spam nodes, via Theorem 2:
-// the contribution of V⁻ is the PageRank for the jump vector v^{V⁻}.
-// Only synthetic settings (and Table 1) have this luxury; it is the
-// reference the estimators are judged against in tests.
-func Exact(g *graph.Graph, spam []graph.NodeID, opts Options) (*Estimates, error) {
-	cfg := opts.Solver
-	n := g.NumNodes()
-	v := pagerank.UniformJump(n)
-	pRes, err := pagerank.Jacobi(g, v, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("mass: regular PageRank: %w", err)
-	}
-	q, err := pagerank.Contribution(g, spam, v, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("mass: spam contribution: %w", err)
-	}
-	e := &Estimates{
-		P:       pRes.Scores,
-		PCore:   pRes.Scores.Clone().Sub(q), // good contribution q^{V⁺} = p − q^{V⁻}
-		Abs:     q,
-		Rel:     make(pagerank.Vector, n),
-		Damping: damping(cfg),
-	}
-	for x := range e.Rel {
-		if e.P[x] > 0 {
-			e.Rel[x] = q[x] / e.P[x]
-		}
-	}
-	return e, nil
-}
-
-// EstimateFromBlacklist estimates absolute mass from a known spam
-// subset Ṽ⁻ as M̂ = PR(v^{Ṽ⁻}) (Section 3.4). If beta > 0 the jump
-// vector is scaled to ‖·‖ = beta (the estimated fraction of spam
-// nodes), symmetric to the γ-scaling of the good-core estimator.
-func EstimateFromBlacklist(g *graph.Graph, spamCore []graph.NodeID, beta float64, opts Options) (*Estimates, error) {
-	if err := validateCore(g, spamCore); err != nil {
-		return nil, err
-	}
-	cfg := opts.Solver
-	n := g.NumNodes()
-	pRes, err := pagerank.Solve(g, pagerank.UniformJump(n), cfg)
-	if err != nil {
-		return nil, fmt.Errorf("mass: regular PageRank: %w", err)
-	}
-	var v pagerank.Vector
-	if beta > 0 {
-		v = pagerank.ScaledCoreJump(n, spamCore, beta)
-	} else {
-		v = pagerank.CoreJump(n, spamCore, 1/float64(n))
-	}
-	mHat, err := pagerank.Solve(g, v, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("mass: blacklist PageRank: %w", err)
-	}
-	e := &Estimates{
-		P:       pRes.Scores,
-		PCore:   pRes.Scores.Clone().Sub(mHat.Scores),
-		Abs:     mHat.Scores,
-		Rel:     make(pagerank.Vector, n),
-		Damping: damping(cfg),
-	}
-	for x := range e.Rel {
-		if e.P[x] > 0 {
-			e.Rel[x] = e.Abs[x] / e.P[x]
-		}
-	}
-	return e, nil
-}
-
 // Combine averages a white-list estimate M̃ and a black-list estimate
 // M̂ into (M̃ + M̂)/2, the simple combination scheme of Section 3.4,
 // recomputing the relative masses from the combined absolute mass.
 func Combine(white, black *Estimates) (*Estimates, error) {
-	if white.N() != black.N() {
-		return nil, fmt.Errorf("mass: combining estimates over %d and %d nodes", white.N(), black.N())
-	}
-	n := white.N()
-	e := &Estimates{
-		P:       white.P,
-		PCore:   make(pagerank.Vector, n),
-		Abs:     make(pagerank.Vector, n),
-		Rel:     make(pagerank.Vector, n),
-		Damping: white.Damping,
-	}
-	for x := 0; x < n; x++ {
-		e.Abs[x] = (white.Abs[x] + black.Abs[x]) / 2
-		e.PCore[x] = e.P[x] - e.Abs[x]
-		if e.P[x] > 0 {
-			e.Rel[x] = e.Abs[x] / e.P[x]
-		}
-	}
-	return e, nil
+	return WeightedCombine(white, black, 0.5)
 }
 
 // WeightedCombine forms a weighted average λ·M̃ + (1−λ)·M̂, the more
 // sophisticated combination Section 3.4 suggests, where λ would depend
 // on the relative sizes of Ṽ⁺ and Ṽ⁻ with respect to the estimated
-// sizes of V⁺ and V⁻.
+// sizes of V⁺ and V⁻. The result owns its vectors: nothing is shared
+// with white or black.
 func WeightedCombine(white, black *Estimates, lambda float64) (*Estimates, error) {
 	if white.N() != black.N() {
 		return nil, fmt.Errorf("mass: combining estimates over %d and %d nodes", white.N(), black.N())
@@ -287,7 +380,7 @@ func WeightedCombine(white, black *Estimates, lambda float64) (*Estimates, error
 	}
 	n := white.N()
 	e := &Estimates{
-		P:       white.P,
+		P:       white.P.Clone(),
 		PCore:   make(pagerank.Vector, n),
 		Abs:     make(pagerank.Vector, n),
 		Rel:     make(pagerank.Vector, n),

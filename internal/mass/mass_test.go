@@ -485,3 +485,149 @@ func TestAlgorithmChoiceEquivalent(t *testing.T) {
 		t.Error("unknown algorithm accepted")
 	}
 }
+
+// TestEstimatesOwnTheirVectors is the aliasing regression test: the
+// vectors of an Estimates must never be shared with caller-owned
+// vectors or with a sibling Estimates, so in-place Vector mutation on
+// one estimate cannot corrupt another.
+func TestEstimatesOwnTheirVectors(t *testing.T) {
+	f := paperfig.NewFigure2()
+	p := pagerank.PR(f.Graph, pagerank.UniformJump(12), pagerank.DefaultConfig())
+	w := pagerank.ScaledCoreJump(12, f.GoodCore(), 0.85)
+	pCore := pagerank.PR(f.Graph, w, pagerank.DefaultConfig())
+
+	// Derive must not alias its arguments.
+	white := Derive(p, pCore, c)
+	pBefore := white.P.Clone()
+	p.Scale(100)
+	pCore.Scale(100)
+	if d := testutil.MaxAbsDiff(white.P, pBefore); d != 0 {
+		t.Errorf("Derive aliases the caller's p: mutating it moved P by %v", d)
+	}
+
+	// Recompute must not thread prev's vectors into the new estimates.
+	prev, err := EstimateFromCore(f.Graph, f.GoodCore(), Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := Recompute(f.Graph, prev, f.GoodCore()[:2], Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextP := next.P.Clone()
+	nextRel := next.Rel.Clone()
+	prev.P.Scale(3)
+	prev.PCore.Scale(3)
+	if d := testutil.MaxAbsDiff(next.P, nextP); d != 0 {
+		t.Errorf("Recompute shares P with prev: mutation moved it by %v", d)
+	}
+
+	// Combine must not alias the white estimate.
+	black, err := EstimateFromBlacklist(f.Graph, f.SpamNodes(), 0.15, Options{Solver: pagerank.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := Combine(next, black)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combAbs := comb.Abs.Clone()
+	next.P.Scale(7)
+	next.Abs.Scale(7)
+	black.Abs.Scale(7)
+	if d := testutil.MaxAbsDiff(comb.Abs, combAbs); d != 0 {
+		t.Errorf("Combine shares vectors with its inputs: mutation moved Abs by %v", d)
+	}
+	if d := testutil.MaxAbsDiff(next.Rel, nextRel); d != 0 {
+		t.Errorf("mutating sibling estimates corrupted Rel by %v", d)
+	}
+}
+
+// TestNonConvergencePropagates proves the acceptance criterion: a
+// non-converging solve cannot reach Derive without either a
+// pagerank.ErrNotConverged or an explicit AllowTruncated opt-in.
+func TestNonConvergencePropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := testutil.RandomGraph(rng, 200, 5)
+	core := []graph.NodeID{1, 2, 3}
+	tight := pagerank.Config{Damping: 0.85, Epsilon: 1e-300, MaxIter: 2}
+
+	for name, call := range map[string]func(Options) (*Estimates, error){
+		"EstimateFromCore": func(o Options) (*Estimates, error) { return EstimateFromCore(g, core, o) },
+		"EstimateFromBlacklist": func(o Options) (*Estimates, error) {
+			return EstimateFromBlacklist(g, core, 0.15, o)
+		},
+		"Exact": func(o Options) (*Estimates, error) { return Exact(g, core, o) },
+	} {
+		est, err := call(Options{Solver: tight, Gamma: 0.85})
+		if !pagerank.IsNotConverged(err) {
+			t.Errorf("%s: err = %v, want wrapped *ErrNotConverged", name, err)
+		}
+		if est != nil {
+			t.Errorf("%s: returned estimates despite non-convergence", name)
+		}
+		allow := tight
+		allow.AllowTruncated = true
+		est, err = call(Options{Solver: allow, Gamma: 0.85})
+		if err != nil {
+			t.Errorf("%s: AllowTruncated solve rejected: %v", name, err)
+		}
+		if est == nil {
+			t.Errorf("%s: AllowTruncated returned no estimates", name)
+		}
+	}
+
+	// Recompute: the warm solve must also propagate.
+	ok, err := EstimateFromCore(g, core, Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recompute(g, ok, core[:2], Options{Solver: tight, Gamma: 0.85}); !pagerank.IsNotConverged(err) {
+		t.Errorf("Recompute: err = %v, want wrapped *ErrNotConverged", err)
+	}
+}
+
+// TestEstimatorReuse checks that one Estimator serves repeated and
+// batched estimations with the same results as throwaway calls.
+func TestEstimatorReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := testutil.RandomGraph(rng, 400, 5)
+	cores := [][]graph.NodeID{{1, 2, 3, 4}, {1, 2}, {5, 9, 11}}
+	opts := Options{Solver: pagerank.DefaultConfig(), Gamma: 0.85}
+	es, err := NewEstimator(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	base, err := es.EstimateFromCore(cores[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := es.RecomputeMany(base, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, core := range cores {
+		single, err := EstimateFromCore(g, core, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := testutil.MaxAbsDiff(single.Rel, many[i].Rel); d > 1e-9 {
+			t.Errorf("core %d: batched recompute deviates from cold estimate by %v", i, d)
+		}
+	}
+}
+
+// TestGammaValidatedOnce checks the centralized range validation.
+func TestGammaValidatedOnce(t *testing.T) {
+	f := paperfig.NewFigure2()
+	if _, err := EstimateFromCore(f.Graph, f.GoodCore(), Options{Gamma: 1.5}); err == nil {
+		t.Error("gamma 1.5 accepted")
+	}
+	if _, err := NewEstimator(f.Graph, Options{Gamma: -0.1}); err == nil {
+		t.Error("gamma -0.1 accepted")
+	}
+	if _, err := EstimateFromBlacklist(f.Graph, f.SpamNodes(), 1.2, Options{}); err == nil {
+		t.Error("beta 1.2 accepted")
+	}
+}

@@ -1,0 +1,460 @@
+package pagerank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"spammass/internal/graph"
+)
+
+// parallelThreshold is the node count below which parallel sweeps cost
+// more in coordination than they save.
+const parallelThreshold = 4096
+
+// Engine is a reusable PageRank solver bound to one graph. It computes
+// the inverse out-degrees and the dangling-node list once at
+// construction instead of on every solve, keeps one persistent worker
+// pool alive across iterations and solves, and offers batched solves
+// (SolveMany) that sweep the in-neighbor lists once per iteration for
+// several jump vectors at a time.
+//
+// An Engine is safe for concurrent use; solves are serialized
+// internally. Call Close when done to release the worker pool (a
+// finalizer eventually releases it otherwise, so forgetting Close
+// cannot leak goroutines permanently).
+type Engine struct {
+	g        *graph.Graph
+	cfg      Config
+	inv      []float64      // 1/out(x), 0 for dangling nodes
+	dangling []graph.NodeID // nodes with no out-links
+
+	mu      sync.Mutex
+	pool    *workerPool
+	cur     []float64 // interleaved solve buffers, reused across solves
+	next    []float64
+	jump    []float64
+	partial []float64 // chunk-local residual accumulators
+	closed  bool
+}
+
+// NewEngine validates cfg, resolves its defaults, and precomputes the
+// per-graph solver state.
+func NewEngine(g *graph.Graph, cfg Config) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	e := &Engine{g: g, cfg: cfg, inv: make([]float64, n)}
+	for x := 0; x < n; x++ {
+		if d := g.OutDegree(graph.NodeID(x)); d > 0 {
+			e.inv[x] = 1 / float64(d)
+		} else {
+			e.dangling = append(e.dangling, graph.NodeID(x))
+		}
+	}
+	if cfg.Workers > 1 && n >= parallelThreshold {
+		e.pool = newWorkerPool(cfg.Workers)
+		runtime.SetFinalizer(e, (*Engine).Close)
+	}
+	return e, nil
+}
+
+// Graph returns the graph the engine is bound to.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Config returns the engine configuration with defaults resolved.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Close releases the worker pool. The engine must not be used after
+// Close; it is safe to call Close more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// Solve runs the engine's configured algorithm for one jump vector.
+func (e *Engine) Solve(v Vector) (*Result, error) {
+	return e.SolveConfig(v, e.cfg)
+}
+
+// SolveConfig solves with per-call overrides (warm start, epsilon,
+// algorithm, trace hook, …). The Workers setting is fixed at engine
+// construction and ignored here.
+func (e *Engine) SolveConfig(v Vector, cfg Config) (*Result, error) {
+	rs, err := e.SolveManyConfig([]Vector{v}, cfg)
+	if rs == nil {
+		return nil, err
+	}
+	return rs[0], err
+}
+
+// SolveMany solves the system once per jump vector, sharing a single
+// sweep of the in-neighbor lists per iteration across the whole batch.
+// The dominant cost of a pull sweep is traversing the adjacency, so k
+// batched solves cost far less than k sequential ones.
+//
+// The batch iterates until every vector has converged (vectors that
+// converge early keep improving); Result.Iterations reports, per
+// vector, the iteration at which that vector first met Epsilon.
+func (e *Engine) SolveMany(vs []Vector) ([]*Result, error) {
+	return e.SolveManyConfig(vs, e.cfg)
+}
+
+// SolveManyConfig is SolveMany with per-call overrides. A non-nil
+// cfg.WarmStart seeds every vector of the batch with the same initial
+// guess.
+func (e *Engine) SolveManyConfig(vs []Vector, cfg Config) ([]*Result, error) {
+	cfg = cfg.WithDefaults()
+	cfg.Workers = e.cfg.Workers
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k := len(vs)
+	if k == 0 {
+		return nil, nil
+	}
+	n := e.g.NumNodes()
+	for j, v := range vs {
+		if len(v) != n {
+			return nil, fmt.Errorf("pagerank: jump vector %d has length %d, want %d", j, len(v), n)
+		}
+		if cfg.Algorithm == AlgoPowerIteration {
+			if s := v.Sum(); s < 1-1e-9 || s > 1+1e-9 {
+				return nil, fmt.Errorf("pagerank: power iteration needs a stochastic jump vector, got ‖v‖=%v (vector %d)", s, j)
+			}
+		}
+	}
+	if cfg.WarmStart != nil && len(cfg.WarmStart) != n {
+		return nil, fmt.Errorf("pagerank: warm start has length %d, want %d", len(cfg.WarmStart), n)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("pagerank: engine is closed")
+	}
+	return e.solveBatch(vs, cfg)
+}
+
+// solveBatch runs the iteration loop. Callers hold e.mu and have
+// validated cfg and the jump vectors.
+func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
+	n, k := e.g.NumNodes(), len(vs)
+	size := n * k
+	e.jump = growBuf(e.jump, size)
+	e.cur = growBuf(e.cur, size)
+	e.next = growBuf(e.next, size)
+	jump, cur, next := e.jump, e.cur, e.next
+	for j, v := range vs {
+		for i := 0; i < n; i++ {
+			jump[i*k+j] = v[i]
+		}
+	}
+	if cfg.WarmStart != nil {
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				cur[i*k+j] = cfg.WarmStart[i]
+			}
+		}
+	} else {
+		copy(cur, jump)
+	}
+
+	workers := 1
+	if e.pool != nil && n >= parallelThreshold {
+		workers = e.pool.workers
+	}
+	e.partial = growBuf(e.partial, workers*k)
+
+	start := time.Now()
+	stats := &SolveStats{Algorithm: cfg.Algorithm, Batch: k, Workers: workers}
+	m := e.g.NumEdges()
+	c := cfg.Damping
+	resid := make([]float64, k)     // per-vector residual of the last iteration
+	jumpCoef := make([]float64, k)  // per-vector jump coefficient of the sweep
+	dsum := make([]float64, k)      // per-vector dangling mass (power iteration)
+	firstIter := make([]int, k)     // iteration at which each vector first converged
+	converged := make([]bool, k)
+
+	for it := 1; it <= cfg.MaxIter; it++ {
+		for j := 0; j < k; j++ {
+			jumpCoef[j] = 1 - c
+		}
+		if cfg.Algorithm == AlgoPowerIteration {
+			// Reinject the random-walk mass lost at dangling nodes as
+			// c·dᵀp·v, folded into the sweep's jump coefficient.
+			for j := range dsum {
+				dsum[j] = 0
+			}
+			for _, d := range e.dangling {
+				base := int(d) * k
+				for j := 0; j < k; j++ {
+					dsum[j] += cur[base+j]
+				}
+			}
+			for j := 0; j < k; j++ {
+				jumpCoef[j] += c * dsum[j]
+			}
+		}
+
+		switch cfg.Algorithm {
+		case AlgoGaussSeidel:
+			e.sweepGaussSeidel(cur, jump, k, c, resid)
+		default: // Jacobi and power iteration: out-of-place pull sweep
+			e.sweepPull(cur, next, jump, jumpCoef, k, c, workers, resid)
+			cur, next = next, cur
+		}
+
+		stats.Iterations = it
+		stats.EdgesSwept += m
+		maxRes := 0.0
+		for j := 0; j < k; j++ {
+			if resid[j] > maxRes {
+				maxRes = resid[j]
+			}
+			if !converged[j] && resid[j] < cfg.Epsilon {
+				converged[j] = true
+				firstIter[j] = it
+			}
+		}
+		stats.Residuals = append(stats.Residuals, maxRes)
+		if cfg.Trace != nil {
+			cfg.Trace(TraceEvent{
+				Algorithm: cfg.Algorithm,
+				Batch:     k,
+				Iteration: it,
+				Residual:  maxRes,
+				Elapsed:   time.Since(start),
+			})
+		}
+		if maxRes < cfg.Epsilon {
+			break
+		}
+	}
+	stats.WallTime = time.Since(start)
+	if secs := stats.WallTime.Seconds(); secs > 0 {
+		stats.EdgesPerSecond = float64(stats.EdgesSwept) / secs
+	}
+	// The swap leaves the freshest iterate in cur; remember it for the
+	// next solve's buffer reuse.
+	e.cur, e.next = cur, next
+
+	results := make([]*Result, k)
+	for j := 0; j < k; j++ {
+		scores := make(Vector, n)
+		for i := 0; i < n; i++ {
+			scores[i] = cur[i*k+j]
+		}
+		iters := firstIter[j]
+		if iters == 0 {
+			iters = stats.Iterations
+		}
+		results[j] = &Result{
+			Scores:     scores,
+			Iterations: iters,
+			Residual:   resid[j],
+			Converged:  converged[j],
+			Stats:      stats,
+		}
+	}
+	if !cfg.AllowTruncated {
+		worst := -1
+		for j := 0; j < k; j++ {
+			if !converged[j] && (worst < 0 || resid[j] > resid[worst]) {
+				worst = j
+			}
+		}
+		if worst >= 0 {
+			return results, &ErrNotConverged{
+				Algorithm:  cfg.Algorithm,
+				Iterations: stats.Iterations,
+				Residual:   resid[worst],
+				Epsilon:    cfg.Epsilon,
+				Column:     worst,
+			}
+		}
+	}
+	return results, nil
+}
+
+// sweepPull computes next ← c·Tᵀcur + jumpCoef·v for every vector of
+// the batch with one pass over the in-neighbor lists, and accumulates
+// the per-vector L1 residual ‖next − cur‖₁ into resid. Pull-style
+// sweeps write each next[y] from exactly one goroutine, so no locking
+// is needed.
+func (e *Engine) sweepPull(cur, next, jump, jumpCoef []float64, k int, c float64, workers int, resid []float64) {
+	n := e.g.NumNodes()
+	if workers <= 1 {
+		for j := 0; j < k; j++ {
+			resid[j] = 0
+		}
+		e.pullRange(cur, next, jump, jumpCoef, k, c, 0, n, resid)
+		return
+	}
+	partial := e.partial[:workers*k]
+	for i := range partial {
+		partial[i] = 0
+	}
+	e.pool.run(n, func(chunk, lo, hi int) {
+		e.pullRange(cur, next, jump, jumpCoef, k, c, lo, hi, partial[chunk*k:(chunk+1)*k])
+	})
+	for j := 0; j < k; j++ {
+		resid[j] = 0
+		for w := 0; w < workers; w++ {
+			resid[j] += partial[w*k+j]
+		}
+	}
+}
+
+// pullRange is the sweep kernel over nodes [lo, hi); acc accumulates
+// the per-vector L1 residual of the range.
+func (e *Engine) pullRange(cur, next, jump, jumpCoef []float64, k int, c float64, lo, hi int, acc []float64) {
+	g, inv := e.g, e.inv
+	if k == 1 {
+		// Scalar fast path: identical memory behavior to a classic
+		// single-vector sweep, with the residual fused in.
+		coef, a := jumpCoef[0], acc[0]
+		for y := lo; y < hi; y++ {
+			sum := 0.0
+			for _, x := range g.InNeighbors(graph.NodeID(y)) {
+				sum += cur[x] * inv[x]
+			}
+			nv := c*sum + coef*jump[y]
+			next[y] = nv
+			d := nv - cur[y]
+			if d < 0 {
+				d = -d
+			}
+			a += d
+		}
+		acc[0] = a
+		return
+	}
+	if k == 2 {
+		// Two-column fast path: EstimateFromCore's (p, p') pair is the
+		// most common batch. Keeping both running sums in registers
+		// makes the shared sweep cost barely more than a scalar one.
+		coef0, coef1 := jumpCoef[0], jumpCoef[1]
+		a0, a1 := acc[0], acc[1]
+		for y := lo; y < hi; y++ {
+			sum0, sum1 := 0.0, 0.0
+			for _, x := range g.InNeighbors(graph.NodeID(y)) {
+				w := inv[x]
+				base := int(x) * 2
+				sum0 += cur[base] * w
+				sum1 += cur[base+1] * w
+			}
+			base := y * 2
+			nv0 := c*sum0 + coef0*jump[base]
+			nv1 := c*sum1 + coef1*jump[base+1]
+			next[base] = nv0
+			next[base+1] = nv1
+			d0 := nv0 - cur[base]
+			if d0 < 0 {
+				d0 = -d0
+			}
+			d1 := nv1 - cur[base+1]
+			if d1 < 0 {
+				d1 = -d1
+			}
+			a0 += d0
+			a1 += d1
+		}
+		acc[0], acc[1] = a0, a1
+		return
+	}
+	sums := make([]float64, k)
+	for y := lo; y < hi; y++ {
+		for j := range sums {
+			sums[j] = 0
+		}
+		for _, x := range g.InNeighbors(graph.NodeID(y)) {
+			w := inv[x]
+			base := int(x) * k
+			for j := 0; j < k; j++ {
+				sums[j] += cur[base+j] * w
+			}
+		}
+		base := y * k
+		for j := 0; j < k; j++ {
+			nv := c*sums[j] + jumpCoef[j]*jump[base+j]
+			next[base+j] = nv
+			d := nv - cur[base+j]
+			if d < 0 {
+				d = -d
+			}
+			acc[j] += d
+		}
+	}
+}
+
+// sweepGaussSeidel runs one in-place sweep per vector of the batch,
+// using already-updated scores within the iteration. It is inherently
+// sequential but still shares the single adjacency traversal.
+func (e *Engine) sweepGaussSeidel(p, jump []float64, k int, c float64, resid []float64) {
+	g, inv := e.g, e.inv
+	n := g.NumNodes()
+	oneMinusC := 1 - c
+	for j := 0; j < k; j++ {
+		resid[j] = 0
+	}
+	if k == 1 {
+		delta := 0.0
+		for y := 0; y < n; y++ {
+			sum := 0.0
+			for _, x := range g.InNeighbors(graph.NodeID(y)) {
+				sum += p[x] * inv[x]
+			}
+			nv := c*sum + oneMinusC*jump[y]
+			d := nv - p[y]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+			p[y] = nv
+		}
+		resid[0] = delta
+		return
+	}
+	sums := make([]float64, k)
+	for y := 0; y < n; y++ {
+		for j := range sums {
+			sums[j] = 0
+		}
+		for _, x := range g.InNeighbors(graph.NodeID(y)) {
+			w := inv[x]
+			base := int(x) * k
+			for j := 0; j < k; j++ {
+				sums[j] += p[base+j] * w
+			}
+		}
+		base := y * k
+		for j := 0; j < k; j++ {
+			nv := c*sums[j] + oneMinusC*jump[base+j]
+			d := nv - p[base+j]
+			if d < 0 {
+				d = -d
+			}
+			resid[j] += d
+			p[base+j] = nv
+		}
+	}
+}
+
+func growBuf(buf []float64, size int) []float64 {
+	if cap(buf) < size {
+		return make([]float64, size)
+	}
+	return buf[:size]
+}

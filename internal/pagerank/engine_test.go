@@ -1,0 +1,348 @@
+package pagerank
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/testutil"
+)
+
+// danglingHeavyGraph builds a random graph where roughly a third of the
+// nodes have no out-links, stressing the dangling-mass handling that
+// distinguishes the linear solvers from the power iteration.
+func danglingHeavyGraph(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for x := 0; x < n; x++ {
+		if x%3 == 0 {
+			continue // dangling
+		}
+		deg := 1 + rng.Intn(5)
+		for i := 0; i < deg; i++ {
+			y := graph.NodeID(rng.Intn(n))
+			b.AddEdge(graph.NodeID(x), y)
+		}
+	}
+	return b.Build()
+}
+
+func TestEngineMatchesFreeFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := testutil.RandomGraph(rng, 600, 5)
+	v := UniformJump(g.NumNodes())
+	eng, err := NewEngine(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, algo := range []Algorithm{AlgoJacobi, AlgoGaussSeidel, AlgoPowerIteration} {
+		cfg := DefaultConfig()
+		cfg.Algorithm = algo
+		want, err := Solve(g, v, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		got, err := eng.SolveConfig(v, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if d := testutil.MaxAbsDiff(want.Scores, got.Scores); d > 1e-12 {
+			t.Errorf("%v: engine and free function differ by %v", algo, d)
+		}
+		if got.Stats == nil || got.Stats.Iterations == 0 || got.Stats.EdgesSwept == 0 {
+			t.Errorf("%v: missing solve stats: %+v", algo, got.Stats)
+		}
+	}
+}
+
+func TestEngineNotConvergedError(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 0}, {2, 0}})
+	eng, err := NewEngine(g, Config{Damping: 0.85, Epsilon: 1e-300, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Solve(UniformJump(3))
+	if !IsNotConverged(err) {
+		t.Fatalf("err = %v, want *ErrNotConverged", err)
+	}
+	if res == nil || res.Converged {
+		t.Fatalf("want truncated result alongside the error, got %+v", res)
+	}
+	// The same solve with AllowTruncated is accepted.
+	cfg := eng.Config()
+	cfg.AllowTruncated = true
+	if _, err := eng.SolveConfig(UniformJump(3), cfg); err != nil {
+		t.Fatalf("AllowTruncated solve: %v", err)
+	}
+}
+
+// TestWarmStartFixpointEquivalence checks that a warm-started solve
+// reaches the same fixpoint as a cold one, in no more iterations.
+func TestWarmStartFixpointEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := testutil.RandomGraph(rng, 800, 6)
+	n := g.NumNodes()
+	eng, err := NewEngine(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	core := []graph.NodeID{1, 5, 9, 40, 77}
+	w := ScaledCoreJump(n, core, 0.85)
+	cold, err := eng.Solve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-start a slightly perturbed system from the cold solution.
+	w2 := ScaledCoreJump(n, append([]graph.NodeID{300}, core...), 0.85)
+	cold2, err := eng.Solve(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := eng.Config()
+	cfg.WarmStart = cold.Scores
+	warm2, err := eng.SolveConfig(w2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := testutil.MaxAbsDiff(cold2.Scores, warm2.Scores); d > 1e-10 {
+		t.Errorf("warm and cold solves disagree by %v", d)
+	}
+	if warm2.Iterations > cold2.Iterations {
+		t.Errorf("warm start took %d iterations, cold %d", warm2.Iterations, cold2.Iterations)
+	}
+}
+
+// TestSolveManyMatchesSequential checks the batched sweep against
+// one-at-a-time solves for every algorithm.
+func TestSolveManyMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := danglingHeavyGraph(rng, 700)
+	n := g.NumNodes()
+	core := []graph.NodeID{2, 17, 101, 333}
+	vs := []Vector{
+		UniformJump(n),
+		ScaledCoreJump(n, core, 0.85),
+		ScaledCoreJump(n, core[:2], 0.4),
+	}
+	for _, algo := range []Algorithm{AlgoJacobi, AlgoGaussSeidel} {
+		cfg := DefaultConfig()
+		cfg.Algorithm = algo
+		eng, err := NewEngine(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := eng.SolveMany(vs)
+		if err != nil {
+			t.Fatalf("%v: SolveMany: %v", algo, err)
+		}
+		if len(batch) != len(vs) {
+			t.Fatalf("%v: got %d results for %d vectors", algo, len(batch), len(vs))
+		}
+		for j, v := range vs {
+			single, err := eng.Solve(v)
+			if err != nil {
+				t.Fatalf("%v: vector %d: %v", algo, j, err)
+			}
+			// The batch keeps iterating until the slowest vector
+			// converges, so batched results are at least as converged
+			// as sequential ones: agreement within a few epsilon.
+			if d := testutil.MaxAbsDiff(single.Scores, batch[j].Scores); d > 1e-11 {
+				t.Errorf("%v: vector %d: batched and sequential differ by %v", algo, j, d)
+			}
+			if !batch[j].Converged {
+				t.Errorf("%v: vector %d not converged in batch", algo, j)
+			}
+		}
+		if batch[0].Stats != batch[1].Stats {
+			t.Errorf("%v: batch results should share one SolveStats", algo)
+		}
+		if batch[0].Stats.Batch != len(vs) {
+			t.Errorf("%v: Stats.Batch = %d, want %d", algo, batch[0].Stats.Batch, len(vs))
+		}
+		eng.Close()
+	}
+}
+
+// TestPowerIterationVsJacobiDangling reconciles the eigenvector and
+// linear formulations on a dangling-heavy graph, where the two differ
+// exactly by the reinjected dangling mass (a rescaling).
+func TestPowerIterationVsJacobiDangling(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 5; trial++ {
+		g := danglingHeavyGraph(rng, 200+rng.Intn(400))
+		v := UniformJump(g.NumNodes())
+		eng, err := NewEngine(g, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, err := eng.Solve(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := eng.Config()
+		cfg.Algorithm = AlgoPowerIteration
+		pw, err := eng.SolveConfig(v, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := testutil.MaxAbsDiff(ja.Scores.Normalized(), pw.Scores.Normalized()); d > 1e-8 {
+			t.Errorf("trial %d: normalized Jacobi vs power iteration differ by %v", trial, d)
+		}
+		eng.Close()
+	}
+}
+
+// TestSolveManyPowerIteration batches stochastic jump vectors through
+// the eigenvector solver.
+func TestSolveManyPowerIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := danglingHeavyGraph(rng, 500)
+	n := g.NumNodes()
+	cfg := DefaultConfig()
+	cfg.Algorithm = AlgoPowerIteration
+	eng, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	v2 := make(Vector, n)
+	for i := range v2 {
+		v2[i] = 1 / float64(n)
+	}
+	batch, err := eng.SolveMany([]Vector{UniformJump(n), v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, res := range batch {
+		single, err := eng.Solve([]Vector{UniformJump(n), v2}[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := testutil.MaxAbsDiff(single.Scores, res.Scores); d > 1e-11 {
+			t.Errorf("vector %d: batched power iteration differs by %v", j, d)
+		}
+	}
+}
+
+// TestEngineParallelMatchesSequential exercises the worker pool on a
+// graph above the parallel threshold (also the -race regression test
+// for the pool).
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomGraph(rng, 6000, 6)
+	v := UniformJump(g.NumNodes())
+	seq, err := Jacobi(g, v, Config{Damping: 0.85, Epsilon: 1e-12, MaxIter: 500, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(g, Config{Damping: 0.85, Epsilon: 1e-12, MaxIter: 500, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for round := 0; round < 3; round++ { // pool reuse across solves
+		par, err := eng.Solve(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := testutil.MaxAbsDiff(seq.Scores, par.Scores); d > 1e-12 {
+			t.Errorf("round %d: parallel and sequential Jacobi differ by %v", round, d)
+		}
+	}
+	batch, err := eng.SolveMany([]Vector{v, v.Clone().Scale(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := testutil.MaxAbsDiff(seq.Scores, batch[0].Scores); d > 1e-12 {
+		t.Errorf("parallel batched Jacobi differs by %v", d)
+	}
+}
+
+// TestEngineConcurrentSolves hammers one engine from several
+// goroutines; solves serialize internally (run with -race).
+func TestEngineConcurrentSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := testutil.RandomGraph(rng, 5000, 4)
+	v := UniformJump(g.NumNodes())
+	eng, err := NewEngine(g, Config{Damping: 0.85, Epsilon: 1e-10, MaxIter: 300, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	want, err := eng.Solve(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := eng.Solve(v)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if d := testutil.MaxAbsDiff(want.Scores, res.Scores); d > 1e-12 {
+				t.Errorf("concurrent solve differs by %v", d)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestEngineClosedRejectsSolves(t *testing.T) {
+	g := graph.FromEdges(2, [][2]graph.NodeID{{0, 1}})
+	eng, err := NewEngine(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.Solve(UniformJump(2)); err == nil {
+		t.Error("closed engine accepted a solve")
+	}
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	g := graph.FromEdges(2, [][2]graph.NodeID{{0, 1}})
+	eng, err := NewEngine(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rs, err := eng.SolveMany(nil)
+	if err != nil || rs != nil {
+		t.Errorf("empty batch: got (%v, %v), want (nil, nil)", rs, err)
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := testutil.RandomGraph(rng, 300, 4)
+	var events []TraceEvent
+	cfg := DefaultConfig()
+	cfg.Trace = func(ev TraceEvent) { events = append(events, ev) }
+	res, err := Jacobi(g, UniformJump(g.NumNodes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Stats.Iterations {
+		t.Fatalf("trace saw %d events for %d iterations", len(events), res.Stats.Iterations)
+	}
+	for i, ev := range events {
+		if ev.Iteration != i+1 {
+			t.Errorf("event %d has Iteration %d", i, ev.Iteration)
+		}
+		if ev.Residual != res.Stats.Residuals[i] {
+			t.Errorf("event %d residual %v != stats residual %v", i, ev.Residual, res.Stats.Residuals[i])
+		}
+	}
+	if last := events[len(events)-1]; last.Residual >= cfg.Epsilon {
+		t.Errorf("final traced residual %v not below epsilon", last.Residual)
+	}
+}

@@ -1,0 +1,61 @@
+package pagerank
+
+import "sync"
+
+// workerPool is a persistent pool of goroutines executing
+// range-partitioned sweeps. The solvers reuse one pool across
+// iterations and across solves, instead of spawning a fresh set of
+// goroutines for every iteration (up to MaxIter × Workers spawns per
+// solve in the old scheme).
+type workerPool struct {
+	workers int
+	tasks   chan poolTask
+	exited  sync.WaitGroup
+}
+
+type poolTask struct {
+	fn     func(chunk, lo, hi int)
+	chunk  int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers, tasks: make(chan poolTask, workers)}
+	p.exited.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.exited.Done()
+			for t := range p.tasks {
+				t.fn(t.chunk, t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run partitions [0, n) into one contiguous chunk per worker and blocks
+// until every chunk has been processed. fn receives the chunk index so
+// callers can keep chunk-local accumulators without locking.
+func (p *workerPool) run(n int, fn func(chunk, lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + p.workers - 1) / p.workers
+	ci := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.tasks <- poolTask{fn: fn, chunk: ci, lo: lo, hi: hi, wg: &wg}
+		ci++
+	}
+	wg.Wait()
+}
+
+// close shuts the pool down and waits for the workers to exit.
+func (p *workerPool) close() {
+	close(p.tasks)
+	p.exited.Wait()
+}

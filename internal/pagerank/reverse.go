@@ -25,7 +25,7 @@ import (
 // contribution q_x^y of y to the single node x, under jump vector v.
 // By Theorem 1, the entries sum to p_x.
 func ContributionTo(g *graph.Graph, x graph.NodeID, v Vector, cfg Config) (Vector, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -3,7 +3,6 @@ package pagerank
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"spammass/internal/graph"
 )
@@ -26,10 +25,18 @@ type Config struct {
 	// when the jump vector changes only slightly — e.g. re-estimating
 	// after a Section 4.4.2 core fix.
 	WarmStart Vector
-	// Algorithm selects the linear solver: AlgoJacobi (default) or
-	// AlgoGaussSeidel. Both reach the same fixpoint; Gauss-Seidel
+	// Algorithm selects the linear solver: AlgoJacobi (default),
+	// AlgoGaussSeidel, or AlgoPowerIteration. All reach the same
+	// fixpoint (the eigenvector one up to rescaling); Gauss-Seidel
 	// usually needs ~40% fewer iterations but cannot be parallelized.
 	Algorithm Algorithm
+	// AllowTruncated accepts solves that hit MaxIter without meeting
+	// Epsilon: the Result is returned with Converged == false and a
+	// nil error. By default such solves surface as *ErrNotConverged so
+	// a truncated vector can never be consumed silently.
+	AllowTruncated bool
+	// Trace, if non-nil, receives one TraceEvent per solver iteration.
+	Trace TraceFunc
 }
 
 // Algorithm names a linear PageRank solver.
@@ -39,7 +46,20 @@ type Algorithm int
 const (
 	AlgoJacobi Algorithm = iota
 	AlgoGaussSeidel
+	AlgoPowerIteration
 )
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoJacobi:
+		return "jacobi"
+	case AlgoGaussSeidel:
+		return "gauss-seidel"
+	case AlgoPowerIteration:
+		return "power-iteration"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
 
 // DefaultConfig returns the configuration used in the paper's
 // experiments: c = 0.85, with a convergence bound tight enough that
@@ -48,7 +68,11 @@ func DefaultConfig() Config {
 	return Config{Damping: 0.85, Epsilon: 1e-12, MaxIter: 1000}
 }
 
-func (cfg Config) withDefaults() Config {
+// WithDefaults returns cfg with zero values replaced by the defaults.
+// It is the single place default resolution happens; higher layers
+// (mass estimation, the out-of-core solver) use it rather than
+// duplicating the zero-handling.
+func (cfg Config) WithDefaults() Config {
 	if cfg.Damping == 0 {
 		cfg.Damping = 0.85
 	}
@@ -71,6 +95,14 @@ func (cfg Config) validate() error {
 	if cfg.Epsilon <= 0 {
 		return fmt.Errorf("pagerank: epsilon %v must be positive", cfg.Epsilon)
 	}
+	if cfg.MaxIter <= 0 {
+		return fmt.Errorf("pagerank: MaxIter %d must be positive", cfg.MaxIter)
+	}
+	switch cfg.Algorithm {
+	case AlgoJacobi, AlgoGaussSeidel, AlgoPowerIteration:
+	default:
+		return fmt.Errorf("pagerank: unknown algorithm %d", int(cfg.Algorithm))
+	}
 	return nil
 }
 
@@ -81,113 +113,33 @@ type Result struct {
 	// Residual is ‖p[i] − p[i−1]‖₁ at the final iteration.
 	Residual float64
 	// Converged reports whether Residual < Epsilon within MaxIter.
+	// Unless Config.AllowTruncated is set, a Result with Converged ==
+	// false is always accompanied by an *ErrNotConverged.
 	Converged bool
+	// Stats holds the solve telemetry. Results of one SolveMany batch
+	// share the same *SolveStats.
+	Stats *SolveStats
 }
 
-// invOutDegree precomputes 1/out(x) for every node (0 for dangling
-// nodes, whose rows of T are all zero in the linear formulation).
-func invOutDegree(g *graph.Graph) []float64 {
-	inv := make([]float64, g.NumNodes())
-	for x := range inv {
-		if d := g.OutDegree(graph.NodeID(x)); d > 0 {
-			inv[x] = 1 / float64(d)
-		}
+// solveOnce builds a throwaway engine for one solve. The engine free
+// functions below are thin compatibility wrappers over Engine; code
+// performing repeated solves on one graph should hold an Engine (or a
+// mass.Estimator) instead to reuse the cached graph state and pool.
+func solveOnce(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
+	eng, err := NewEngine(g, cfg)
+	if err != nil {
+		return nil, err
 	}
-	return inv
+	defer eng.Close()
+	return eng.Solve(v)
 }
 
 // Jacobi solves (I − cTᵀ)p = (1−c)v with the Jacobi iteration of
 // Algorithm 1: p[i] ← cTᵀp[i−1] + (1−c)v, starting from p[0] = v.
 // The jump vector v may be non-uniform and unnormalized.
 func Jacobi(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	n := g.NumNodes()
-	if len(v) != n {
-		return nil, fmt.Errorf("pagerank: jump vector has length %d, want %d", len(v), n)
-	}
-	inv := invOutDegree(g)
-	c := cfg.Damping
-	cur := v.Clone()
-	if cfg.WarmStart != nil {
-		if len(cfg.WarmStart) != n {
-			return nil, fmt.Errorf("pagerank: warm start has length %d, want %d", len(cfg.WarmStart), n)
-		}
-		cur = cfg.WarmStart.Clone()
-	}
-	next := make(Vector, n)
-	res := &Result{}
-	for res.Iterations = 1; res.Iterations <= cfg.MaxIter; res.Iterations++ {
-		parallelPull(g, inv, cur, next, c, v, cfg.Workers)
-		res.Residual = next.Diff1(cur)
-		cur, next = next, cur
-		if res.Residual < cfg.Epsilon {
-			res.Converged = true
-			break
-		}
-	}
-	if res.Iterations > cfg.MaxIter {
-		res.Iterations = cfg.MaxIter
-	}
-	res.Scores = cur
-	return res, nil
-}
-
-// parallelPull computes next ← c·Tᵀcur + (1−c)·v with a pull-style
-// sweep over in-neighbor lists, partitioned across workers. Pull-style
-// sweeps write each next[y] from exactly one goroutine, so no locking
-// is needed.
-func parallelPull(g *graph.Graph, inv []float64, cur, next Vector, c float64, v Vector, workers int) {
-	n := g.NumNodes()
-	if workers <= 1 || n < 4096 {
-		pullRange(g, inv, cur, next, c, v, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			pullRange(g, inv, cur, next, c, v, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-func pullRange(g *graph.Graph, inv []float64, cur, next Vector, c float64, v Vector, lo, hi int) {
-	oneMinusC := 1 - c
-	for y := lo; y < hi; y++ {
-		sum := 0.0
-		for _, x := range g.InNeighbors(graph.NodeID(y)) {
-			sum += cur[x] * inv[x]
-		}
-		next[y] = c*sum + oneMinusC*v[y]
-	}
-}
-
-// Solve dispatches to the configured linear solver. It is what the
-// higher layers (mass estimation, TrustRank) call, so the algorithm
-// choice is a single configuration knob.
-func Solve(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
-	switch cfg.Algorithm {
-	case AlgoJacobi:
-		return Jacobi(g, v, cfg)
-	case AlgoGaussSeidel:
-		return GaussSeidel(g, v, cfg)
-	default:
-		return nil, fmt.Errorf("pagerank: unknown algorithm %d", cfg.Algorithm)
-	}
+	cfg.Algorithm = AlgoJacobi
+	return solveOnce(g, v, cfg)
 }
 
 // GaussSeidel solves the same linear system with in-place sweeps, which
@@ -195,50 +147,8 @@ func Solve(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
 // in fewer iterations than Jacobi (Section 2.2 notes linear solvers such
 // as Jacobi or Gauss-Seidel are regularly faster than eigensolvers).
 func GaussSeidel(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	n := g.NumNodes()
-	if len(v) != n {
-		return nil, fmt.Errorf("pagerank: jump vector has length %d, want %d", len(v), n)
-	}
-	inv := invOutDegree(g)
-	c := cfg.Damping
-	p := v.Clone()
-	if cfg.WarmStart != nil {
-		if len(cfg.WarmStart) != n {
-			return nil, fmt.Errorf("pagerank: warm start has length %d, want %d", len(cfg.WarmStart), n)
-		}
-		p = cfg.WarmStart.Clone()
-	}
-	res := &Result{}
-	for res.Iterations = 1; res.Iterations <= cfg.MaxIter; res.Iterations++ {
-		delta := 0.0
-		for y := 0; y < n; y++ {
-			sum := 0.0
-			for _, x := range g.InNeighbors(graph.NodeID(y)) {
-				sum += p[x] * inv[x]
-			}
-			newVal := c*sum + (1-c)*v[y]
-			d := newVal - p[y]
-			if d < 0 {
-				d = -d
-			}
-			delta += d
-			p[y] = newVal
-		}
-		res.Residual = delta
-		if delta < cfg.Epsilon {
-			res.Converged = true
-			break
-		}
-	}
-	if res.Iterations > cfg.MaxIter {
-		res.Iterations = cfg.MaxIter
-	}
-	res.Scores = p
-	return res, nil
+	cfg.Algorithm = AlgoGaussSeidel
+	return solveOnce(g, v, cfg)
 }
 
 // PowerIteration computes the stationary distribution of the augmented
@@ -247,54 +157,21 @@ func GaussSeidel(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
 // distribution (‖v‖₁ = 1). The paper shows this eigenvector equals the
 // linear-system solution up to rescaling; tests reconcile the two.
 func PowerIteration(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	n := g.NumNodes()
-	if len(v) != n {
-		return nil, fmt.Errorf("pagerank: jump vector has length %d, want %d", len(v), n)
-	}
-	if s := v.Sum(); s < 1-1e-9 || s > 1+1e-9 {
-		return nil, fmt.Errorf("pagerank: power iteration needs a stochastic jump vector, got ‖v‖=%v", s)
-	}
-	inv := invOutDegree(g)
-	c := cfg.Damping
-	cur := v.Clone()
-	next := make(Vector, n)
-	res := &Result{}
-	for res.Iterations = 1; res.Iterations <= cfg.MaxIter; res.Iterations++ {
-		dangling := 0.0
-		for x := 0; x < n; x++ {
-			if inv[x] == 0 {
-				dangling += cur[x]
-			}
-		}
-		parallelPull(g, inv, cur, next, c, v, cfg.Workers)
-		// Add the dangling-node virtual links (c·v·dᵀp) and fold the
-		// teleportation already applied by parallelPull from (1−c)v
-		// into the correct (c·dangling + 1−c)·v total.
-		extra := c * dangling
-		for y := 0; y < n; y++ {
-			next[y] += extra * v[y]
-		}
-		res.Residual = next.Diff1(cur)
-		cur, next = next, cur
-		if res.Residual < cfg.Epsilon {
-			res.Converged = true
-			break
-		}
-	}
-	if res.Iterations > cfg.MaxIter {
-		res.Iterations = cfg.MaxIter
-	}
-	res.Scores = cur
-	return res, nil
+	cfg.Algorithm = AlgoPowerIteration
+	return solveOnce(g, v, cfg)
+}
+
+// Solve dispatches to the configured linear solver. It is what the
+// higher layers (mass estimation, TrustRank) call, so the algorithm
+// choice is a single configuration knob.
+func Solve(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
+	return solveOnce(g, v, cfg)
 }
 
 // PR solves the linear PageRank system for jump vector v with the
 // Jacobi method and returns the (possibly unnormalized) score vector.
-// It panics on invalid configuration; use Jacobi for error handling.
+// It panics on invalid configuration or on a non-converged solve; use
+// Jacobi (optionally with Config.AllowTruncated) for error handling.
 // This is the p = PR(v) notation of the paper.
 func PR(g *graph.Graph, v Vector, cfg Config) Vector {
 	res, err := Jacobi(g, v, cfg)

@@ -1,6 +1,7 @@
 package pagerank
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -182,9 +183,26 @@ func TestConfigValidation(t *testing.T) {
 func TestMaxIterCap(t *testing.T) {
 	// An asymmetric cyclic graph (the uniform vector is NOT its
 	// fixpoint) with an absurdly tight epsilon and 3 iterations must
-	// report non-convergence.
+	// report non-convergence: as a typed error by default, and as a
+	// truncated Result under AllowTruncated.
 	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 0}, {2, 0}})
-	res, err := Jacobi(g, UniformJump(3), Config{Damping: 0.85, Epsilon: 1e-300, MaxIter: 3})
+	cfg := Config{Damping: 0.85, Epsilon: 1e-300, MaxIter: 3}
+
+	res, err := Jacobi(g, UniformJump(3), cfg)
+	if !IsNotConverged(err) {
+		t.Fatalf("err = %v, want *ErrNotConverged", err)
+	}
+	var nc *ErrNotConverged
+	errors.As(err, &nc)
+	if nc.Iterations != 3 || nc.Residual <= 0 {
+		t.Errorf("ErrNotConverged carries iterations=%d residual=%v", nc.Iterations, nc.Residual)
+	}
+	if res == nil || res.Converged {
+		t.Fatalf("truncated result should still be returned for diagnostics, got %+v", res)
+	}
+
+	cfg.AllowTruncated = true
+	res, err = Jacobi(g, UniformJump(3), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +210,7 @@ func TestMaxIterCap(t *testing.T) {
 		t.Error("reported convergence under an unreachable epsilon")
 	}
 	if res.Iterations != 3 {
-		t.Errorf("Iterations = %d, want capped at 3", res.Iterations)
+		t.Errorf("Iterations = %d, want exactly the 3 executed sweeps", res.Iterations)
 	}
 }
 

@@ -1,0 +1,83 @@
+package pagerank
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNotConverged reports a solve that exhausted MaxIter with the L1
+// residual still at or above Epsilon. Solvers return it together with
+// the truncated *Result so callers can still inspect the partial
+// scores and diagnostics; setting Config.AllowTruncated accepts such
+// results without error instead.
+type ErrNotConverged struct {
+	Algorithm  Algorithm
+	Iterations int
+	Residual   float64
+	Epsilon    float64
+	// Column is the index of the worst non-converged jump vector
+	// within a SolveMany batch; it is 0 for single solves.
+	Column int
+}
+
+func (e *ErrNotConverged) Error() string {
+	return fmt.Sprintf("pagerank: %s did not converge: residual %.3e ≥ epsilon %.3e after %d iterations",
+		e.Algorithm, e.Residual, e.Epsilon, e.Iterations)
+}
+
+// IsNotConverged reports whether err is (or wraps) an *ErrNotConverged.
+func IsNotConverged(err error) bool {
+	var nc *ErrNotConverged
+	return errors.As(err, &nc)
+}
+
+// TraceEvent is one per-iteration telemetry sample.
+type TraceEvent struct {
+	Algorithm Algorithm
+	// Batch is the number of jump vectors being solved together.
+	Batch int
+	// Iteration counts from 1.
+	Iteration int
+	// Residual is the largest per-vector L1 residual of the iteration.
+	Residual float64
+	// Elapsed is the wall time since the solve started.
+	Elapsed time.Duration
+}
+
+// TraceFunc receives per-iteration telemetry during a solve. It is
+// called synchronously from the solver loop, so it must be cheap and
+// must not call back into the engine.
+type TraceFunc func(TraceEvent)
+
+// SolveStats aggregates the telemetry of one solve (or one batched
+// solve). All Results of a batch share the same *SolveStats.
+type SolveStats struct {
+	Algorithm Algorithm
+	// Batch is the number of jump vectors solved together.
+	Batch int
+	// Iterations is the number of sweeps executed before the whole
+	// batch converged (or MaxIter was hit). Individual vectors may have
+	// converged earlier; see Result.Iterations.
+	Iterations int
+	// Residuals holds the largest per-vector L1 residual after each
+	// iteration, Residuals[i] being iteration i+1.
+	Residuals []float64
+	// WallTime is the total solve duration.
+	WallTime time.Duration
+	// EdgesSwept counts in-edges visited across all iterations. A
+	// batched solve traverses the in-neighbor lists once per iteration
+	// regardless of batch width, which is exactly its advantage.
+	EdgesSwept int64
+	// EdgesPerSecond is the sweep throughput EdgesSwept / WallTime.
+	EdgesPerSecond float64
+	// Workers is the number of goroutines used for parallel sweeps
+	// (1 when the sweep ran sequentially).
+	Workers int
+}
+
+// String renders a one-line summary suitable for -v logs.
+func (s *SolveStats) String() string {
+	return fmt.Sprintf("%s: batch=%d iters=%d wall=%v edges=%d (%.3g edges/s, %d workers)",
+		s.Algorithm, s.Batch, s.Iterations, s.WallTime.Round(time.Microsecond), s.EdgesSwept, s.EdgesPerSecond, s.Workers)
+}

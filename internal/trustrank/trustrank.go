@@ -29,7 +29,12 @@ type Oracle func(graph.NodeID) bool
 // the seed-candidate ranking heuristic of the TrustRank paper.
 func InversePageRank(g *graph.Graph, cfg pagerank.Config) (pagerank.Vector, error) {
 	t := g.Transpose()
-	res, err := pagerank.Jacobi(t, pagerank.UniformJump(t.NumNodes()), cfg)
+	eng, err := pagerank.NewEngine(t, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("trustrank: inverse PageRank: %w", err)
+	}
+	defer eng.Close()
+	res, err := eng.Solve(pagerank.UniformJump(t.NumNodes()))
 	if err != nil {
 		return nil, fmt.Errorf("trustrank: inverse PageRank: %w", err)
 	}
@@ -79,6 +84,19 @@ func SelectSeeds(g *graph.Graph, oracle Oracle, candidates, maxSeeds int, cfg pa
 // Compute returns the TrustRank score vector: the linear PageRank for
 // a jump distribution uniform over the seed set with total weight 1.
 func Compute(g *graph.Graph, seeds []graph.NodeID, cfg pagerank.Config) (pagerank.Vector, error) {
+	eng, err := pagerank.NewEngine(g, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("trustrank: %w", err)
+	}
+	defer eng.Close()
+	return ComputeOn(eng, seeds)
+}
+
+// ComputeOn is Compute against an existing solver engine, so callers
+// that already hold one for the graph (experiments, baselines) reuse
+// its cached out-degree and dangling state instead of rebuilding it.
+func ComputeOn(eng *pagerank.Engine, seeds []graph.NodeID) (pagerank.Vector, error) {
+	g := eng.Graph()
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("trustrank: empty seed set")
 	}
@@ -93,7 +111,7 @@ func Compute(g *graph.Graph, seeds []graph.NodeID, cfg pagerank.Config) (pageran
 		seen[s] = true
 	}
 	v := pagerank.CoreJump(g.NumNodes(), seeds, 1/float64(len(seeds)))
-	res, err := pagerank.Jacobi(g, v, cfg)
+	res, err := eng.Solve(v)
 	if err != nil {
 		return nil, fmt.Errorf("trustrank: biased PageRank: %w", err)
 	}

@@ -67,6 +67,32 @@ type SolverConfig = pagerank.Config
 // SolverResult carries a PageRank vector and convergence diagnostics.
 type SolverResult = pagerank.Result
 
+// Engine is a reusable PageRank solver bound to one graph: it caches
+// the inverse out-degrees, dangling-node list, iteration buffers, and
+// a persistent worker pool across solves, and batches several jump
+// vectors through one adjacency sweep per iteration (SolveMany).
+type Engine = pagerank.Engine
+
+// SolveStats carries per-solve telemetry: iteration residuals, wall
+// time, and edge throughput.
+type SolveStats = pagerank.SolveStats
+
+// TraceEvent is one per-iteration telemetry sample; see
+// SolverConfig.Trace.
+type TraceEvent = pagerank.TraceEvent
+
+// TraceFunc receives TraceEvents during a solve.
+type TraceFunc = pagerank.TraceFunc
+
+// ErrNotConverged reports a solve that hit MaxIter without meeting
+// Epsilon. Unless SolverConfig.AllowTruncated is set, every truncated
+// solve surfaces as this error (the truncated result still accompanies
+// it for diagnostics).
+type ErrNotConverged = pagerank.ErrNotConverged
+
+// Estimator binds mass estimation to a reusable solver engine.
+type Estimator = mass.Estimator
+
 // Estimates holds spam-mass estimates for every node.
 type Estimates = mass.Estimates
 
@@ -117,6 +143,19 @@ func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
 // DefaultSolverConfig returns the solver settings used in the paper's
 // experiments: damping 0.85 and a tight L1 convergence bound.
 func DefaultSolverConfig() SolverConfig { return pagerank.DefaultConfig() }
+
+// NewEngine builds a reusable solver engine bound to g. Close it when
+// done to release the worker pool.
+func NewEngine(g *Graph, cfg SolverConfig) (*Engine, error) { return pagerank.NewEngine(g, cfg) }
+
+// NewEstimator builds a reusable mass estimator bound to g. Close it
+// when done to release the solver engine.
+func NewEstimator(g *Graph, opts EstimateOptions) (*Estimator, error) {
+	return mass.NewEstimator(g, opts)
+}
+
+// IsNotConverged reports whether err is (or wraps) an *ErrNotConverged.
+func IsNotConverged(err error) bool { return pagerank.IsNotConverged(err) }
 
 // PageRank computes the linear PageRank vector for the uniform random
 // jump distribution, solved with the Jacobi method of Algorithm 1.
