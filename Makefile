@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet verify clean
+.PHONY: build test bench bench-all race vet verify clean
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the 10k-node acceptance benchmarks (plain, obs-enabled,
+# and batched recompute) with -benchmem and converts the output into
+# the machine-readable BENCH_pr2.json summary.
 bench:
+	$(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ | $(GO) run ./cmd/benchjson -o BENCH_pr2.json
+
+# bench-all is the full benchmark sweep over every package.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Race-check the concurrent solver engine and the mass layer on top.

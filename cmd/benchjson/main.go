@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark summary. It reads the benchmark text from stdin, echoes it
+// to stderr so progress stays visible in a pipe, and writes one JSON
+// array entry per benchmark name (runs of the same name, e.g. from
+// -count=N, are averaged).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=10k -benchmem ./internal/mass/ | benchjson -o BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's averaged measurements.
+type Entry struct {
+	Name string `json:"name"`
+	// Runs is how many result lines were averaged (the -count).
+	Runs int `json:"runs"`
+	// Iterations is the mean b.N of the runs.
+	Iterations  float64 `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	EdgesPerSec float64 `json:"edges_per_sec,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON summary to this file (default stdout)")
+	flag.Parse()
+
+	var order []string
+	totals := map[string]*Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		t, seen := totals[e.Name]
+		if !seen {
+			totals[e.Name] = e
+			order = append(order, e.Name)
+			continue
+		}
+		t.Runs += e.Runs
+		t.Iterations += e.Iterations
+		t.NsPerOp += e.NsPerOp
+		t.BytesPerOp += e.BytesPerOp
+		t.AllocsPerOp += e.AllocsPerOp
+		t.EdgesPerSec += e.EdgesPerSec
+	}
+	if err := sc.Err(); err != nil {
+		die("read: %v", err)
+	}
+
+	entries := make([]Entry, 0, len(order))
+	for _, name := range order {
+		t := totals[name]
+		n := float64(t.Runs)
+		entries = append(entries, Entry{
+			Name:        t.Name,
+			Runs:        t.Runs,
+			Iterations:  t.Iterations / n,
+			NsPerOp:     t.NsPerOp / n,
+			BytesPerOp:  t.BytesPerOp / n,
+			AllocsPerOp: t.AllocsPerOp / n,
+			EdgesPerSec: t.EdgesPerSec / n,
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die("create %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				die("close %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		die("encode: %v", err)
+	}
+}
+
+// parseLine extracts one `BenchmarkName-P  N  <value unit>...` result
+// line. The GOMAXPROCS suffix is stripped from the name so summaries
+// are comparable across machines.
+func parseLine(line string) (*Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return nil, false
+	}
+	iters, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return nil, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	e := &Entry{Name: name, Runs: 1, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		case "edges/s":
+			e.EdgesPerSec = v
+		}
+	}
+	if e.NsPerOp == 0 {
+		return nil, false
+	}
+	return e, true
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	experiments [-hosts n] [-seed s] [-run list] [-rho r] [-gamma g]
+//	            [-md-report out.md] [-report out.json] [-trace t.json]
+//	            [-debug-addr :6060] [-v]
 //
 // -run selects experiments by name (comma separated) from:
 //
@@ -24,9 +26,11 @@ import (
 	"strings"
 	"time"
 
+	"spammass/internal/cliobs"
 	"spammass/internal/eval"
 	"spammass/internal/experiments"
-	"spammass/internal/pagerank"
+	"spammass/internal/mass"
+	"spammass/internal/obs"
 	"spammass/internal/stats"
 )
 
@@ -38,9 +42,16 @@ func main() {
 	gamma := flag.Float64("gamma", 0.85, "estimated good fraction for jump scaling")
 	sampleFrac := flag.Float64("sample", 0.4, "evaluation sample fraction of T")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
-	reportPath := flag.String("report", "", "write a markdown reproduction report to this file")
-	verbose := flag.Bool("v", false, "print per-iteration solver residual traces to stderr")
+	reportPath := flag.String("md-report", "", "write a markdown reproduction report to this file")
+	var ocfg cliobs.Options
+	ocfg.Register(flag.CommandLine)
 	flag.Parse()
+
+	pipe, err := cliobs.Start("experiments", ocfg, os.Args[1:])
+	if err != nil {
+		die("observability: %v", err)
+	}
+	octx := pipe.Ctx
 
 	cfg := experiments.DefaultConfig()
 	cfg.Hosts = *hosts
@@ -48,12 +59,7 @@ func main() {
 	cfg.Rho = *rho
 	cfg.Gamma = *gamma
 	cfg.SampleFrac = *sampleFrac
-	if *verbose {
-		cfg.Solver.Trace = func(ev pagerank.TraceEvent) {
-			fmt.Fprintf(os.Stderr, "%s batch=%d iter=%3d residual=%.3e elapsed=%s\n",
-				ev.Algorithm, ev.Batch, ev.Iteration, ev.Residual, ev.Elapsed.Round(time.Microsecond))
-		}
-	}
+	cfg.Solver.Obs = octx
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
@@ -66,27 +72,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiment %s: %v\n", name, err)
 		os.Exit(1)
 	}
+	// runExp scopes one experiment: its work gets a span of its own,
+	// and the context is re-rooted there so every solver span started
+	// while it runs (through the shared estimator) nests under it.
+	runExp := func(name string, f func() error) {
+		sp := octx.Span("experiment." + name)
+		prev := octx.SetRoot(sp)
+		err := f()
+		octx.SetRoot(prev)
+		sp.End()
+		if err != nil {
+			fail(name, err)
+		}
+	}
 
 	// The worked examples need no generated world.
 	if want("fig1") {
-		if _, err := experiments.RunFigure1(out, []int{0, 1, 2, 3, 5, 10}, cfg.Solver); err != nil {
-			fail("fig1", err)
-		}
+		runExp("fig1", func() error {
+			_, err := experiments.RunFigure1(out, []int{0, 1, 2, 3, 5, 10}, cfg.Solver)
+			return err
+		})
 	}
 	if want("fig2") {
-		if _, err := experiments.RunFigure2(out, cfg.Solver); err != nil {
-			fail("fig2", err)
-		}
+		runExp("fig2", func() error {
+			_, err := experiments.RunFigure2(out, cfg.Solver)
+			return err
+		})
 	}
 	if want("table1") {
-		if _, err := experiments.RunTable1(out, cfg.Solver); err != nil {
-			fail("table1", err)
-		}
+		runExp("table1", func() error {
+			_, err := experiments.RunTable1(out, cfg.Solver)
+			return err
+		})
 	}
 	if want("walkthrough") {
-		if _, err := experiments.RunAlgorithm2Walkthrough(out, cfg.Solver); err != nil {
-			fail("walkthrough", err)
-		}
+		runExp("walkthrough", func() error {
+			_, err := experiments.RunAlgorithm2Walkthrough(out, cfg.Solver)
+			return err
+		})
 	}
 
 	if *reportPath != "" {
@@ -102,6 +125,9 @@ func main() {
 		}
 	}
 	if !needEnv {
+		if err := pipe.Close(); err != nil {
+			die("observability: %v", err)
+		}
 		return
 	}
 
@@ -113,140 +139,123 @@ func main() {
 	defer env.Close()
 
 	if want("dataset") {
-		env.RunDataSet(out)
+		runExp("dataset", func() error { env.RunDataSet(out); return nil })
 	}
 	if want("core") {
-		env.RunCore(out)
+		runExp("core", func() error { env.RunCore(out); return nil })
 	}
 	if want("prdist") {
-		if _, err := env.RunPRDist(out); err != nil {
-			fail("prdist", err)
-		}
+		runExp("prdist", func() error { _, err := env.RunPRDist(out); return err })
 	}
 	if want("table2") {
-		env.RunTable2(out)
+		runExp("table2", func() error { env.RunTable2(out); return nil })
 	}
 	if *csvDir != "" {
-		if err := writeCSVs(env, *csvDir); err != nil {
-			fail("csv", err)
-		}
+		runExp("csv", func() error { return writeCSVs(env, *csvDir) })
 		fmt.Fprintf(out, "wrote CSV figure data to %s\n", *csvDir)
 	}
 	if want("fig3") {
-		env.RunFigure3(out)
+		runExp("fig3", func() error { env.RunFigure3(out); return nil })
 	}
 	if want("anomaly") {
-		if _, err := env.RunAnomalyFix(out); err != nil {
-			fail("anomaly", err)
-		}
+		runExp("anomaly", func() error { _, err := env.RunAnomalyFix(out); return err })
 	}
 	if want("fig4") {
-		env.RunFigure4(out)
+		runExp("fig4", func() error { env.RunFigure4(out); return nil })
 	}
 	if want("fig5") {
-		if _, err := env.RunFigure5(out); err != nil {
-			fail("fig5", err)
-		}
+		runExp("fig5", func() error { _, err := env.RunFigure5(out); return err })
 	}
 	if want("fig6") {
-		if _, err := env.RunFigure6(out); err != nil {
-			fail("fig6", err)
-		}
+		runExp("fig6", func() error { _, err := env.RunFigure6(out); return err })
 	}
 	if want("absmass") {
-		env.RunAbsMass(out, 20)
+		runExp("absmass", func() error { env.RunAbsMass(out, 20); return nil })
 	}
 	if want("expired") {
-		if _, _, err := env.RunExpired(out); err != nil {
-			fail("expired", err)
-		}
+		runExp("expired", func() error { _, _, err := env.RunExpired(out); return err })
 	}
 	if want("scaling") {
-		if _, err := env.RunScaling(out); err != nil {
-			fail("scaling", err)
-		}
+		runExp("scaling", func() error { _, err := env.RunScaling(out); return err })
 	}
 	if want("sweep") {
-		env.RunSweep(out)
+		runExp("sweep", func() error { env.RunSweep(out); return nil })
 	}
 	if want("combined") {
-		if _, err := env.RunCombined(out); err != nil {
-			fail("combined", err)
-		}
+		runExp("combined", func() error { _, err := env.RunCombined(out); return err })
 	}
 	if want("baselines") {
-		if _, err := env.RunBaselines(out); err != nil {
-			fail("baselines", err)
-		}
+		runExp("baselines", func() error { _, err := env.RunBaselines(out); return err })
 	}
 	if want("solvers") {
-		if _, err := env.RunSolvers(out); err != nil {
-			fail("solvers", err)
-		}
+		runExp("solvers", func() error { _, err := env.RunSolvers(out); return err })
 	}
 	if want("forensics") {
-		if _, err := env.RunForensics(out, 40); err != nil {
-			fail("forensics", err)
-		}
+		runExp("forensics", func() error { _, err := env.RunForensics(out, 40); return err })
 	}
 	if want("discovery") {
-		if _, err := env.RunAnomalyDiscovery(out); err != nil {
-			fail("discovery", err)
-		}
+		runExp("discovery", func() error { _, err := env.RunAnomalyDiscovery(out); return err })
 	}
 	if want("contentfilter") {
-		if _, err := env.RunContentFilter(out); err != nil {
-			fail("contentfilter", err)
-		}
+		runExp("contentfilter", func() error { _, err := env.RunContentFilter(out); return err })
 	}
 	if want("adversarial") {
-		if _, err := env.RunAdversarial(out, []int{0, 5, 10, 25, 50, 100, 250}); err != nil {
-			fail("adversarial", err)
-		}
+		runExp("adversarial", func() error {
+			_, err := env.RunAdversarial(out, []int{0, 5, 10, 25, 50, 100, 250})
+			return err
+		})
 	}
 	if want("coregrowth") {
-		if _, err := env.RunCoreGrowth(out); err != nil {
-			fail("coregrowth", err)
-		}
+		runExp("coregrowth", func() error { _, err := env.RunCoreGrowth(out); return err })
 	}
 	if want("stability") {
-		if _, err := env.RunStability(out, 5); err != nil {
-			fail("stability", err)
-		}
+		runExp("stability", func() error { _, err := env.RunStability(out, 5); return err })
 	}
 	if want("temporal") {
-		if _, err := env.RunTemporal(out); err != nil {
-			fail("temporal", err)
-		}
+		runExp("temporal", func() error { _, err := env.RunTemporal(out); return err })
 	}
 	if want("search") {
-		if _, err := env.RunSearchImpact(out); err != nil {
-			fail("search", err)
-		}
+		runExp("search", func() error { _, err := env.RunSearchImpact(out); return err })
 	}
 	if want("granularity") {
-		if _, err := env.RunGranularity(out); err != nil {
-			fail("granularity", err)
-		}
+		runExp("granularity", func() error { _, err := env.RunGranularity(out); return err })
 	}
 	if want("trseeds") {
-		if _, err := env.RunTrustRankSeeds(out, 30); err != nil {
-			fail("trseeds", err)
-		}
+		runExp("trseeds", func() error { _, err := env.RunTrustRankSeeds(out, 30); return err })
 	}
 	if *reportPath != "" {
 		f, err := os.Create(*reportPath)
 		if err != nil {
-			fail("report", err)
+			fail("md-report", err)
 		}
 		if err := env.WriteReport(f, time.Now()); err != nil {
-			fail("report", err)
+			fail("md-report", err)
 		}
 		if err := f.Close(); err != nil {
-			fail("report", err)
+			fail("md-report", err)
 		}
 		fmt.Fprintf(out, "wrote reproduction report to %s\n", *reportPath)
 	}
+	if pipe.Report != nil {
+		pipe.Report.Graph = &obs.GraphInfo{
+			Format: "synthetic",
+			Nodes:  env.World.Graph.NumNodes(),
+			Edges:  int64(env.World.Graph.NumEdges()),
+		}
+		if stats := env.Est.SolveStats; stats != nil {
+			pipe.Report.Solves = append(pipe.Report.Solves, stats.Summary("estimate", true))
+		}
+		dcfg := mass.DetectConfig{RelMassThreshold: 0.98, ScaledPageRankThreshold: cfg.Rho}
+		pipe.Report.Mass = mass.ReportSummary(env.Est, len(env.Core.Nodes), cfg.Gamma, dcfg, len(mass.Detect(env.Est, dcfg)))
+	}
+	if err := pipe.Close(); err != nil {
+		die("observability: %v", err)
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }
 
 // writeCSVs dumps the figure data (groups, precision curves, mass

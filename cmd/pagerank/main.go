@@ -11,6 +11,7 @@
 //
 //	pagerank -graph web.graph [-core web.core] [-gamma 0.85] [-top 20]
 //	         [-solver jacobi|gauss-seidel|power|montecarlo]
+//	         [-report out.json] [-trace trace.json] [-debug-addr :6060] [-v]
 package main
 
 import (
@@ -22,8 +23,10 @@ import (
 	"strconv"
 	"strings"
 
+	"spammass/internal/cliobs"
 	"spammass/internal/diskgraph"
 	"spammass/internal/graph"
+	"spammass/internal/obs"
 	"spammass/internal/pagerank"
 )
 
@@ -37,10 +40,18 @@ func main() {
 	walks := flag.Int("walks", 500, "walks per node for -solver montecarlo")
 	top := flag.Int("top", 20, "print the top-k nodes by score")
 	all := flag.Bool("all", false, "print every node's score instead of the top-k")
+	var ocfg cliobs.Options
+	ocfg.Register(flag.CommandLine)
 	flag.Parse()
 	if *graphPath == "" {
 		die("missing -graph")
 	}
+
+	pipe, err := cliobs.Start("pagerank", ocfg, os.Args[1:])
+	if err != nil {
+		die("observability: %v", err)
+	}
+	octx := pipe.Ctx
 
 	// Out-of-core graphs are detected by magic and solved streaming.
 	if dg, derr := diskgraph.Open(*graphPath); derr == nil {
@@ -59,17 +70,29 @@ func main() {
 		}
 		// The command reports convergence itself, so truncated solves
 		// are accepted rather than surfaced as ErrNotConverged.
-		res, err := dg.PageRank(v, pagerank.Config{Damping: *damping, Epsilon: *epsilon, MaxIter: 1000, AllowTruncated: true})
+		res, err := dg.PageRank(v, pagerank.Config{Damping: *damping, Epsilon: *epsilon, MaxIter: 1000, AllowTruncated: true, Obs: octx})
 		if err != nil {
 			die("solve (disk): %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "out-of-core: converged=%v iterations=%d residual=%.2e\n",
 			res.Converged, res.Iterations, res.Residual)
+		if pipe.Report != nil {
+			pipe.Report.Graph = &obs.GraphInfo{Path: *graphPath, Format: "smdg", Nodes: n, Edges: dg.NumEdges()}
+			pipe.Report.Solves = append(pipe.Report.Solves, obs.SolveSummary{
+				Name:          "pagerank-disk",
+				Algorithm:     "jacobi",
+				Batch:         1,
+				Iterations:    res.Iterations,
+				FinalResidual: res.Residual,
+				Converged:     res.Converged,
+			})
+		}
 		printScores(res.Scores, n, *damping, *top, *all)
+		finish(pipe)
 		return
 	}
 
-	g, err := loadGraph(*graphPath)
+	g, ginfo, err := graph.LoadFile(*graphPath, octx)
 	if err != nil {
 		die("load graph: %v", err)
 	}
@@ -88,7 +111,7 @@ func main() {
 	}
 	// AllowTruncated: the command prints converged= itself instead of
 	// failing on a solve that hits MaxIter.
-	cfg := pagerank.Config{Damping: *damping, Epsilon: *epsilon, MaxIter: 1000, AllowTruncated: true}
+	cfg := pagerank.Config{Damping: *damping, Epsilon: *epsilon, MaxIter: 1000, AllowTruncated: true, Obs: octx}
 	var scores pagerank.Vector
 	switch *solver {
 	case "jacobi", "gauss-seidel", "power":
@@ -106,6 +129,9 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "converged=%v iterations=%d residual=%.2e\n",
 			res.Converged, res.Iterations, res.Residual)
+		if pipe.Report != nil {
+			pipe.Report.Solves = append(pipe.Report.Solves, res.Stats.Summary(*solver, res.Converged))
+		}
 		scores = res.Scores
 	case "montecarlo":
 		scores, err = pagerank.MonteCarlo(g, v, pagerank.MonteCarloConfig{
@@ -118,7 +144,17 @@ func main() {
 	default:
 		die("unknown solver %q", *solver)
 	}
+	if pipe.Report != nil {
+		pipe.Report.Graph = ginfo
+	}
 	printScores(scores, n, *damping, *top, *all)
+	finish(pipe)
+}
+
+func finish(pipe *cliobs.Pipeline) {
+	if err := pipe.Close(); err != nil {
+		die("observability: %v", err)
+	}
 }
 
 func printScores(scores pagerank.Vector, n int, damping float64, top int, all bool) {
@@ -143,20 +179,6 @@ func printScores(scores pagerank.Vector, n int, damping float64, top int, all bo
 	for _, x := range order[:top] {
 		fmt.Fprintf(w, "%-12d %12.3f\n", x, scores[x]*scale)
 	}
-}
-
-func loadGraph(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	magic, err := br.Peek(4)
-	if err == nil && string(magic) == "SMGR" {
-		return graph.ReadBinary(br)
-	}
-	return graph.ReadText(br)
 }
 
 func loadCore(path string, n int) ([]graph.NodeID, error) {

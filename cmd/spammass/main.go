@@ -6,27 +6,41 @@
 //
 //	spammass -graph web.graph -core web.core [-names web.names]
 //	         [-tau 0.98] [-rho 10] [-gamma 0.85] [-top 50] [-explain k]
+//	         [-json] [-report out.json] [-trace trace.json]
+//	         [-debug-addr :6060] [-v]
 //
 // With -explain k, the boosting structure behind the top k candidates
 // is extracted (reverse PageRank contributions) and allied candidates
-// are grouped.
+// are grouped. -json switches the output to one detection record per
+// line (node, host, p, p', M̃, m̃, label) for every node above ρ;
+// -report writes a machine-readable RunReport of the whole run and
+// -trace the span trace alone, while -debug-addr serves expvar metrics
+// and pprof profiles live during the run.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
+	"spammass/internal/cliobs"
 	"spammass/internal/forensics"
 	"spammass/internal/graph"
 	"spammass/internal/mass"
+	"spammass/internal/obs"
 	"spammass/internal/pagerank"
 )
+
+// truncate bounds the record list to top entries; top <= 0 keeps all.
+func truncate(recs []obs.DetectionRecord, top int) []obs.DetectionRecord {
+	if top > 0 && len(recs) > top {
+		return recs[:top]
+	}
+	return recs
+}
 
 func main() {
 	graphPath := flag.String("graph", "", "graph file (binary or text format)")
@@ -38,14 +52,21 @@ func main() {
 	damping := flag.Float64("damping", 0.85, "damping factor c")
 	top := flag.Int("top", 50, "print at most this many candidates (0 = all)")
 	explain := flag.Int("explain", 0, "for the top-k candidates, extract the boosting structure behind them")
-	jsonOut := flag.Bool("json", false, "emit candidates as JSON lines instead of a table")
-	verbose := flag.Bool("v", false, "print per-iteration solver residual traces to stderr")
+	jsonOut := flag.Bool("json", false, "emit detection records as JSON lines instead of a table")
+	var ocfg cliobs.Options
+	ocfg.Register(flag.CommandLine)
 	flag.Parse()
 	if *graphPath == "" || *corePath == "" {
 		die("missing -graph or -core")
 	}
 
-	g, err := loadGraph(*graphPath)
+	pipe, err := cliobs.Start("spammass", ocfg, os.Args[1:])
+	if err != nil {
+		die("observability: %v", err)
+	}
+	octx := pipe.Ctx
+
+	g, ginfo, err := graph.LoadFile(*graphPath, octx)
 	if err != nil {
 		die("load graph: %v", err)
 	}
@@ -64,14 +85,8 @@ func main() {
 	}
 
 	opts := mass.Options{
-		Solver: pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000},
+		Solver: pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000, Obs: octx},
 		Gamma:  *gamma,
-	}
-	if *verbose {
-		opts.Solver.Trace = func(ev pagerank.TraceEvent) {
-			fmt.Fprintf(os.Stderr, "%s batch=%d iter=%3d residual=%.3e elapsed=%s\n",
-				ev.Algorithm, ev.Batch, ev.Iteration, ev.Residual, ev.Elapsed.Round(time.Microsecond))
-		}
 	}
 	es, err := mass.NewEstimator(g, opts)
 	if err != nil {
@@ -82,43 +97,48 @@ func main() {
 	if err != nil {
 		die("estimate: %v", err)
 	}
-	if *verbose {
+	if ocfg.Verbose {
 		if stats := est.SolveStats; stats != nil {
 			fmt.Fprintf(os.Stderr, "solve: %s\n", stats)
 		}
 	}
-	cands := mass.Detect(est, mass.DetectConfig{
+	dcfg := mass.DetectConfig{
 		RelMassThreshold:        *tau,
 		ScaledPageRankThreshold: *rho,
-	})
+	}
+	cands := mass.DetectWith(est, dcfg, octx)
 	fmt.Fprintf(os.Stderr, "%d spam candidates (tau=%.2f, rho=%.1f, core %d hosts)\n",
 		len(cands), *tau, *rho, len(core))
 
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	if *jsonOut {
-		enc := json.NewEncoder(w)
-		shown := 0
-		for _, c := range cands {
-			if *top > 0 && shown >= *top {
-				break
-			}
-			row := struct {
-				Node     graph.NodeID `json:"node"`
-				Host     string       `json:"host,omitempty"`
-				ScaledPR float64      `json:"scaled_pagerank"`
-				RelMass  float64      `json:"rel_mass"`
-			}{Node: c.Node, ScaledPR: c.ScaledPageRank, RelMass: c.RelMass}
-			if names != nil {
-				row.Host = names[c.Node]
-			}
-			if err := enc.Encode(row); err != nil {
-				die("encode: %v", err)
-			}
-			shown++
-		}
-		return
+	if pipe.Report != nil {
+		pipe.Report.Graph = ginfo
+		pipe.Report.Solves = append(pipe.Report.Solves,
+			est.SolveStats.Summary("estimate", true))
+		pipe.Report.Mass = mass.ReportSummary(est, len(core), *gamma, dcfg, len(cands))
+		pipe.Report.Detections = truncate(mass.Records(est, dcfg, names), *top)
 	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *jsonOut {
+		recs := truncate(mass.Records(est, dcfg, names), *top)
+		if err := obs.WriteJSONLines(w, recs); err != nil {
+			die("encode: %v", err)
+		}
+	} else {
+		printTable(w, cands, names, *top)
+		if *explain > 0 {
+			printForensics(w, g, est, cands, names, opts, *explain)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		die("write: %v", err)
+	}
+	if err := pipe.Close(); err != nil {
+		die("observability: %v", err)
+	}
+}
+
+func printTable(w *bufio.Writer, cands []mass.Candidate, names []string, top int) {
 	fmt.Fprintf(w, "%-10s %12s %10s", "node", "scaled PR", "rel mass")
 	if names != nil {
 		fmt.Fprintf(w, "  %s", "host")
@@ -126,7 +146,7 @@ func main() {
 	fmt.Fprintln(w)
 	shown := 0
 	for _, c := range cands {
-		if *top > 0 && shown >= *top {
+		if top > 0 && shown >= top {
 			break
 		}
 		fmt.Fprintf(w, "%-10d %12.2f %10.4f", c.Node, c.ScaledPageRank, c.RelMass)
@@ -136,61 +156,47 @@ func main() {
 		fmt.Fprintln(w)
 		shown++
 	}
-
-	if *explain > 0 {
-		nameOf := func(x graph.NodeID) string {
-			if names != nil {
-				return names[x]
-			}
-			return fmt.Sprint(x)
-		}
-		fcfg := forensics.DefaultConfig()
-		fcfg.Solver = opts.Solver
-		limit := *explain
-		if limit > len(cands) {
-			limit = len(cands)
-		}
-		farms, alliances, err := forensics.ExtractAll(g, est, cands[:limit], fcfg)
-		if err != nil {
-			die("explain: %v", err)
-		}
-		fmt.Fprintln(w, "\nforensics:")
-		for _, f := range farms {
-			fmt.Fprintf(w, "%s: booster share %.2f, %d supporters", nameOf(f.Target), f.BoosterShare, len(f.Members))
-			show := 3
-			if show > len(f.Members) {
-				show = len(f.Members)
-			}
-			for _, m := range f.Members[:show] {
-				fmt.Fprintf(w, " | %s %.0f%%", nameOf(m.Node), 100*m.Share)
-			}
-			fmt.Fprintln(w)
-		}
-		for _, a := range alliances {
-			if len(a.Targets) < 2 {
-				continue
-			}
-			fmt.Fprintf(w, "alliance:")
-			for _, t := range a.Targets {
-				fmt.Fprintf(w, " %s", nameOf(t))
-			}
-			fmt.Fprintln(w)
-		}
-	}
 }
 
-func loadGraph(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
+func printForensics(w *bufio.Writer, g *graph.Graph, est *mass.Estimates, cands []mass.Candidate, names []string, opts mass.Options, explain int) {
+	nameOf := func(x graph.NodeID) string {
+		if names != nil {
+			return names[x]
+		}
+		return fmt.Sprint(x)
+	}
+	fcfg := forensics.DefaultConfig()
+	fcfg.Solver = opts.Solver
+	limit := explain
+	if limit > len(cands) {
+		limit = len(cands)
+	}
+	farms, alliances, err := forensics.ExtractAll(g, est, cands[:limit], fcfg)
 	if err != nil {
-		return nil, err
+		die("explain: %v", err)
 	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	magic, err := br.Peek(4)
-	if err == nil && string(magic) == "SMGR" {
-		return graph.ReadBinary(br)
+	fmt.Fprintln(w, "\nforensics:")
+	for _, f := range farms {
+		fmt.Fprintf(w, "%s: booster share %.2f, %d supporters", nameOf(f.Target), f.BoosterShare, len(f.Members))
+		show := 3
+		if show > len(f.Members) {
+			show = len(f.Members)
+		}
+		for _, m := range f.Members[:show] {
+			fmt.Fprintf(w, " | %s %.0f%%", nameOf(m.Node), 100*m.Share)
+		}
+		fmt.Fprintln(w)
 	}
-	return graph.ReadText(br)
+	for _, a := range alliances {
+		if len(a.Targets) < 2 {
+			continue
+		}
+		fmt.Fprintf(w, "alliance:")
+		for _, t := range a.Targets {
+			fmt.Fprintf(w, " %s", nameOf(t))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func loadCore(path string, n int) ([]graph.NodeID, error) {

@@ -93,6 +93,9 @@ func SpamRankScores(g *graph.Graph, p pagerank.Vector, cfg SpamRankConfig) ([]fl
 // estimator's p) should call SpamRankScores directly; this entry point
 // exists for standalone use of the detector.
 func SpamRank(g *graph.Graph, cfg SpamRankConfig, solver pagerank.Config) ([]float64, error) {
+	sp := solver.Obs.Span("baseline.spamrank")
+	defer sp.End()
+	solver.Obs = solver.Obs.In(sp)
 	eng, err := pagerank.NewEngine(g, solver)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)

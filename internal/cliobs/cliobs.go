@@ -1,0 +1,132 @@
+// Package cliobs wires the observability flags shared by the CLIs
+// (-report, -trace, -debug-addr, -v) to one obs pipeline: a metrics
+// registry, a root span for the run, an optional stderr line logger,
+// and an optional pprof/expvar debug endpoint. Each command registers
+// the flags, Starts a pipeline, threads Pipeline.Ctx through the
+// libraries, fills the report's domain sections, and Closes.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spammass/internal/obs"
+)
+
+// Options holds the shared observability flag values.
+type Options struct {
+	// Report is the -report path: a JSON RunReport of the run.
+	Report string
+	// Trace is the -trace path: the JSON span trace alone.
+	Trace string
+	// DebugAddr is the -debug-addr listen address for /debug/vars and
+	// /debug/pprof/.
+	DebugAddr string
+	// Verbose is -v: per-iteration solver residuals on stderr.
+	Verbose bool
+}
+
+// Register installs the shared observability flags on fs.
+func (o *Options) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.Report, "report", "", "write a JSON run report (graph, solves, mass, metrics, trace) to this file")
+	fs.StringVar(&o.Trace, "trace", "", "write the JSON span trace to this file")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address while running")
+	fs.BoolVar(&o.Verbose, "v", false, "print per-iteration solver residual traces to stderr")
+}
+
+// Pipeline owns the observability sinks of one CLI run.
+type Pipeline struct {
+	// Ctx is threaded through the pipeline (pagerank.Config.Obs and
+	// friends). It is nil when no sink was requested, keeping the
+	// instrumented code on its no-op path.
+	Ctx *obs.Context
+	// Report is non-nil when -report was given. The CLI fills the
+	// domain sections (Graph, Solves, Mass, Detections) before Close;
+	// metrics and trace are captured by Close itself.
+	Report *obs.RunReport
+
+	opts Options
+	reg  *obs.Registry
+	root *obs.Span
+	dbg  *obs.DebugServer
+}
+
+// Start builds the pipeline for the named tool from parsed options.
+// args go into the report verbatim (pass os.Args[1:]).
+func Start(tool string, o Options, args []string) (*Pipeline, error) {
+	p := &Pipeline{opts: o}
+	if o.Report != "" || o.DebugAddr != "" {
+		p.reg = obs.NewRegistry()
+	}
+	if o.Report != "" || o.Trace != "" {
+		p.root = obs.NewSpan(tool)
+	}
+	if p.reg != nil || p.root != nil || o.Verbose {
+		p.Ctx = obs.NewContext(p.reg, p.root)
+		if o.Verbose {
+			p.Ctx = p.Ctx.WithLogf(obs.StderrLogf(os.Stderr))
+		}
+	}
+	if o.Report != "" {
+		p.Report = obs.NewRunReport(tool, args)
+	}
+	if o.DebugAddr != "" {
+		dbg, err := obs.StartDebug(o.DebugAddr, p.reg)
+		if err != nil {
+			return nil, err
+		}
+		p.dbg = dbg
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars http://%s/debug/pprof/\n", dbg.Addr(), dbg.Addr())
+	}
+	return p, nil
+}
+
+// Root returns the run's root span, or nil when neither -report nor
+// -trace was requested.
+func (p *Pipeline) Root() *obs.Span {
+	if p == nil {
+		return nil
+	}
+	return p.root
+}
+
+// Close ends the root span, writes the report and trace files, and
+// stops the debug server. Safe on a nil pipeline; returns the first
+// error encountered.
+func (p *Pipeline) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.root.End()
+	var firstErr error
+	if p.Report != nil {
+		p.Report.Finish(p.reg, p.root)
+		if err := writeTo(p.opts.Report, p.Report.Write); err != nil {
+			firstErr = err
+		}
+	}
+	if p.opts.Trace != "" && p.root != nil {
+		err := writeTo(p.opts.Trace, func(w io.Writer) error { return obs.WriteTrace(w, p.root) })
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := p.dbg.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func writeTo(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

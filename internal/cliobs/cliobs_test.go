@@ -1,0 +1,106 @@
+package cliobs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spammass/internal/obs"
+)
+
+func TestRegisterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var o Options
+	o.Register(fs)
+	if err := fs.Parse([]string{"-report", "r.json", "-trace", "t.json", "-debug-addr", ":0", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Report != "r.json" || o.Trace != "t.json" || o.DebugAddr != ":0" || !o.Verbose {
+		t.Fatalf("parsed options: %+v", o)
+	}
+}
+
+func TestStartNoSinks(t *testing.T) {
+	p, err := Start("tool", Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ctx != nil {
+		t.Fatal("no sinks requested but context is non-nil; instrumentation would leave its no-op path")
+	}
+	if p.Report != nil || p.Root() != nil {
+		t.Fatalf("unexpected sinks: %+v", p)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartReportAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{
+		Report: filepath.Join(dir, "report.json"),
+		Trace:  filepath.Join(dir, "trace.json"),
+	}
+	p, err := Start("tool", o, []string{"-x", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ctx == nil || p.Report == nil || p.Root() == nil {
+		t.Fatal("report run must carry context, report, and root span")
+	}
+	sp := p.Ctx.Span("stage")
+	p.Ctx.Counter("c").Add(3)
+	sp.End()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(o.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Tool != "tool" || len(rep.Args) != 2 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["c"] != 3 {
+		t.Fatalf("report metrics: %+v", rep.Metrics)
+	}
+	if rep.Trace == nil || rep.Trace.Find("stage") == nil {
+		t.Fatalf("report trace misses the stage span: %+v", rep.Trace)
+	}
+
+	raw, err = os.ReadFile(o.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr obs.SpanJSON
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tr.Name != "tool" || tr.Find("stage") == nil {
+		t.Fatalf("trace tree: %+v", tr)
+	}
+}
+
+func TestStartVerboseOnly(t *testing.T) {
+	p, err := Start("tool", Options{Verbose: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ctx == nil || !p.Ctx.Logging() {
+		t.Fatal("verbose run must carry a logging context")
+	}
+	if p.Report != nil || p.Root() != nil {
+		t.Fatal("verbose alone must not create report or root span")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

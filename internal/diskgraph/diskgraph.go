@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"spammass/internal/graph"
+	"spammass/internal/obs"
 	"spammass/internal/pagerank"
 )
 
@@ -211,6 +213,16 @@ func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank
 		return nil, fmt.Errorf("diskgraph: reopen: %w", err)
 	}
 	defer f.Close()
+	octx := cfg.Obs
+	sp := octx.Span("diskgraph.pagerank")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("nodes", dg.n)
+		sp.SetAttr("edges", dg.m)
+		sp.SetAttr("path", dg.path)
+	}
+	cr := &obs.CountingReader{R: f}
+	sweepHist := octx.Histogram("diskgraph.sweep_seconds")
 
 	cur := v.Clone()
 	if cfg.WarmStart != nil {
@@ -221,15 +233,17 @@ func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank
 	}
 	next := make(pagerank.Vector, dg.n)
 	res := &pagerank.Result{}
-	br := bufio.NewReaderSize(f, 1<<20)
+	br := bufio.NewReaderSize(cr, 1<<20)
 	for it := 1; it <= cfg.MaxIter; it++ {
 		if _, err := f.Seek(dg.start, io.SeekStart); err != nil {
 			return nil, fmt.Errorf("diskgraph: seek: %w", err)
 		}
-		br.Reset(f)
+		br.Reset(cr)
+		sweepStart := time.Now()
 		if err := dg.sweep(br, cur, next, cfg.Damping, v); err != nil {
 			return nil, err
 		}
+		sweepHist.Observe(time.Since(sweepStart).Seconds())
 		res.Residual = next.Diff1(cur)
 		res.Iterations = it
 		cur, next = next, cur
@@ -239,6 +253,16 @@ func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank
 		}
 	}
 	res.Scores = cur
+	if octx != nil {
+		octx.Counter("diskgraph.bytes_read").Add(cr.N)
+		octx.Counter("diskgraph.sweeps").Add(int64(res.Iterations))
+	}
+	if sp != nil {
+		sp.SetAttr("iterations", res.Iterations)
+		sp.SetAttr("residual", res.Residual)
+		sp.SetAttr("converged", res.Converged)
+		sp.SetAttr("bytes_read", cr.N)
+	}
 	if !res.Converged && !cfg.AllowTruncated {
 		return res, &pagerank.ErrNotConverged{
 			Algorithm:  pagerank.AlgoJacobi,

@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"spammass/internal/eval"
 	"spammass/internal/goodcore"
 	"spammass/internal/graph"
 	"spammass/internal/mass"
+	"spammass/internal/obs"
 	"spammass/internal/pagerank"
 	"spammass/internal/webgen"
 )
@@ -70,18 +72,46 @@ type Env struct {
 	Groups    []eval.Group
 }
 
-// NewEnv generates the world and runs the shared computations.
+// NewEnv generates the world and runs the shared computations. The
+// setup phases (world generation, core assembly, mass estimation,
+// sampling) are recorded as child spans of cfg.Solver.Obs's root.
 func NewEnv(cfg Config) (*Env, error) {
+	// The context pointer is shared, not copied: the Estimator keeps it
+	// for its lifetime, so a driver that re-roots the context per
+	// experiment (Context.SetRoot) re-roots the solver spans too. Setup
+	// scoping therefore also goes through SetRoot.
+	octx := cfg.Solver.Obs
+	sp := octx.Span("experiments.setup")
+	defer sp.End()
+	prev := octx.SetRoot(sp)
+	defer octx.SetRoot(prev)
+
+	gen := octx.Span("experiments.generate_world")
+	genStart := time.Now()
 	wcfg := webgen.DefaultConfig(cfg.Hosts)
 	wcfg.Seed = cfg.Seed
 	world, err := webgen.Generate(wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating world: %w", err)
 	}
+	if gen != nil {
+		gen.SetAttr("hosts", world.Graph.NumNodes())
+		gen.SetAttr("edges", world.Graph.NumEdges())
+		gen.SetAttr("seed", cfg.Seed)
+	}
+	gen.End()
+	octx.Histogram("experiments.generate_seconds").Observe(time.Since(genStart).Seconds())
+
+	asm := octx.Span("experiments.assemble_core")
 	core, err := goodcore.Assemble(world.Names, world.DirectoryMembers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: assembling core: %w", err)
 	}
+	if asm != nil {
+		asm.SetAttr("core_size", len(core.Nodes))
+	}
+	asm.End()
+
 	estor, err := mass.NewEstimator(world.Graph, mass.Options{Solver: cfg.Solver, Gamma: cfg.Gamma})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building estimator: %w", err)
@@ -92,6 +122,8 @@ func NewEnv(cfg Config) (*Env, error) {
 		return nil, fmt.Errorf("experiments: estimating mass: %w", err)
 	}
 	env := &Env{Cfg: cfg, World: world, Core: core, Est: est, Estimator: estor}
+
+	smp := octx.Span("experiments.sample")
 	env.T = mass.FilterByPageRank(est, cfg.Rho)
 	k := int(cfg.SampleFrac * float64(len(env.T)))
 	if k < cfg.Groups {
@@ -109,8 +141,19 @@ func NewEnv(cfg Config) (*Env, error) {
 		estor.Close()
 		return nil, fmt.Errorf("experiments: grouping sample: %w", err)
 	}
+	if smp != nil {
+		smp.SetAttr("t_size", len(env.T))
+		smp.SetAttr("sample_size", len(env.Sample))
+		smp.SetAttr("groups", len(env.Groups))
+	}
+	smp.End()
 	return env, nil
 }
+
+// Obs exposes the observability context shared by the Env's solver
+// configuration, so experiments can hang their own spans and metrics
+// off the same registry and trace tree.
+func (e *Env) Obs() *obs.Context { return e.Cfg.Solver.Obs }
 
 // Engine exposes the shared solver engine bound to the world graph.
 func (e *Env) Engine() *pagerank.Engine { return e.Estimator.Engine() }

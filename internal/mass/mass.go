@@ -28,8 +28,11 @@ package mass
 import (
 	"fmt"
 	"math"
+	"sort"
+	"time"
 
 	"spammass/internal/graph"
+	"spammass/internal/obs"
 	"spammass/internal/pagerank"
 )
 
@@ -128,6 +131,29 @@ func (es *Estimator) Close() { es.eng.Close() }
 
 func (es *Estimator) damping() float64 { return es.opts.Solver.Damping }
 
+// obsCtx returns the observability context the estimator was built
+// with (nil when none was attached to Options.Solver.Obs).
+func (es *Estimator) obsCtx() *obs.Context { return es.opts.Solver.Obs }
+
+// annotateSolve attaches a logical per-vector solve span to sp. The p
+// and p' solves physically share one batched sweep, so each logical
+// span covers the batch window and carries its vector's own
+// convergence diagnostics.
+func annotateSolve(sp *obs.Span, name string, start time.Time, r *pagerank.Result) {
+	if sp == nil || r == nil {
+		return
+	}
+	d := time.Duration(0)
+	if r.Stats != nil {
+		d = r.Stats.WallTime
+	}
+	c := sp.ChildWindow(name, start, d)
+	c.SetAttr("batched", true)
+	c.SetAttr("iterations", r.Iterations)
+	c.SetAttr("residual", r.Residual)
+	c.SetAttr("converged", r.Converged)
+}
+
 // coreJump builds the jump vector for a core under fraction frac:
 // ‖w‖ = frac when frac > 0, weight 1/n per core node when frac == 0.
 // Fraction ranges are validated by the Estimator constructor (γ) or
@@ -154,15 +180,30 @@ func (es *Estimator) EstimateFromCore(core []graph.NodeID) (*Estimates, error) {
 	if err := validateCore(es.g, core); err != nil {
 		return nil, err
 	}
+	octx := es.obsCtx()
+	sp := octx.Span("mass.estimate_from_core")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("core_size", len(core))
+		sp.SetAttr("gamma", es.opts.Gamma)
+	}
 	n := es.g.NumNodes()
-	rs, err := es.eng.SolveMany([]pagerank.Vector{
+	cfg := es.opts.Solver
+	cfg.Obs = octx.In(sp)
+	solveStart := time.Now()
+	rs, err := es.eng.SolveManyConfig([]pagerank.Vector{
 		pagerank.UniformJump(n),
 		coreJump(n, core, es.opts.Gamma),
-	})
+	}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("mass: batched PageRank solves: %w", err)
 	}
+	annotateSolve(sp, "solve.p", solveStart, rs[0])
+	annotateSolve(sp, "solve.p_core", solveStart, rs[1])
+	dsp := cfg.Obs.Span("mass.derive")
 	e := Derive(rs[0].Scores, rs[1].Scores, es.damping())
+	dsp.End()
+	octx.Counter("mass.estimations").Inc()
 	e.SolveStats = rs[0].Stats
 	return e, nil
 }
@@ -188,6 +229,10 @@ func (es *Estimator) RecomputeMany(prev *Estimates, cores [][]graph.NodeID) ([]*
 	if prev.N() != es.g.NumNodes() {
 		return nil, fmt.Errorf("mass: previous estimates cover %d nodes, graph has %d", prev.N(), es.g.NumNodes())
 	}
+	octx := es.obsCtx()
+	sp := octx.Span("mass.recompute")
+	defer sp.End()
+	sp.SetAttr("cores", len(cores))
 	n := es.g.NumNodes()
 	ws := make([]pagerank.Vector, len(cores))
 	for i, core := range cores {
@@ -198,15 +243,19 @@ func (es *Estimator) RecomputeMany(prev *Estimates, cores [][]graph.NodeID) ([]*
 	}
 	cfg := es.opts.Solver
 	cfg.WarmStart = prev.PCore
+	cfg.Obs = octx.In(sp)
 	rs, err := es.eng.SolveManyConfig(ws, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("mass: warm core-based PageRank: %w", err)
 	}
+	dsp := cfg.Obs.Span("mass.derive")
 	out := make([]*Estimates, len(rs))
 	for i, r := range rs {
 		out[i] = Derive(prev.P, r.Scores, prev.Damping)
 		out[i].SolveStats = r.Stats
 	}
+	dsp.End()
+	octx.Counter("mass.recomputes").Add(int64(len(cores)))
 	return out, nil
 }
 
@@ -222,11 +271,20 @@ func (es *Estimator) EstimateFromBlacklist(spamCore []graph.NodeID, beta float64
 	if err := validateFraction("beta", beta); err != nil {
 		return nil, err
 	}
+	octx := es.obsCtx()
+	sp := octx.Span("mass.estimate_from_blacklist")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("core_size", len(spamCore))
+		sp.SetAttr("beta", beta)
+	}
+	cfg := es.opts.Solver
+	cfg.Obs = octx.In(sp)
 	n := es.g.NumNodes()
-	rs, err := es.eng.SolveMany([]pagerank.Vector{
+	rs, err := es.eng.SolveManyConfig([]pagerank.Vector{
 		pagerank.UniformJump(n),
 		coreJump(n, spamCore, beta),
-	})
+	}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("mass: batched PageRank solves: %w", err)
 	}
@@ -253,9 +311,15 @@ func (es *Estimator) EstimateFromBlacklist(spamCore []graph.NodeID, beta float64
 // Only synthetic settings (and Table 1) have this luxury; it is the
 // reference the estimators are judged against in tests.
 func (es *Estimator) Exact(spam []graph.NodeID) (*Estimates, error) {
+	octx := es.obsCtx()
+	sp := octx.Span("mass.exact")
+	defer sp.End()
+	sp.SetAttr("spam_nodes", len(spam))
+	cfg := es.opts.Solver
+	cfg.Obs = octx.In(sp)
 	n := es.g.NumNodes()
 	v := pagerank.UniformJump(n)
-	rs, err := es.eng.SolveMany([]pagerank.Vector{v, pagerank.JumpRestriction(v, spam)})
+	rs, err := es.eng.SolveManyConfig([]pagerank.Vector{v, pagerank.JumpRestriction(v, spam)}, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("mass: batched PageRank solves: %w", err)
 	}
@@ -423,4 +487,83 @@ func (e *Estimates) RelMassOrNaN(x graph.NodeID) float64 {
 		return math.NaN()
 	}
 	return e.Rel[x]
+}
+
+// ReportSummary condenses the estimates plus an Algorithm 2 run into
+// the RunReport mass section: γ and the jump/vector norms of the
+// Section 3.5 scaling diagnostic, the threshold counts, and the
+// spam-mass distribution deciles over the examined set T (nodes with
+// scaled PageRank ≥ ρ).
+func ReportSummary(e *Estimates, coreSize int, gamma float64, dcfg DetectConfig, candidates int) *obs.MassSummary {
+	s := &obs.MassSummary{
+		Gamma:      gamma,
+		CoreSize:   coreSize,
+		PNorm:      e.P.Norm1(),
+		PCoreNorm:  e.PCore.Norm1(),
+		Tau:        dcfg.RelMassThreshold,
+		Rho:        dcfg.ScaledPageRankThreshold,
+		Candidates: candidates,
+	}
+	// ‖w‖ = γ by construction; an unscaled core (γ = 0) uses 1/n per
+	// core node (Definition 3).
+	s.JumpNorm = gamma
+	if gamma == 0 && e.N() > 0 {
+		s.JumpNorm = float64(coreSize) / float64(e.N())
+	}
+	var rel, abs []float64
+	for x := 0; x < e.N(); x++ {
+		id := graph.NodeID(x)
+		if e.ScaledPageRank(id) < dcfg.ScaledPageRankThreshold {
+			continue
+		}
+		rel = append(rel, e.Rel[x])
+		abs = append(abs, e.ScaledAbsMass(id))
+	}
+	s.NodesAboveRho = len(rel)
+	sort.Float64s(rel)
+	sort.Float64s(abs)
+	s.RelMassDeciles = obs.Deciles(rel)
+	s.AbsMassDeciles = obs.Deciles(abs)
+	return s
+}
+
+// Records renders the detection outcome of every node in T (scaled
+// PageRank ≥ ρ) as report rows, sorted by decreasing relative mass,
+// labeled per Algorithm 2. names, when non-nil, supplies the host
+// names. This is the row source of both RunReport.Detections and the
+// spammass -json output.
+func Records(e *Estimates, dcfg DetectConfig, names []string) []obs.DetectionRecord {
+	var out []obs.DetectionRecord
+	for x := 0; x < e.N(); x++ {
+		id := graph.NodeID(x)
+		spr := e.ScaledPageRank(id)
+		if spr < dcfg.ScaledPageRankThreshold {
+			continue
+		}
+		rec := obs.DetectionRecord{
+			Node:    int64(x),
+			P:       spr,
+			PCore:   e.PCore[x] * float64(e.N()) / (1 - e.Damping),
+			AbsMass: e.ScaledAbsMass(id),
+			RelMass: e.Rel[x],
+			Label:   obs.LabelGood,
+		}
+		if e.Rel[x] >= dcfg.RelMassThreshold {
+			rec.Label = obs.LabelSpam
+		}
+		if names != nil {
+			rec.Host = names[x]
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RelMass != out[j].RelMass {
+			return out[i].RelMass > out[j].RelMass
+		}
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
 }

@@ -1,0 +1,174 @@
+// Package obs is the observability layer of the spam-mass pipeline:
+// a concurrency-safe metrics registry (counters, gauges, log-bucket
+// timing histograms) exposed via expvar, lightweight hierarchical
+// spans that serialize to a JSON trace, a machine-readable RunReport
+// aggregating both with solver and mass-estimation summaries, and an
+// optional pprof/expvar debug HTTP endpoint.
+//
+// Everything is plumbed through a *Context, and a nil *Context (or a
+// nil *Span, *Counter, …) is fully valid: every operation on a nil
+// receiver is a no-op, so instrumented code pays a single pointer
+// check when no sink is attached. The package depends only on the
+// standard library; the rest of the system imports it, never the
+// other way around.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Context carries the observability sinks through the pipeline: a
+// metrics registry, a current root span that new spans attach to, and
+// an optional line logger for verbose output. Any of the three may be
+// absent. The zero Context and the nil *Context are both inert.
+//
+// A Context is safe for concurrent use except for SetRoot, which is
+// meant for a single driving goroutine (a CLI switching between
+// pipeline stages).
+type Context struct {
+	mu   sync.Mutex
+	reg  *Registry
+	root *Span
+	logf func(format string, args ...any)
+}
+
+// NewContext builds a Context over a registry and a root span; either
+// may be nil.
+func NewContext(reg *Registry, root *Span) *Context {
+	return &Context{reg: reg, root: root}
+}
+
+// WithLogf returns a copy of the context whose Logf forwards to f.
+// The copy shares the registry and root span with the original.
+func (c *Context) WithLogf(f func(format string, args ...any)) *Context {
+	if c == nil {
+		return &Context{logf: f}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Context{reg: c.reg, root: c.root, logf: f}
+}
+
+// In returns a context rooted at sp, so spans started through it
+// become children of sp. Registry and logger are shared. In on a nil
+// context returns nil; a nil sp returns c unchanged.
+func (c *Context) In(sp *Span) *Context {
+	if c == nil || sp == nil {
+		return c
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Context{reg: c.reg, root: sp, logf: c.logf}
+}
+
+// SetRoot swaps the span that new spans attach to and returns the
+// previous one, for stage-scoped re-rooting:
+//
+//	prev := octx.SetRoot(stage)
+//	defer octx.SetRoot(prev)
+func (c *Context) SetRoot(sp *Span) (prev *Span) {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, c.root = c.root, sp
+	return prev
+}
+
+// Registry returns the metrics registry, or nil.
+func (c *Context) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}
+
+// Root returns the span new spans currently attach to, or nil.
+func (c *Context) Root() *Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.root
+}
+
+// Span starts a new span as a child of the current root. Without a
+// root (but a non-nil context) it starts a detached span, so timings
+// are still collected; on a nil context it returns nil.
+func (c *Context) Span(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	root := c.root
+	c.mu.Unlock()
+	if root == nil {
+		return NewSpan(name)
+	}
+	return root.Child(name)
+}
+
+// Counter returns the named counter, or nil without a registry.
+func (c *Context) Counter(name string) *Counter { return c.Registry().Counter(name) }
+
+// Gauge returns the named gauge, or nil without a registry.
+func (c *Context) Gauge(name string) *Gauge { return c.Registry().Gauge(name) }
+
+// Histogram returns the named timing histogram, or nil without a
+// registry.
+func (c *Context) Histogram(name string) *Histogram { return c.Registry().Histogram(name) }
+
+// Logging reports whether a line logger is attached.
+func (c *Context) Logging() bool { return c != nil && c.logf != nil }
+
+// Logf emits one line to the attached logger, if any.
+func (c *Context) Logf(format string, args ...any) {
+	if c == nil || c.logf == nil {
+		return
+	}
+	c.logf(format, args...)
+}
+
+// StderrLogf returns a Logf sink writing one line per call to w.
+func StderrLogf(w io.Writer) func(format string, args ...any) {
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// CountingReader wraps an io.Reader and counts the bytes delivered,
+// for I/O instrumentation of streaming graph loads and sweeps. N is
+// owned by the reading goroutine; read it only after reading stops.
+type CountingReader struct {
+	R io.Reader
+	N int64
+}
+
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	c.N += int64(n)
+	return n, err
+}
+
+// Timed runs f under a span with the given name and returns f's error;
+// sugar for instrumenting a whole phase at a call site.
+func Timed(c *Context, name string, f func() error) error {
+	sp := c.Span(name)
+	err := f()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return err
+}
+
+// now is stubbed in tests that need deterministic span timings.
+var now = time.Now

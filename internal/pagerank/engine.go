@@ -179,6 +179,18 @@ func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
 
 	start := time.Now()
 	stats := &SolveStats{Algorithm: cfg.Algorithm, Batch: k, Workers: workers}
+	octx := cfg.Obs
+	sp := octx.Span("pagerank.solve")
+	if sp != nil {
+		sp.SetAttr("algorithm", cfg.Algorithm.String())
+		sp.SetAttr("batch", k)
+		sp.SetAttr("nodes", n)
+		sp.SetAttr("workers", workers)
+	}
+	// traced gates all per-iteration telemetry; span events and Logf
+	// lines are rendered from the same TraceEvent, so verbose output
+	// and the JSON trace cannot diverge.
+	traced := cfg.Trace != nil || sp != nil || octx.Logging()
 	m := e.g.NumEdges()
 	c := cfg.Damping
 	resid := make([]float64, k)     // per-vector residual of the last iteration
@@ -229,22 +241,43 @@ func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
 			}
 		}
 		stats.Residuals = append(stats.Residuals, maxRes)
-		if cfg.Trace != nil {
-			cfg.Trace(TraceEvent{
+		if traced {
+			ev := TraceEvent{
 				Algorithm: cfg.Algorithm,
 				Batch:     k,
 				Iteration: it,
 				Residual:  maxRes,
 				Elapsed:   time.Since(start),
-			})
+			}
+			if cfg.Trace != nil {
+				cfg.Trace(ev)
+			}
+			if sp != nil || octx.Logging() {
+				msg := ev.String()
+				sp.Event(msg)
+				octx.Logf("%s", msg)
+			}
 		}
 		if maxRes < cfg.Epsilon {
 			break
 		}
 	}
-	stats.WallTime = time.Since(start)
-	if secs := stats.WallTime.Seconds(); secs > 0 {
-		stats.EdgesPerSecond = float64(stats.EdgesSwept) / secs
+	stats.finish(time.Since(start))
+	if octx != nil {
+		reg := octx.Registry()
+		reg.Counter("pagerank.solves").Inc()
+		reg.Counter("pagerank.batch_vectors").Add(int64(k))
+		reg.Counter("pagerank.iterations").Add(int64(stats.Iterations))
+		reg.Counter("pagerank.edges_swept").Add(stats.EdgesSwept)
+		reg.Histogram("pagerank.solve_seconds").Observe(stats.WallTime.Seconds())
+	}
+	if sp != nil {
+		sp.SetAttr("iterations", stats.Iterations)
+		if len(stats.Residuals) > 0 {
+			sp.SetAttr("final_residual", stats.Residuals[len(stats.Residuals)-1])
+		}
+		sp.SetAttr("edges_swept", stats.EdgesSwept)
+		sp.End()
 	}
 	// The swap leaves the freshest iterate in cur; remember it for the
 	// next solve's buffer reuse.

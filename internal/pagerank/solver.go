@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"spammass/internal/graph"
+	"spammass/internal/obs"
 )
 
 // Config controls the PageRank computation.
@@ -37,6 +38,11 @@ type Config struct {
 	AllowTruncated bool
 	// Trace, if non-nil, receives one TraceEvent per solver iteration.
 	Trace TraceFunc
+	// Obs, if non-nil, attaches the observability sinks: every solve
+	// records a "pagerank.solve" span (with one event per iteration)
+	// under the context's root and updates the pagerank.* metrics of
+	// its registry. A nil Obs costs a single pointer check per solve.
+	Obs *obs.Context
 }
 
 // Algorithm names a linear PageRank solver.

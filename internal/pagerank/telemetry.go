@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"spammass/internal/obs"
 )
 
 // ErrNotConverged reports a solve that exhausted MaxIter with the L1
@@ -45,6 +47,13 @@ type TraceEvent struct {
 	Elapsed time.Duration
 }
 
+// String renders the event as the one-line form shared by -v logs and
+// span events, so the two can never diverge.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%s batch=%d iter=%3d residual=%.3e elapsed=%s",
+		e.Algorithm, e.Batch, e.Iteration, e.Residual, e.Elapsed.Round(time.Microsecond))
+}
+
 // TraceFunc receives per-iteration telemetry during a solve. It is
 // called synchronously from the solver loop, so it must be cheap and
 // must not call back into the engine.
@@ -76,8 +85,46 @@ type SolveStats struct {
 	Workers int
 }
 
-// String renders a one-line summary suitable for -v logs.
+// finish stamps the wall time and derives the sweep throughput. It is
+// the single place EdgesPerSecond is computed: a sub-resolution wall
+// time (clocks can report 0 on sub-microsecond test solves) leaves the
+// rate at 0 instead of producing +Inf or NaN.
+func (s *SolveStats) finish(wall time.Duration) {
+	s.WallTime = wall
+	s.EdgesPerSecond = 0
+	if secs := wall.Seconds(); secs > 0 {
+		s.EdgesPerSecond = float64(s.EdgesSwept) / secs
+	}
+}
+
+// String renders a one-line summary suitable for -v logs. The
+// throughput is rounded to whole edges per second.
 func (s *SolveStats) String() string {
-	return fmt.Sprintf("%s: batch=%d iters=%d wall=%v edges=%d (%.3g edges/s, %d workers)",
+	return fmt.Sprintf("%s: batch=%d iters=%d wall=%v edges=%d (%.0f edges/s, %d workers)",
 		s.Algorithm, s.Batch, s.Iterations, s.WallTime.Round(time.Microsecond), s.EdgesSwept, s.EdgesPerSecond, s.Workers)
+}
+
+// Summary condenses the stats into the RunReport shape. name labels
+// the solve's role in the pipeline; converged and the final residual
+// come from the accompanying Result. A nil receiver yields a zero
+// summary carrying only the name.
+func (s *SolveStats) Summary(name string, converged bool) obs.SolveSummary {
+	if s == nil {
+		return obs.SolveSummary{Name: name, Converged: converged}
+	}
+	sum := obs.SolveSummary{
+		Name:           name,
+		Algorithm:      s.Algorithm.String(),
+		Batch:          s.Batch,
+		Iterations:     s.Iterations,
+		Converged:      converged,
+		WallNS:         int64(s.WallTime),
+		EdgesSwept:     s.EdgesSwept,
+		EdgesPerSecond: s.EdgesPerSecond,
+		Workers:        s.Workers,
+	}
+	if len(s.Residuals) > 0 {
+		sum.FinalResidual = s.Residuals[len(s.Residuals)-1]
+	}
+	return sum
 }

@@ -28,6 +28,9 @@ type Oracle func(graph.NodeID) bool
 // from which many other nodes can be reached quickly score high. It is
 // the seed-candidate ranking heuristic of the TrustRank paper.
 func InversePageRank(g *graph.Graph, cfg pagerank.Config) (pagerank.Vector, error) {
+	sp := cfg.Obs.Span("trustrank.inverse_pagerank")
+	defer sp.End()
+	cfg.Obs = cfg.Obs.In(sp)
 	t := g.Transpose()
 	eng, err := pagerank.NewEngine(t, cfg)
 	if err != nil {
@@ -110,8 +113,14 @@ func ComputeOn(eng *pagerank.Engine, seeds []graph.NodeID) (pagerank.Vector, err
 		}
 		seen[s] = true
 	}
+	octx := eng.Config().Obs
+	sp := octx.Span("trustrank.compute")
+	defer sp.End()
+	sp.SetAttr("seeds", len(seeds))
+	cfg := eng.Config()
+	cfg.Obs = octx.In(sp)
 	v := pagerank.CoreJump(g.NumNodes(), seeds, 1/float64(len(seeds)))
-	res, err := eng.Solve(v)
+	res, err := eng.SolveConfig(v, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("trustrank: biased PageRank: %w", err)
 	}

@@ -38,6 +38,7 @@ import (
 	"spammass/internal/goodcore"
 	"spammass/internal/graph"
 	"spammass/internal/mass"
+	"spammass/internal/obs"
 	"spammass/internal/pagerank"
 	"spammass/internal/trustrank"
 	"spammass/internal/webgen"
@@ -363,3 +364,30 @@ type PageWorld = webgen.PageWorld
 func PairwiseOrderedness(scores Vector, good, spam []NodeID) (float64, error) {
 	return trustrank.PairwiseOrderedness(scores, good, spam)
 }
+
+// ObsContext threads the observability sinks (metrics registry, span
+// tree, line logger) through the pipeline; attach one to
+// SolverConfig.Obs and every solve, estimation, and detection records
+// spans and metrics. A nil *ObsContext is a valid no-op.
+type ObsContext = obs.Context
+
+// ObsRegistry is a concurrency-safe metrics registry (counters,
+// gauges, log-bucket timing histograms), exposable via expvar.
+type ObsRegistry = obs.Registry
+
+// ObsSpan is one timed node of a hierarchical trace.
+type ObsSpan = obs.Span
+
+// RunReport is the machine-readable record of one pipeline run,
+// written by the CLIs' -report flag.
+type RunReport = obs.RunReport
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsSpan starts a detached root span.
+func NewObsSpan(name string) *ObsSpan { return obs.NewSpan(name) }
+
+// NewObsContext builds a context over a registry and a root span;
+// either may be nil.
+func NewObsContext(reg *ObsRegistry, root *ObsSpan) *ObsContext { return obs.NewContext(reg, root) }
