@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-all race vet verify clean
+.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -10,24 +10,51 @@ test:
 
 # bench runs the 10k-node acceptance benchmarks (plain, obs-enabled,
 # and batched recompute) with -benchmem and converts the output into
-# the machine-readable BENCH_pr2.json summary.
+# the machine-readable benchmark summary for this PR.
+BENCH_OUT ?= BENCH_pr3.json
 bench:
-	$(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ | $(GO) run ./cmd/benchjson -o BENCH_pr2.json
+	$(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # bench-all is the full benchmark sweep over every package.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Race-check the concurrent solver engine and the mass layer on top.
+# Race-check everything: the solver engine and mass layer are the hot
+# concurrent paths, but obs registries/spans and experiment batching
+# are shared across goroutines too.
 race:
-	$(GO) test -race ./internal/pagerank/... ./internal/mass/...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
 
-# verify is the tier-1 gate: vet, full build, full test suite, and the
-# race detector over the engine and estimator packages.
-verify: vet build test race
+# lint runs spamlint, the repo's own static-analysis suite
+# (internal/analysis): sliceexport, floatcmp, solveerr, spanend,
+# printcall. Suppress intentional findings with
+# `// lint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/spamlint ./...
+
+# vectorcheck builds the engine with the debug guard that scans every
+# solve result for NaN/±Inf/negative scores, and runs the pagerank
+# tests under it.
+vectorcheck:
+	$(GO) test -tags vectorcheck ./internal/pagerank/
+
+# fuzz-smoke gives each fuzz target a short budget; regressions in the
+# decoders, host collapsing, or mass derivation surface fast.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzHostOf -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzCollapseToHosts -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzDerive -fuzztime=$(FUZZTIME) ./internal/mass/
+
+# verify is the tier-1 gate: vet, spamlint, full build, full test
+# suite, the race detector over every package, and the pagerank tests
+# under the vectorcheck debug tag.
+verify: vet lint build test race vectorcheck
 	@echo "verify: OK"
 
 clean:

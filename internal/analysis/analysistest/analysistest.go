@@ -1,0 +1,144 @@
+// Package analysistest is the golden-test harness for spamlint
+// analyzers: it loads a fixture package from
+// internal/analysis/testdata/src/<name>, runs one analyzer over it,
+// and compares the (suppression-filtered) diagnostics against
+// `// want "regexp"` comments in the fixture sources.
+//
+// Every line that should be flagged carries a want comment whose
+// regular expression must match the diagnostic message; lines without
+// a want comment must produce no diagnostic. A fixture therefore
+// encodes positive and negative cases side by side.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spammass/internal/analysis"
+)
+
+// Run loads testdata/src/<fixture> relative to the analysis package
+// and checks analyzer a against the fixture's want comments.
+func Run(t *testing.T, fixture string, a *analysis.Analyzer) {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", fixture)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("building loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no buildable files", fixture)
+	}
+	diags := analysis.Run([]analysis.Rule{{Analyzer: a}}, []*analysis.Package{pkg})
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		w := findWant(wants, matched, d)
+		if w == nil {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		matched[w] = true
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE extracts the quoted patterns of a want comment:
+// `// want "a" "b"`.
+var wantRE = regexp.MustCompile(`want\s+(.*)`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil || !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses the pattern list of a want comment. Patterns are
+// double-quoted (Go string syntax, escapes honored) or backquoted
+// (taken verbatim, convenient for regexps).
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s:%d: malformed want comment near %q", pos.Filename, pos.Line, s)
+		}
+		end := 1
+		for end < len(s) && s[end] != quote {
+			if quote == '"' && s[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+		}
+		q := s[1:end]
+		if quote == '"' {
+			var err error
+			q, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, s[:end+1], err)
+			}
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// findWant returns an unmatched want on the diagnostic's line whose
+// pattern matches the message (so several wants can share a line).
+func findWant(wants []*want, matched map[*want]bool, d analysis.Diagnostic) *want {
+	for _, w := range wants {
+		if !matched[w] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}

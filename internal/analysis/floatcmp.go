@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags == and != between floating-point operands. In the
+// numerical core a spurious exact comparison either never fires
+// (residual tests) or fires for the wrong values (iterates that differ
+// by one ulp), so ordered comparisons against a tolerance are required
+// instead.
+//
+// Comparing against the literal constant 0 is exempt: it tests "never
+// set" or an exact sign condition and is well-defined in IEEE 754.
+// Intentional exact comparisons (deterministic sort tie-breaks) carry
+// a lint:ignore suppression with the reason written down.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "floating-point == or != comparison (use a tolerance, or compare to the 0 literal)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			if isZeroConst(pass.Info, bin.X) || isZeroConst(pass.Info, bin.Y) {
+				return true
+			}
+			pass.Reportf(bin.OpPos, "floating-point %s comparison; use a tolerance (exact equality is intentional only for tie-breaks — suppress with a reason)", bin.Op)
+			return true
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	// lint:ignore <analyzer> <reason>
+//
+// The directive suppresses diagnostics of the named analyzer on the
+// same line (trailing comment) or on the line directly below (comment
+// on its own line above the flagged code). The reason is mandatory: a
+// suppression without one is itself reported.
+const ignorePrefix = "lint:ignore"
+
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// ignoreIndex maps file name → line → directives on that line.
+type ignoreIndex map[string]map[int][]ignoreDirective
+
+// collectIgnores scans the comments of files for lint:ignore
+// directives. Malformed directives (missing analyzer or reason, or an
+// analyzer name not in known) are reported as diagnostics of the
+// pseudo-analyzer "lint".
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool, report func(Diagnostic)) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+				text = strings.TrimSuffix(text, "*/")
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed lint:ignore directive: want `lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "lint:ignore names unknown analyzer " + name,
+					})
+					continue
+				}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]ignoreDirective{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{
+					analyzer: name,
+					reason:   strings.TrimSpace(strings.TrimPrefix(rest, " "+name)),
+					pos:      pos,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether d is covered by a directive on its line
+// or the line above.
+func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	byLine := idx[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range byLine[line] {
+			if dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

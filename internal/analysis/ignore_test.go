@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const ignoreSrc = `package p
+
+// lint:ignore
+var a int
+
+// lint:ignore floatcmp
+var b int
+
+// lint:ignore nosuch some reason
+var c int
+
+// lint:ignore floatcmp a real reason
+var d int
+
+var e int // lint:ignore floatcmp trailing directive with reason
+`
+
+func parseIgnoreSrc(t *testing.T) (*token.FileSet, ignoreIndex, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	var diags []Diagnostic
+	idx := collectIgnores(fset, []*ast.File{f}, map[string]bool{"floatcmp": true}, func(d Diagnostic) {
+		diags = append(diags, d)
+	})
+	return fset, idx, diags
+}
+
+func TestCollectIgnores(t *testing.T) {
+	_, idx, diags := parseIgnoreSrc(t)
+
+	// Three malformed directives: no analyzer, no reason, unknown name.
+	if len(diags) != 3 {
+		t.Fatalf("want 3 malformed-directive diagnostics, got %d: %v", len(diags), diags)
+	}
+	for i, wantSub := range []string{"malformed lint:ignore", "malformed lint:ignore", "unknown analyzer nosuch"} {
+		if !strings.Contains(diags[i].Message, wantSub) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i].Message, wantSub)
+		}
+		if diags[i].Analyzer != "lint" {
+			t.Errorf("diag %d analyzer = %q, want \"lint\"", i, diags[i].Analyzer)
+		}
+	}
+
+	// The two well-formed directives are indexed with their reasons.
+	byLine := idx["p.go"]
+	if byLine == nil {
+		t.Fatal("no directives indexed for p.go")
+	}
+	var reasons []string
+	for _, dirs := range byLine {
+		for _, d := range dirs {
+			if d.analyzer != "floatcmp" {
+				t.Errorf("indexed directive for %q, want floatcmp", d.analyzer)
+			}
+			reasons = append(reasons, d.reason)
+		}
+	}
+	if len(reasons) != 2 {
+		t.Fatalf("want 2 indexed directives, got %d", len(reasons))
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	_, idx, _ := parseIgnoreSrc(t)
+
+	// Directive above line 13 ("lint:ignore floatcmp a real reason")
+	// covers diagnostics on its own line and the line below.
+	mk := func(line int, analyzer string) Diagnostic {
+		return Diagnostic{
+			Analyzer: analyzer,
+			Pos:      token.Position{Filename: "p.go", Line: line},
+		}
+	}
+	if !idx.suppressed(mk(13, "floatcmp")) {
+		t.Error("diagnostic on the line below a directive should be suppressed")
+	}
+	if !idx.suppressed(mk(12, "floatcmp")) {
+		t.Error("diagnostic on the directive's own line should be suppressed")
+	}
+	if idx.suppressed(mk(14, "floatcmp")) {
+		t.Error("directive must not reach two lines down")
+	}
+	if idx.suppressed(mk(13, "spanend")) {
+		t.Error("directive for floatcmp must not suppress spanend")
+	}
+	if !idx.suppressed(mk(15, "floatcmp")) {
+		t.Error("trailing directive should cover its own line")
+	}
+	if !idx.suppressed(mk(16, "floatcmp")) {
+		t.Error("trailing directive should cover the line below too")
+	}
+	if idx.suppressed(mk(17, "floatcmp")) {
+		t.Error("trailing directive must not reach two lines down")
+	}
+}
+
+func TestRuleApplies(t *testing.T) {
+	r := Rule{
+		Analyzer: FloatCmp,
+		Include:  []string{"spammass/internal"},
+		Exclude:  []string{"spammass/internal/cliobs"},
+	}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"spammass/internal/mass", true},
+		{"spammass/internal", true},
+		{"spammass/internal/cliobs", false},
+		{"spammass/internal/cliobs/sub", false},
+		{"spammass/cmd/spamlint", false},
+		{"spammass/internalx", false},
+	}
+	for _, c := range cases {
+		if got := r.applies(c.path); got != c.want {
+			t.Errorf("applies(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the import path ("spammass/internal/mass").
+	Path string
+	// Fset positions Files (shared with the loader).
+	Fset *token.FileSet
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Files is the parsed syntax: non-test files surviving build-tag
+	// filtering, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds type-checker results for Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks module packages from source, resolving
+// module-internal imports recursively and standard-library imports via
+// the compiler's export data (with a pure source-importer fallback).
+// It depends only on the standard library.
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path declared in go.mod.
+	Module string
+	// Fset positions all parsed files.
+	Fset *token.FileSet
+	// Tags are the build tags considered satisfied, in addition to the
+	// host GOOS/GOARCH and release tags (e.g. "vectorcheck").
+	Tags map[string]bool
+
+	std      types.Importer
+	stdSrc   types.Importer
+	pkgs     map[string]*Package
+	loading  map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at root. tags lists
+// extra build tags to satisfy when selecting files.
+func NewLoader(root string, tags ...string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Root:    abs,
+		Module:  mod,
+		Fset:    token.NewFileSet(),
+		Tags:    map[string]bool{},
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	for _, t := range tags {
+		l.Tags[t] = true
+	}
+	l.std = importer.Default()
+	return l, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// a go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// LoadAll loads every package of the module: each directory under Root
+// holding non-test .go files, skipping testdata, hidden directories,
+// and .git.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.Root && (name == "testdata" || name == ".git" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the package in dir. It returns nil
+// (no error) for a directory whose files are all excluded by build
+// constraints.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(abs)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(path, abs)
+}
+
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module root %s", dir, l.Root)
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) dirFor(path string) string {
+	if path == l.Module {
+		return l.Root
+	}
+	return filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module+"/")))
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !l.fileIncluded(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.pkgs[path] = nil
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := &types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := cfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.Fset, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import: module-internal paths are loaded from
+// source, everything else goes to the compiler's export data, falling
+// back to type-checking the standard library from GOROOT source.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.load(path, l.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no buildable files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	tpkg, err := l.std.Import(path)
+	if err == nil {
+		return tpkg, nil
+	}
+	if l.stdSrc == nil {
+		l.stdSrc = importer.ForCompiler(l.Fset, "source", nil)
+	}
+	return l.stdSrc.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// fileIncluded evaluates the file's //go:build constraint (if any)
+// against the loader's tag set. Files without a constraint are always
+// included.
+func (l *Loader) fileIncluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false
+			}
+			if !expr.Eval(l.tagSatisfied) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (l *Loader) tagSatisfied(tag string) bool {
+	if l.Tags[tag] {
+		return true
+	}
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		// Close enough for this module's purposes: the repo is
+		// developed and gated on unix-like hosts.
+		return runtime.GOOS != "windows" && runtime.GOOS != "plan9"
+	}
+	// Release tags: every go1.x directive a file in this module could
+	// carry is satisfied by the toolchain that builds it.
+	return strings.HasPrefix(tag, "go1.")
+}

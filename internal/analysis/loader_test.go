@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module so loader
+// behavior (module root discovery, go.mod parsing, build-tag file
+// selection) is tested hermetically.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/tagmod\n\ngo 1.21\n",
+		"a.go":   "package tagmod\n\nvar A = 1\n",
+		"b_tagged.go": "//go:build lintfixturetag\n\npackage tagmod\n\nvar B = 2\n",
+		"c_excluded.go": "//go:build neverenabledtag\n\npackage tagmod\n\nvar C = 3\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(root, name), []byte(src), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(root, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root := writeModule(t)
+	got, err := FindModuleRoot(filepath.Join(root, "sub"))
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	want, _ := filepath.EvalSymlinks(root)
+	gotEval, _ := filepath.EvalSymlinks(got)
+	if gotEval != want {
+		t.Errorf("FindModuleRoot = %s, want %s", got, root)
+	}
+	if _, err := FindModuleRoot(os.TempDir()); err == nil {
+		t.Skip("a go.mod exists above the temp dir on this host")
+	}
+}
+
+func TestLoaderModulePath(t *testing.T) {
+	root := writeModule(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.Module != "example.com/tagmod" {
+		t.Errorf("Module = %q, want example.com/tagmod", l.Module)
+	}
+}
+
+func TestLoaderBuildTags(t *testing.T) {
+	root := writeModule(t)
+
+	// Default tag set: only the unconstrained file survives.
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(root)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if got := len(pkg.Files); got != 1 {
+		t.Errorf("default tags: loaded %d files, want 1", got)
+	}
+
+	// With the custom tag, the tagged file joins the build.
+	lt, err := NewLoader(root, "lintfixturetag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err = lt.LoadDir(root)
+	if err != nil {
+		t.Fatalf("LoadDir with tag: %v", err)
+	}
+	if got := len(pkg.Files); got != 2 {
+		t.Errorf("with lintfixturetag: loaded %d files, want 2", got)
+	}
+	if pkg.Types.Scope().Lookup("B") == nil {
+		t.Error("tagged file's declaration B missing from type info")
+	}
+	if pkg.Types.Scope().Lookup("C") != nil {
+		t.Error("neverenabledtag file must stay excluded")
+	}
+}
+
+func TestLoadAllSkipsTestdata(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	for _, p := range pkgs {
+		if p == nil {
+			continue
+		}
+		if filepath.Base(filepath.Dir(p.Dir)) == "testdata" || filepath.Base(p.Dir) == "testdata" {
+			t.Errorf("LoadAll loaded a testdata package: %s", p.Dir)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PrintCall flags direct output from library packages: fmt.Print*,
+// log output functions, and the println/print builtins. Library code
+// must route human-visible output through the obs layer (Context.Logf,
+// spans) or return values; printing from a library interleaves with
+// CLI output, breaks -json consumers, and is invisible to traces.
+// Writing to an io.Writer the caller supplied (fmt.Fprintf) is fine.
+var PrintCall = &Analyzer{
+	Name: "printcall",
+	Doc:  "fmt.Print*/log.Print*/println in a library package (route output through obs)",
+	Run:  runPrintCall,
+}
+
+var printFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+		"Output": true,
+	},
+}
+
+func runPrintCall(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, isB := pass.Info.Uses[id].(*types.Builtin); isB {
+					if name := b.Name(); name == "println" || name == "print" {
+						pass.Reportf(call.Pos(), "builtin %s in library package; route output through obs.Context or return values", name)
+					}
+				}
+				return true
+			}
+			pkgPath, name, ok := calleeName(pass.Info, call)
+			if !ok {
+				return true
+			}
+			if fns, ok := printFuncs[pkgPath]; ok && fns[name] {
+				pass.Reportf(call.Pos(), "%s.%s in library package; route output through obs.Context or return values", pkgPath, name)
+			}
+			return true
+		})
+	}
+}

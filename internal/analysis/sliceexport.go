@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SliceExport flags exported functions and methods that return a
+// numeric slice ([]float64, []uint32, pagerank.Vector, …) aliasing a
+// struct field of the receiver or a parameter without cloning it.
+//
+// This is the Estimates-aliasing bug class: a caller that mutates the
+// returned vector in place (Scale, Sub, sort) silently corrupts the
+// internal state it aliases, perturbing every later computation that
+// reads it — exactly the small-numerical-perturbation failure mode
+// that skews M̃ = p − p'. Return a clone, or suppress with a written
+// reason when the aliasing is intentional and documented (e.g. CSR
+// adjacency views on the hot path).
+var SliceExport = &Analyzer{
+	Name: "sliceexport",
+	Doc:  "exported function returns an internal numeric slice field without cloning",
+	Run:  runSliceExport,
+}
+
+func runSliceExport(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			owned := ownedObjects(pass, fn)
+			if len(owned) == 0 {
+				continue
+			}
+			// Inspect return statements of the function itself, not of
+			// nested function literals (their results go elsewhere).
+			var inspect func(n ast.Node) bool
+			inspect = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						checkReturnedExpr(pass, fn, owned, res)
+					}
+				}
+				return true
+			}
+			ast.Inspect(fn.Body, inspect)
+		}
+	}
+}
+
+// ownedObjects collects the receiver and parameter objects whose
+// fields count as internal state of the function's owner.
+func ownedObjects(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	add := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, fld := range fields.List {
+			for _, name := range fld.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	if fn.Recv != nil {
+		add(fn.Recv)
+	}
+	add(fn.Type.Params)
+	return owned
+}
+
+func checkReturnedExpr(pass *Pass, fn *ast.FuncDecl, owned map[types.Object]bool, res ast.Expr) {
+	res = ast.Unparen(res)
+	elem, ok := numericSliceElem(pass.TypeOf(res))
+	if !ok {
+		return
+	}
+	// The aliasing shapes: `return x.field` and `return x.field[i:j]`
+	// where x is the receiver or a parameter.
+	var sel *ast.SelectorExpr
+	switch e := res.(type) {
+	case *ast.SelectorExpr:
+		sel = e
+	case *ast.SliceExpr:
+		if s, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+			sel = s
+		}
+	}
+	if sel == nil || fieldSelection(pass.Info, sel) == nil {
+		return
+	}
+	root := rootIdent(sel.X)
+	if root == nil || !owned[pass.Info.Uses[root]] {
+		return
+	}
+	pass.Reportf(res.Pos(), "exported %s returns internal []%s field %s.%s without cloning; callers mutating it corrupt internal state",
+		fn.Name.Name, elem, root.Name, sel.Sel.Name)
+}

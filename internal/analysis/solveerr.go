@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SolveErr flags pagerank.Engine solve calls whose error result is
+// discarded: the call used as a statement, deferred, or its error
+// assigned to the blank identifier.
+//
+// This is the silent-non-convergence bug class: a solve that exhausts
+// MaxIter returns *ErrNotConverged together with the truncated result.
+// Discarding the error feeds the truncated vector into downstream
+// mass derivation as if it had converged, which is exactly what the
+// typed error (and IsNotConverged) exists to prevent.
+var SolveErr = &Analyzer{
+	Name: "solveerr",
+	Doc:  "error from Engine.Solve/SolveMany discarded, bypassing IsNotConverged",
+	Run:  runSolveErr,
+}
+
+var solveMethods = map[string]bool{
+	"Solve":           true,
+	"SolveConfig":     true,
+	"SolveMany":       true,
+	"SolveManyConfig": true,
+}
+
+// isSolveCall reports whether call is a method call of one of the
+// solve methods on a pagerank.Engine value.
+func isSolveCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !solveMethods[sel.Sel.Name] {
+		return "", false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	if !namedIn(s.Recv(), "internal/pagerank", "Engine") {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func runSolveErr(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := isSolveCall(pass, call); ok {
+						pass.Reportf(call.Pos(), "result and error of Engine.%s discarded; check the error with IsNotConverged or propagate it", name)
+					}
+				}
+			case *ast.DeferStmt:
+				if name, ok := isSolveCall(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(), "error of deferred Engine.%s is unobservable; call it synchronously and check the error", name)
+				}
+			case *ast.GoStmt:
+				if name, ok := isSolveCall(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(), "error of Engine.%s in go statement is discarded; collect it in the goroutine", name)
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := isSolveCall(pass, call)
+				if !ok {
+					return true
+				}
+				// The error is the last result; a blank last LHS
+				// silences the convergence signal.
+				last := n.Lhs[len(n.Lhs)-1]
+				if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(id.Pos(), "error from Engine.%s assigned to _; a truncated solve then skews downstream mass estimates silently", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd flags obs spans that are started (Context.Span, Span.Child,
+// obs.NewSpan) but not ended on some return path, or never ended at
+// all. An un-ended span reports a running duration in every trace
+// snapshot taken after the function returns, so the JSON trace of the
+// run is silently wrong.
+//
+// The check is a conservative per-function walk: a span-typed local
+// must reach an End() call (deferred or direct) on every path from its
+// creation to each return. Spans that escape the function — passed to
+// another call, stored in a struct, captured by a closure, returned —
+// transfer the obligation and are not checked. ChildWindow results are
+// already ended and are ignored.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs span started but not ended on some return path (corrupts JSON traces)",
+	Run:  runSpanEnd,
+}
+
+var spanStarters = map[string]bool{
+	"Span":    true, // Context.Span
+	"Child":   true, // Span.Child
+	"NewSpan": true, // obs.NewSpan
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkSpansIn(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// spanVar is one span-typed local created in the function body.
+type spanVar struct {
+	id   *ast.Ident    // the declared identifier
+	stmt *ast.AssignStmt // the creating statement
+	name string
+}
+
+func checkSpansIn(pass *Pass, body *ast.BlockStmt) {
+	vars := findSpanVars(pass, body)
+	for _, v := range vars {
+		obj := pass.Info.Defs[v.id]
+		if obj == nil {
+			obj = pass.Info.Uses[v.id]
+		}
+		if obj == nil || spanEscapes(pass, body, v, obj) {
+			continue
+		}
+		w := &spanWalker{pass: pass, v: v, obj: obj}
+		st := w.walkStmts(body.List, statePre)
+		if !w.sawEnd {
+			pass.Reportf(v.stmt.Pos(), "span %q is never ended; its duration stays open in every trace snapshot", v.name)
+			continue
+		}
+		_ = st
+		for _, pos := range w.openReturns {
+			pass.Reportf(pos, "span %q is not ended on this return path; end it before returning or use defer", v.name)
+		}
+	}
+}
+
+// findSpanVars collects `sp := <starter>(...)` statements directly in
+// the function body or nested blocks (but not nested function
+// literals).
+func findSpanVars(pass *Pass, body *ast.BlockStmt) []spanVar {
+	var out []spanVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		var fnName string
+		if ok {
+			fnName = sel.Sel.Name
+		} else if fid, isID := ast.Unparen(call.Fun).(*ast.Ident); isID {
+			fnName = fid.Name
+		}
+		if !spanStarters[fnName] || !isObsSpan(pass.TypeOf(call)) {
+			return true
+		}
+		name := spanLabel(call)
+		out = append(out, spanVar{id: id, stmt: as, name: name})
+		return true
+	})
+	return out
+}
+
+// spanLabel extracts the span's name argument for the diagnostic, when
+// it is a string literal; otherwise the variable name is used.
+func spanLabel(call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			return lit.Value[1 : len(lit.Value)-1]
+		}
+	}
+	return "span"
+}
+
+// spanEscapes reports whether the span variable's End obligation
+// leaves the function: used as a call argument, assigned elsewhere,
+// returned, captured by a closure, or taken the address of. Method
+// calls on the span itself (SetAttr, Event, End, …) do not escape.
+func spanEscapes(pass *Pass, body *ast.BlockStmt, v spanVar, obj types.Object) bool {
+	escaped := false
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Any use inside a closure transfers the obligation.
+			if usesObj(pass, n.Body, obj) {
+				escaped = true
+			}
+			return false
+		case *ast.CallExpr:
+			// Receiver position is fine; argument position escapes.
+			for _, arg := range n.Args {
+				if identIs(pass, arg, obj) || usesObjExpr(pass, arg, obj) {
+					escaped = true
+					return false
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObjExpr(pass, res, obj) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if n == v.stmt {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !usesObjExpr(pass, rhs, obj) {
+					continue
+				}
+				// Reassignment into another variable, field, map, or
+				// slice element escapes.
+				_ = i
+				escaped = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && usesObjExpr(pass, n.X, obj) {
+				escaped = true
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if usesObjExpr(pass, elt, obj) {
+					escaped = true
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, inspect)
+	return escaped
+}
+
+func identIs(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// usesObjExpr reports whether obj appears anywhere in e, except as the
+// receiver of a method call (sp.End(), sp.SetAttr(...)).
+func usesObjExpr(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && identIs(pass, sel.X, obj) {
+				// Walk only the arguments; the receiver use is benign.
+				for _, arg := range call.Args {
+					if usesObjExpr(pass, arg, obj) {
+						found = true
+					}
+				}
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func usesObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// endState tracks the span through a sequential walk of the function.
+type endState int
+
+const (
+	statePre    endState = iota // before the creating statement
+	stateOpen                   // created, not yet ended
+	stateClosed                 // End called (or deferred) on this path
+)
+
+type spanWalker struct {
+	pass        *Pass
+	v           spanVar
+	obj         types.Object
+	sawEnd      bool
+	openReturns []token.Pos
+}
+
+func (w *spanWalker) isEndCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return identIs(w.pass, sel.X, w.obj)
+}
+
+func (w *spanWalker) walkStmts(stmts []ast.Stmt, st endState) endState {
+	for _, s := range stmts {
+		st = w.walkStmt(s, st)
+	}
+	return st
+}
+
+func (w *spanWalker) walkStmt(s ast.Stmt, st endState) endState {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == w.v.stmt && st == statePre {
+			return stateOpen
+		}
+	case *ast.DeferStmt:
+		if w.isEndCall(s.Call) {
+			w.sawEnd = true
+			return stateClosed
+		}
+	case *ast.ExprStmt:
+		if w.isEndCall(s.X) {
+			w.sawEnd = true
+			if st != statePre {
+				return stateClosed
+			}
+		}
+	case *ast.ReturnStmt:
+		if st == stateOpen {
+			w.openReturns = append(w.openReturns, s.Pos())
+		}
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		bodySt := w.walkStmts(s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt = w.walkStmt(s.Else, st)
+		}
+		// `if sp != nil { ...; sp.End() }` is an unconditional End at
+		// runtime (End on a nil span is a no-op), so the body's state
+		// propagates.
+		if s.Else == nil && w.isNilGuard(s.Cond) {
+			return bodySt
+		}
+		if terminates(s.Body) {
+			// The branch returned or panicked; only the fallthrough
+			// state of the other branch continues.
+			return elseSt
+		}
+		if s.Else != nil && terminatesStmt(s.Else) {
+			return bodySt
+		}
+		return mergeStates(bodySt, elseSt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		w.walkStmts(s.Body.List, st)
+		return st
+	case *ast.RangeStmt:
+		w.walkStmts(s.Body.List, st)
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(s, st)
+	}
+	return st
+}
+
+// walkBranches handles switch/select: each clause is checked from the
+// incoming state; the merged fallthrough state is conservative.
+func (w *spanWalker) walkBranches(s ast.Stmt, st endState) endState {
+	var bodies []*ast.CaseClause
+	var comms []*ast.CommClause
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.walkStmt(s.Init, st)
+		}
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause))
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			comms = append(comms, c.(*ast.CommClause))
+		}
+	}
+	out := st
+	for _, c := range bodies {
+		out = mergeStates(out, w.walkStmts(c.Body, st))
+	}
+	for _, c := range comms {
+		out = mergeStates(out, w.walkStmts(c.Body, st))
+	}
+	return out
+}
+
+// isNilGuard reports whether cond is `sp != nil` for the tracked span.
+func (w *spanWalker) isNilGuard(cond ast.Expr) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (identIs(w.pass, bin.X, w.obj) && isNil(bin.Y)) ||
+		(identIs(w.pass, bin.Y, w.obj) && isNil(bin.X))
+}
+
+// mergeStates joins two branch outcomes conservatively: a path that
+// may still be open keeps the obligation alive.
+func mergeStates(a, b endState) endState {
+	if a == stateOpen || b == stateOpen {
+		return stateOpen
+	}
+	if a == stateClosed || b == stateClosed {
+		return stateClosed
+	}
+	return statePre
+}
+
+// terminates reports whether the block always transfers control out
+// (ends in return or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return terminatesStmt(b.List[len(b.List)-1])
+}
+
+func terminatesStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return terminates(s.Body) && s.Else != nil && terminatesStmt(s.Else)
+	}
+	return false
+}

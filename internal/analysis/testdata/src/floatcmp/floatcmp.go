@@ -1,0 +1,57 @@
+// Fixture for the floatcmp analyzer: exact floating-point equality.
+package floatcmp
+
+const tol = 1e-12
+
+type vec []float64
+
+// Equal compares two residuals exactly: flagged.
+func Equal(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// NotEqual on float32: flagged.
+func NotEqual(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+// IndexedCompare through a named slice type: flagged.
+func IndexedCompare(v vec, i, j int) bool {
+	return v[i] != v[j] // want `floating-point != comparison`
+}
+
+// MixedConst compares against a non-zero constant: flagged.
+func MixedConst(a float64) bool {
+	return a == 0.85 // want `floating-point == comparison`
+}
+
+// Suppressed tie-break with a written reason: clean.
+func Suppressed(a, b float64) bool {
+	// lint:ignore floatcmp fixture demonstrates an intentional exact tie-break
+	return a != b
+}
+
+// ZeroGuard compares against the 0 literal, the documented exemption:
+// clean.
+func ZeroGuard(a float64) bool {
+	return a == 0
+}
+
+// ZeroFloatGuard against 0.0 spelled as a float: clean.
+func ZeroFloatGuard(a float64) bool {
+	return a != 0.0
+}
+
+// Tolerance is the recommended pattern: clean.
+func Tolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < tol
+}
+
+// IntCompare is not a float comparison: clean.
+func IntCompare(a, b int) bool {
+	return a == b
+}

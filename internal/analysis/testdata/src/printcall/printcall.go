@@ -1,0 +1,45 @@
+// Fixture for the printcall analyzer: direct terminal output from
+// library code.
+package printcall
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// Debug prints straight to stdout: every call flagged.
+func Debug(x int) {
+	fmt.Println("x =", x)   // want `fmt\.Println in library package`
+	fmt.Printf("x=%d\n", x) // want `fmt\.Printf in library package`
+	log.Printf("x=%d", x)   // want `log\.Printf in library package`
+	println("dbg", x)       // want `builtin println in library package`
+}
+
+// Fatal exits the whole process from a library: flagged.
+func Fatal(err error) {
+	log.Fatalf("boom: %v", err) // want `log\.Fatalf in library package`
+}
+
+// Suppressed print with a written reason: clean.
+func Suppressed(x int) {
+	// lint:ignore printcall fixture demonstrates a deliberate debug print
+	fmt.Println(x)
+}
+
+// Report writes to a caller-supplied writer: clean.
+func Report(w io.Writer, x int) {
+	fmt.Fprintf(w, "x=%d\n", x)
+}
+
+// Format returns a string instead of printing: clean.
+func Format(x int) string {
+	return fmt.Sprintf("%d", x)
+}
+
+// ToStderr routes through an explicit writer, which the caller can
+// redirect: clean.
+func ToStderr(x int) {
+	fmt.Fprintln(os.Stderr, x)
+}

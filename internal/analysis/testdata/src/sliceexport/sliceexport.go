@@ -1,0 +1,65 @@
+// Fixture for the sliceexport analyzer: exported functions returning
+// internal numeric slice fields without cloning.
+package sliceexport
+
+type Estimates struct {
+	p   []float64
+	rel []float64
+	ids []uint32
+}
+
+// Scores aliases the internal vector: flagged.
+func (e *Estimates) Scores() []float64 {
+	return e.p // want `exported Scores returns internal \[\]float64 field e\.p without cloning`
+}
+
+// Window aliases a sub-slice of the internal vector: flagged.
+func (e *Estimates) Window(lo, hi int) []float64 {
+	return e.rel[lo:hi] // want `exported Window returns internal \[\]float64 field e\.rel without cloning`
+}
+
+// IDs aliases an integer slice field: flagged.
+func (e *Estimates) IDs() []uint32 {
+	return e.ids // want `exported IDs returns internal \[\]uint32 field e\.ids without cloning`
+}
+
+// FromParam aliases a field of a parameter struct: flagged.
+func FromParam(e *Estimates) []float64 {
+	return e.p // want `exported FromParam returns internal \[\]float64 field e\.p without cloning`
+}
+
+// Suppressed is flagged but carries a written suppression: clean.
+func (e *Estimates) Suppressed() []float64 {
+	// lint:ignore sliceexport fixture demonstrates an intentional, documented alias
+	return e.p
+}
+
+// CloneScores copies before returning: clean.
+func (e *Estimates) CloneScores() []float64 {
+	return append([]float64(nil), e.p...)
+}
+
+// scores is unexported: internal callers may share state: clean.
+func (e *Estimates) scores() []float64 {
+	return e.p
+}
+
+// Fresh returns a locally built slice: clean.
+func (e *Estimates) Fresh() []float64 {
+	out := make([]float64, len(e.p))
+	copy(out, e.p)
+	return out
+}
+
+// Names returns a non-numeric slice: out of scope, clean.
+type table struct{ names []string }
+
+func (t *table) Names() []string { return t.names }
+
+// LocalField returns a field of a local struct, which has a unique
+// owner: clean.
+func LocalField() []float64 {
+	var e Estimates
+	e.p = []float64{1}
+	return e.p
+}

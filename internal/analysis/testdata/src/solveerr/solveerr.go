@@ -1,0 +1,74 @@
+// Fixture for the solveerr analyzer: discarded convergence errors from
+// pagerank.Engine solves. The fixture uses the real engine type so the
+// analyzer's receiver matching is exercised against production types.
+package solveerr
+
+import (
+	"spammass/internal/pagerank"
+)
+
+// Discarded drops both result and error: flagged.
+func Discarded(eng *pagerank.Engine, v pagerank.Vector) {
+	eng.Solve(v) // want `result and error of Engine\.Solve discarded`
+}
+
+// BlankErr keeps the result but blanks the error: flagged.
+func BlankErr(eng *pagerank.Engine, v pagerank.Vector) pagerank.Vector {
+	res, _ := eng.Solve(v) // want `error from Engine\.Solve assigned to _`
+	return res.Scores
+}
+
+// BlankErrMany on the batched entry point: flagged.
+func BlankErrMany(eng *pagerank.Engine, vs []pagerank.Vector) []*pagerank.Result {
+	rs, _ := eng.SolveMany(vs) // want `error from Engine\.SolveMany assigned to _`
+	return rs
+}
+
+// Deferred solve can never surface its error: flagged.
+func Deferred(eng *pagerank.Engine, v pagerank.Vector) {
+	defer eng.Solve(v) // want `error of deferred Engine\.Solve is unobservable`
+}
+
+// GoDiscard loses the error in a goroutine: flagged.
+func GoDiscard(eng *pagerank.Engine, v pagerank.Vector) {
+	go eng.Solve(v) // want `error of Engine\.Solve in go statement is discarded`
+}
+
+// Suppressed discard with a written reason: clean.
+func Suppressed(eng *pagerank.Engine, v pagerank.Vector) {
+	// lint:ignore solveerr fixture demonstrates a deliberately discarded warm-up solve
+	eng.Solve(v)
+}
+
+// Checked handles the error: clean.
+func Checked(eng *pagerank.Engine, v pagerank.Vector) (pagerank.Vector, error) {
+	res, err := eng.Solve(v)
+	if err != nil {
+		return nil, err
+	}
+	return res.Scores, nil
+}
+
+// CheckedNotConverged accepts truncation explicitly via the typed
+// error: clean.
+func CheckedNotConverged(eng *pagerank.Engine, v pagerank.Vector) (pagerank.Vector, error) {
+	res, err := eng.Solve(v)
+	if err != nil && !pagerank.IsNotConverged(err) {
+		return nil, err
+	}
+	return res.Scores, nil
+}
+
+// Propagated returns the call directly: clean.
+func Propagated(eng *pagerank.Engine, v pagerank.Vector) ([]*pagerank.Result, error) {
+	return eng.SolveMany([]pagerank.Vector{v})
+}
+
+// otherSolver has a Solve method on a different type: clean.
+type otherSolver struct{}
+
+func (otherSolver) Solve(v []float64) {}
+
+func OtherType(s otherSolver, v []float64) {
+	s.Solve(v)
+}

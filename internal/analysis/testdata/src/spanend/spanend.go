@@ -1,0 +1,99 @@
+// Fixture for the spanend analyzer: obs spans started but not ended on
+// every return path. Uses the real obs package so the analyzer's type
+// matching runs against production types.
+package spanend
+
+import (
+	"errors"
+
+	"spammass/internal/obs"
+)
+
+var errFail = errors.New("fail")
+
+// Leak never ends its span: flagged at the creation site.
+func Leak(c *obs.Context) {
+	sp := c.Span("leak") // want `span "leak" is never ended`
+	sp.Event("working")
+}
+
+// EarlyReturn ends the span on the happy path only: the error return
+// leaks it. Flagged at the return statement.
+func EarlyReturn(c *obs.Context, fail bool) error {
+	sp := c.Span("phase")
+	if fail {
+		return errFail // want `span "phase" is not ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// ChildLeak starts a child from another span and drops it: flagged.
+func ChildLeak(parent *obs.Span) {
+	sub := parent.Child("sub") // want `span "sub" is never ended`
+	sub.SetAttr("k", 1)
+}
+
+// Suppressed leak with a written reason: clean.
+func Suppressed(c *obs.Context) {
+	// lint:ignore spanend fixture demonstrates an intentionally open span
+	sp := c.Span("open")
+	sp.Event("working")
+}
+
+// Deferred is the canonical clean pattern.
+func Deferred(c *obs.Context, fail bool) error {
+	sp := c.Span("deferred")
+	defer sp.End()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// BothPaths ends the span explicitly on each path: clean.
+func BothPaths(c *obs.Context, fail bool) error {
+	sp := c.Span("both")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// NilGuarded uses the `if sp != nil` idiom; End on a nil span is a
+// no-op, so the guard is treated as an unconditional End: clean.
+func NilGuarded(c *obs.Context, fail bool) error {
+	sp := c.Span("guarded")
+	if fail {
+		if sp != nil {
+			sp.End()
+		}
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// Escapes hands the span to another function, which takes over the End
+// obligation: clean (not checked).
+func Escapes(c *obs.Context) {
+	sp := c.Span("handoff")
+	finish(sp)
+}
+
+// Returned transfers the obligation to the caller: clean.
+func Returned(c *obs.Context) *obs.Span {
+	sp := c.Span("returned")
+	return sp
+}
+
+func finish(sp *obs.Span) {
+	sp.End()
+}
+
+// Windowed spans come back already ended: clean.
+func Windowed(parent *obs.Span) {
+	_ = parent.Name()
+}

@@ -92,6 +92,7 @@ func NewEnv(cfg Config) (*Env, error) {
 	wcfg.Seed = cfg.Seed
 	world, err := webgen.Generate(wcfg)
 	if err != nil {
+		gen.End()
 		return nil, fmt.Errorf("experiments: generating world: %w", err)
 	}
 	if gen != nil {
@@ -105,6 +106,7 @@ func NewEnv(cfg Config) (*Env, error) {
 	asm := octx.Span("experiments.assemble_core")
 	core, err := goodcore.Assemble(world.Names, world.DirectoryMembers)
 	if err != nil {
+		asm.End()
 		return nil, fmt.Errorf("experiments: assembling core: %w", err)
 	}
 	if asm != nil {
@@ -133,11 +135,13 @@ func NewEnv(cfg Config) (*Env, error) {
 	jc.Seed = cfg.Seed + 7
 	env.Sample, err = eval.Sample(env.T, k, est, world, jc)
 	if err != nil {
+		smp.End()
 		estor.Close()
 		return nil, fmt.Errorf("experiments: sampling T: %w", err)
 	}
 	env.Groups, err = eval.SplitGroups(env.Sample, cfg.Groups)
 	if err != nil {
+		smp.End()
 		estor.Close()
 		return nil, fmt.Errorf("experiments: grouping sample: %w", err)
 	}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"spammass/internal/obs"
+)
+
+// TestNewEnvClosesSpansOnError: a failed setup (host count below the
+// generator's minimum) must still end every setup span it started. A
+// span leaked open on the error path reports a still-running duration
+// in every trace snapshot taken afterwards, silently corrupting the
+// run's JSON trace. (Regression test for the spanend lint findings.)
+func TestNewEnvClosesSpansOnError(t *testing.T) {
+	root := obs.NewSpan("test_root")
+	cfg := testConfig()
+	cfg.Hosts = 10 // webgen rejects worlds below 100 hosts
+	cfg.Solver.Obs = obs.NewContext(obs.NewRegistry(), root)
+
+	if _, err := NewEnv(cfg); err == nil {
+		t.Fatal("NewEnv with 10 hosts should fail in world generation")
+	}
+
+	snap := root.Snapshot()
+	for _, name := range []string{"experiments.setup", "experiments.generate_world"} {
+		sub := snap.Find(name)
+		if sub == nil {
+			t.Fatalf("span %q missing from trace: %v", name, snap.SpanNames())
+		}
+		if !sub.Ended {
+			t.Errorf("span %q leaked open on the error path", name)
+		}
+	}
+}

@@ -70,6 +70,54 @@ func FuzzReadText(f *testing.F) {
 	})
 }
 
+func FuzzCollapseToHosts(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 1, 2}, "http://a.com/x\nhttp://b.org/y\nhttp://a.com/z")
+	f.Add(uint8(2), []byte{0, 1}, "a.com\n")
+	f.Add(uint8(1), []byte{}, "")
+	f.Add(uint8(4), []byte{0, 0, 1, 3, 3, 1}, "X.COM:80\nx.com.\nuser@x.com/p\n://:")
+	f.Fuzz(func(t *testing.T, n uint8, edgeBytes []byte, urlBlob string) {
+		nodes := int(n)
+		var edges [][2]NodeID
+		for i := 0; i+1 < len(edgeBytes) && nodes > 0; i += 2 {
+			edges = append(edges, [2]NodeID{
+				NodeID(int(edgeBytes[i]) % nodes),
+				NodeID(int(edgeBytes[i+1]) % nodes),
+			})
+		}
+		g := FromEdges(nodes, edges)
+		// URLs: one per line, padded with a synthetic host per missing
+		// page and truncated to the page count, so both the
+		// length-mismatch error path and the collapse path are fuzzed.
+		urls := strings.Split(urlBlob, "\n")
+		if len(urls) > nodes {
+			urls = urls[:nodes]
+		}
+		hg, err := CollapseToHosts(g, urls)
+		if err != nil {
+			return // mismatched lengths or empty hosts reject cleanly
+		}
+		if err := hg.Graph.Validate(); err != nil {
+			t.Fatalf("collapsed graph violates invariants: %v", err)
+		}
+		if len(hg.Names) != hg.Graph.NumNodes() {
+			t.Fatalf("%d names for %d hosts", len(hg.Names), hg.Graph.NumNodes())
+		}
+		for i, name := range hg.Names {
+			if name == "" {
+				t.Fatalf("host %d has empty name", i)
+			}
+			id, ok := hg.NodeByName(name)
+			if !ok || id != NodeID(i) {
+				t.Fatalf("NodeByName(%q) = %d,%v; want %d", name, id, ok, i)
+			}
+		}
+		// Host count never exceeds page count; collapsing is surjective.
+		if hg.Graph.NumNodes() > g.NumNodes() {
+			t.Fatalf("collapse grew the graph: %d hosts from %d pages", hg.Graph.NumNodes(), g.NumNodes())
+		}
+	})
+}
+
 func FuzzHostOf(f *testing.F) {
 	f.Add("http://www.example.com/path")
 	f.Add("EXAMPLE.com:8080")

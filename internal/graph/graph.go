@@ -62,12 +62,14 @@ func (g *Graph) InDegree(x NodeID) int {
 // OutNeighbors returns the nodes pointed to by x, sorted ascending.
 // The returned slice aliases internal storage and must not be modified.
 func (g *Graph) OutNeighbors(x NodeID) []NodeID {
+	// lint:ignore sliceexport zero-copy CSR view on the sweep hot path; documented read-only
 	return g.outAdj[g.outStart[x]:g.outStart[x+1]]
 }
 
 // InNeighbors returns the nodes pointing to x, sorted ascending.
 // The returned slice aliases internal storage and must not be modified.
 func (g *Graph) InNeighbors(x NodeID) []NodeID {
+	// lint:ignore sliceexport zero-copy CSR view on the sweep hot path; documented read-only
 	return g.inAdj[g.inStart[x]:g.inStart[x+1]]
 }
 

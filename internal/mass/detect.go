@@ -66,9 +66,11 @@ func DetectWith(e *Estimates, cfg DetectConfig, octx *obs.Context) []Candidate {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break keeps the candidate order a strict weak ordering
 		if out[i].RelMass != out[j].RelMass {
 			return out[i].RelMass > out[j].RelMass
 		}
+		// lint:ignore floatcmp exact tie-break keeps the candidate order a strict weak ordering
 		if out[i].ScaledPageRank != out[j].ScaledPageRank {
 			return out[i].ScaledPageRank > out[j].ScaledPageRank
 		}

@@ -1,0 +1,70 @@
+package mass
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/pagerank"
+)
+
+// FuzzDerive feeds Derive arbitrary float values — including NaN, ±Inf,
+// zeros, and negatives — through raw bit patterns. Derive must never
+// panic, and the safe accessor RelMassOrNaN must stay in [−∞, 1] (or be
+// the NaN sentinel) whenever the inputs are well-formed PageRank-like
+// vectors (finite, non-negative).
+func FuzzDerive(f *testing.F) {
+	enc := func(vals ...float64) []byte {
+		out := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+		}
+		return out
+	}
+	f.Add(enc(0.5, 0.5, 0.2, 0.3))              // ordinary split
+	f.Add(enc(0, 1, 0, 0.5))                    // zero-PageRank node
+	f.Add(enc(math.NaN(), 1, 0.1, 0.2))         // NaN PageRank
+	f.Add(enc(math.Inf(1), 1, 1, math.Inf(-1))) // infinities
+	f.Add(enc(1e-300, 2e-300))                  // denormal-range division
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Carve the bytes into two equal-length vectors p and pCore
+		// (Derive's documented precondition: both come from the same
+		// graph, so same length). Values are arbitrary bit patterns.
+		vals := make([]float64, len(data)/8)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		n := len(vals) / 2
+		p := pagerank.Vector(vals[:n])
+		pCore := pagerank.Vector(vals[n : 2*n])
+
+		e := Derive(p, pCore, 0.85) // must not panic for any values
+		if e.N() != n {
+			t.Fatalf("Derive produced %d nodes from %d", e.N(), n)
+		}
+
+		wellFormed := true
+		for x := 0; x < n; x++ {
+			if math.IsNaN(p[x]) || math.IsInf(p[x], 0) || p[x] < 0 ||
+				math.IsNaN(pCore[x]) || math.IsInf(pCore[x], 0) || pCore[x] < 0 {
+				wellFormed = false
+			}
+		}
+		for x := 0; x < n; x++ {
+			m := e.RelMassOrNaN(graph.NodeID(x))
+			// Zero or NaN PageRank must yield the NaN sentinel, never a
+			// silent division or a misleading stored zero.
+			if !(p[x] > 0) && !math.IsNaN(m) {
+				t.Fatalf("node %d: p=%v but RelMassOrNaN=%v, want NaN", x, p[x], m)
+			}
+			// For well-formed inputs the relative mass is bounded above
+			// by 1: p' ≥ 0 implies (p − p')/p ≤ 1.
+			if wellFormed && !math.IsNaN(m) && m > 1 {
+				t.Fatalf("node %d: RelMassOrNaN=%v > 1 for p=%v pCore=%v", x, m, p[x], pCore[x])
+			}
+		}
+	})
+}

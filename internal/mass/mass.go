@@ -481,9 +481,11 @@ func CoreWeightLambda(goodCoreSize, spamCoreSize, n int, gamma float64) float64 
 func (e *Estimates) TotalEstimatedGoodContribution() float64 { return e.PCore.Norm1() }
 
 // RelMassOrNaN returns m̃_x, or NaN for nodes with zero PageRank under
-// a non-uniform jump vector.
+// a non-uniform jump vector. The guard is written `!(p > 0)` rather
+// than `p <= 0` so a NaN PageRank entry (which compares false to
+// everything) also yields NaN instead of a meaningless stored zero.
 func (e *Estimates) RelMassOrNaN(x graph.NodeID) float64 {
-	if e.P[x] <= 0 {
+	if !(e.P[x] > 0) {
 		return math.NaN()
 	}
 	return e.Rel[x]
@@ -557,9 +559,11 @@ func Records(e *Estimates, dcfg DetectConfig, names []string) []obs.DetectionRec
 		out = append(out, rec)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break keeps the record order a strict weak ordering
 		if out[i].RelMass != out[j].RelMass {
 			return out[i].RelMass > out[j].RelMass
 		}
+		// lint:ignore floatcmp exact tie-break keeps the record order a strict weak ordering
 		if out[i].P != out[j].P {
 			return out[i].P > out[j].P
 		}

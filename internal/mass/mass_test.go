@@ -369,6 +369,13 @@ func TestRelMassOrNaN(t *testing.T) {
 	if e.RelMassOrNaN(1) != 0.5 {
 		t.Error("positive-PageRank node mangled")
 	}
+	// A NaN PageRank entry compares false to everything; the guard must
+	// still route it to the NaN sentinel instead of returning the
+	// stored (meaningless) relative mass.
+	nan := &Estimates{P: pagerank.Vector{math.NaN()}, Rel: pagerank.Vector{0.25}, Damping: c}
+	if !math.IsNaN(nan.RelMassOrNaN(0)) {
+		t.Error("NaN-PageRank node did not yield NaN")
+	}
 }
 
 // TestRecomputeMatchesCold: warm-started re-estimation after a core

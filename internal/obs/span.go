@@ -116,6 +116,17 @@ func (s *Span) End() {
 // Recording reports whether events and attributes on s go anywhere.
 func (s *Span) Recording() bool { return s != nil }
 
+// Ended reports whether End has been called. It is false for a nil
+// span: a nil span is never started, so it can never finish.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.end.IsZero()
+}
+
 // Name returns the span's name ("" for nil).
 func (s *Span) Name() string {
 	if s == nil {
@@ -144,9 +155,14 @@ type SpanJSON struct {
 	Name       string         `json:"name"`
 	Start      time.Time      `json:"start"`
 	DurationNS int64          `json:"duration_ns"`
-	Attrs      map[string]any `json:"attrs,omitempty"`
-	Events     []EventJSON    `json:"events,omitempty"`
-	Children   []*SpanJSON    `json:"children,omitempty"`
+	// Ended distinguishes a finished span from one still running when
+	// the snapshot was taken (whose duration is the time so far). A
+	// span that is still open in a final trace is a telemetry bug —
+	// exactly what the spanend lint analyzer guards against.
+	Ended    bool        `json:"ended"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Events   []EventJSON `json:"events,omitempty"`
+	Children []*SpanJSON `json:"children,omitempty"`
 }
 
 // EventJSON is one serialized span event; the offset is relative to
@@ -167,6 +183,7 @@ func (s *Span) Snapshot() *SpanJSON {
 		Name:       s.name,
 		Start:      s.start,
 		DurationNS: int64(s.durationLocked()),
+		Ended:      !s.end.IsZero(),
 	}
 	if len(s.attrs) > 0 {
 		out.Attrs = make(map[string]any, len(s.attrs))

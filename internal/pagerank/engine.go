@@ -301,6 +301,9 @@ func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
 			Stats:      stats,
 		}
 	}
+	if err := vectorCheck(results); err != nil {
+		return nil, fmt.Errorf("pagerank: %w", err)
+	}
 	if !cfg.AllowTruncated {
 		worst := -1
 		for j := 0; j < k; j++ {

@@ -97,8 +97,10 @@ func NewFigure2() *Figure2 {
 	return f
 }
 
-// GoodNodes returns V⁺ = {g0, g1, g2, g3}.
-func (f *Figure2) GoodNodes() []graph.NodeID { return f.G[:] }
+// GoodNodes returns V⁺ = {g0, g1, g2, g3}. The slice is a copy:
+// callers sorting or editing it (core-variant experiments) must not
+// rewrite the figure's node table.
+func (f *Figure2) GoodNodes() []graph.NodeID { return append([]graph.NodeID(nil), f.G[:]...) }
 
 // SpamNodes returns V⁻ = {s0, ..., s6, x}: the ground-truth partition
 // behind Table 1 places the spam target x itself among the spam nodes,

@@ -109,3 +109,23 @@ func TestExpectedTable1InternalConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestGoodNodesIsACopy: GoodNodes hands callers a fresh slice, not a
+// view of the figure's internal array; mutating the result must not
+// corrupt the ground-truth partition. (Regression test for the
+// sliceexport lint finding.)
+func TestGoodNodesIsACopy(t *testing.T) {
+	f := NewFigure2()
+	want := f.G
+	got := f.GoodNodes()
+	if len(got) != len(want) {
+		t.Fatalf("GoodNodes returned %d nodes, want %d", len(got), len(want))
+	}
+	got[0] = 999
+	if f.G != want {
+		t.Error("mutating GoodNodes result changed the figure's internal array")
+	}
+	if again := f.GoodNodes(); again[0] == 999 {
+		t.Error("GoodNodes returned an aliased slice")
+	}
+}

@@ -28,6 +28,7 @@ func PairwiseOrderedness(scores pagerank.Vector, good, spam []graph.NodeID) (flo
 			switch {
 			case scores[g] > scores[s]:
 				correct++
+			// lint:ignore floatcmp exact ties get half credit, the standard pairwise-accuracy convention
 			case scores[g] == scores[s]:
 				correct += 0.5
 			}
@@ -111,6 +112,7 @@ func rankDescending(scores pagerank.Vector) []graph.NodeID {
 		order[i] = graph.NodeID(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break keeps the ranking a strict weak ordering
 		if scores[order[i]] != scores[order[j]] {
 			return scores[order[i]] > scores[order[j]]
 		}

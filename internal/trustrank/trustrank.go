@@ -61,6 +61,7 @@ func SelectSeeds(g *graph.Graph, oracle Oracle, candidates, maxSeeds int, cfg pa
 		order[i] = i
 	}
 	sort.Slice(order, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break keeps the ranking a strict weak ordering
 		if inv[order[i]] != inv[order[j]] {
 			return inv[order[i]] > inv[order[j]]
 		}
@@ -136,6 +137,7 @@ func DemotionRank(trust pagerank.Vector) []graph.NodeID {
 		order[i] = graph.NodeID(i)
 	}
 	sort.Slice(order, func(i, j int) bool {
+		// lint:ignore floatcmp exact tie-break keeps the ranking a strict weak ordering
 		if trust[order[i]] != trust[order[j]] {
 			return trust[order[i]] > trust[order[j]]
 		}
