@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke verify clean
+.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke serve-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -8,12 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# bench runs the 10k-node acceptance benchmarks (plain, obs-enabled,
-# and batched recompute) with -benchmem and converts the output into
-# the machine-readable benchmark summary for this PR.
-BENCH_OUT ?= BENCH_pr3.json
+# bench runs the 10k-node acceptance benchmarks — the mass-estimation
+# sweep plus the serving-layer lookup benchmark — with -benchmem and
+# converts the combined output into the machine-readable benchmark
+# summary for this PR (ServeLookup's lookups/s lands under "extra").
+BENCH_OUT ?= BENCH_pr4.json
 bench:
-	$(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	{ $(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ && \
+	  $(GO) test -run='^$$' -bench=ServeLookup -benchmem ./internal/serve/; } \
+	  | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # bench-all is the full benchmark sweep over every package.
 bench-all:
@@ -50,6 +53,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzHostOf -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzCollapseToHosts -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzDerive -fuzztime=$(FUZZTIME) ./internal/mass/
+
+# serve-smoke boots cmd/spamserver on an ephemeral port against a
+# generated example graph, curls the health and query endpoints, forces
+# a refresh, and shuts it down.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # verify is the tier-1 gate: vet, spamlint, full build, full test
 # suite, the race detector over every package, and the pagerank tests

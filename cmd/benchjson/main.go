@@ -30,6 +30,9 @@ type Entry struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	EdgesPerSec float64 `json:"edges_per_sec,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "lookups/s") that
+	// have no dedicated field, keyed by unit and averaged like the rest.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -59,6 +62,12 @@ func main() {
 		t.BytesPerOp += e.BytesPerOp
 		t.AllocsPerOp += e.AllocsPerOp
 		t.EdgesPerSec += e.EdgesPerSec
+		for unit, v := range e.Extra {
+			if t.Extra == nil {
+				t.Extra = map[string]float64{}
+			}
+			t.Extra[unit] += v
+		}
 	}
 	if err := sc.Err(); err != nil {
 		die("read: %v", err)
@@ -68,7 +77,7 @@ func main() {
 	for _, name := range order {
 		t := totals[name]
 		n := float64(t.Runs)
-		entries = append(entries, Entry{
+		e := Entry{
 			Name:        t.Name,
 			Runs:        t.Runs,
 			Iterations:  t.Iterations / n,
@@ -76,7 +85,14 @@ func main() {
 			BytesPerOp:  t.BytesPerOp / n,
 			AllocsPerOp: t.AllocsPerOp / n,
 			EdgesPerSec: t.EdgesPerSec / n,
-		})
+		}
+		for unit, v := range t.Extra {
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = v / n
+		}
+		entries = append(entries, e)
 	}
 
 	w := os.Stdout
@@ -132,6 +148,11 @@ func parseLine(line string) (*Entry, bool) {
 			e.AllocsPerOp = v
 		case "edges/s":
 			e.EdgesPerSec = v
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[fields[i+1]] = v
 		}
 	}
 	if e.NsPerOp == 0 {

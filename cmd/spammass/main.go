@@ -6,12 +6,14 @@
 //
 //	spammass -graph web.graph -core web.core [-names web.names]
 //	         [-tau 0.98] [-rho 10] [-gamma 0.85] [-top 50] [-explain k]
-//	         [-json] [-report out.json] [-trace trace.json]
-//	         [-debug-addr :6060] [-v]
+//	         [-json] [-host a.com,b.com] [-report out.json]
+//	         [-trace trace.json] [-debug-addr :6060] [-v]
 //
 // With -explain k, the boosting structure behind the top k candidates
 // is extracted (reverse PageRank contributions) and allied candidates
-// are grouped. -json switches the output to one detection record per
+// are grouped. With -host, only the named hosts' detection records are
+// printed (one JSON object per line, requires -names) — the offline
+// twin of spamserver's GET /v1/host endpoint. -json switches the output to one detection record per
 // line (node, host, p, p', M̃, m̃, label) for every node above ρ;
 // -report writes a machine-readable RunReport of the whole run and
 // -trace the span trace alone, while -debug-addr serves expvar metrics
@@ -23,7 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"spammass/internal/cliobs"
@@ -53,11 +54,15 @@ func main() {
 	top := flag.Int("top", 50, "print at most this many candidates (0 = all)")
 	explain := flag.Int("explain", 0, "for the top-k candidates, extract the boosting structure behind them")
 	jsonOut := flag.Bool("json", false, "emit detection records as JSON lines instead of a table")
+	hostQuery := flag.String("host", "", "comma-separated host names: print their detection records as JSON lines and exit (requires -names)")
 	var ocfg cliobs.Options
 	ocfg.Register(flag.CommandLine)
 	flag.Parse()
 	if *graphPath == "" || *corePath == "" {
 		die("missing -graph or -core")
+	}
+	if *hostQuery != "" && *namesPath == "" {
+		die("-host requires -names")
 	}
 
 	pipe, err := cliobs.Start("spammass", ocfg, os.Args[1:])
@@ -70,13 +75,13 @@ func main() {
 	if err != nil {
 		die("load graph: %v", err)
 	}
-	core, err := loadCore(*corePath, g.NumNodes())
+	core, err := cliobs.LoadNodeIDs(*corePath, g.NumNodes())
 	if err != nil {
 		die("load core: %v", err)
 	}
 	var names []string
 	if *namesPath != "" {
-		if names, err = loadLines(*namesPath); err != nil {
+		if names, err = cliobs.LoadLines(*namesPath); err != nil {
 			die("load names: %v", err)
 		}
 		if len(names) != g.NumNodes() {
@@ -106,6 +111,34 @@ func main() {
 		RelMassThreshold:        *tau,
 		ScaledPageRankThreshold: *rho,
 	}
+
+	if *hostQuery != "" {
+		hosts, err := graph.NewHostGraph(g, names)
+		if err != nil {
+			die("host index: %v", err)
+		}
+		var recs []obs.DetectionRecord
+		for _, name := range strings.Split(*hostQuery, ",") {
+			name = strings.TrimSpace(name)
+			x, ok := hosts.NodeByName(name)
+			if !ok {
+				die("unknown host %q", name)
+			}
+			recs = append(recs, mass.RecordFor(est, x, dcfg, name))
+		}
+		w := bufio.NewWriter(os.Stdout)
+		if err := obs.WriteJSONLines(w, recs); err != nil {
+			die("encode: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			die("write: %v", err)
+		}
+		if err := pipe.Close(); err != nil {
+			die("observability: %v", err)
+		}
+		return
+	}
+
 	cands := mass.DetectWith(est, dcfg, octx)
 	fmt.Fprintf(os.Stderr, "%d spam candidates (tau=%.2f, rho=%.1f, core %d hosts)\n",
 		len(cands), *tau, *rho, len(core))
@@ -197,46 +230,6 @@ func printForensics(w *bufio.Writer, g *graph.Graph, est *mass.Estimates, cands 
 		}
 		fmt.Fprintln(w)
 	}
-}
-
-func loadCore(path string, n int) ([]graph.NodeID, error) {
-	lines, err := loadLines(path)
-	if err != nil {
-		return nil, err
-	}
-	var core []graph.NodeID
-	for _, line := range lines {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		id, err := strconv.ParseUint(line, 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("bad node ID %q: %w", line, err)
-		}
-		if int(id) >= n {
-			return nil, fmt.Errorf("core node %d outside graph of %d nodes", id, n)
-		}
-		core = append(core, graph.NodeID(id))
-	}
-	if len(core) == 0 {
-		return nil, fmt.Errorf("empty core file %s", path)
-	}
-	return core, nil
-}
-
-func loadLines(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var out []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		out = append(out, strings.TrimSpace(sc.Text()))
-	}
-	return out, sc.Err()
 }
 
 func die(format string, args ...any) {

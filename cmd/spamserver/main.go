@@ -1,0 +1,187 @@
+// Command spamserver serves spam-mass queries over HTTP. It loads a
+// host graph, name file, and good core, runs the mass estimator
+// (Algorithm 2 inputs), and answers lookups against an immutable
+// snapshot that a background refresher atomically replaces — readers
+// never block and never see a half-built generation.
+//
+// Usage:
+//
+//	spamserver -addr :8080 -graph web.graph -names web.names -core web.core
+//	           [-tau 0.98] [-rho 10] [-gamma 0.85] [-damping 0.85]
+//	           [-refresh 15m] [-refresh-timeout 5m]
+//	           [-max-inflight 256] [-timeout 5s] [-max-batch 1000]
+//	           [-addr-file path] [-debug-addr :6060] [-v]
+//
+// Endpoints: GET /v1/host/{name}, POST /v1/batch, GET /v1/top,
+// GET /healthz, GET /readyz, POST /admin/refresh, GET /admin/status.
+//
+// Refreshes reload all three input files from disk, so replacing them
+// in place and sending SIGHUP (or POST /admin/refresh) picks up a new
+// crawl without a restart. A refresh that fails — unreadable inputs,
+// solver non-convergence, NaN/Inf in the result — leaves the previous
+// snapshot serving. SIGINT/SIGTERM drain in-flight requests before
+// exit. -addr-file writes the bound address (useful with -addr :0).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spammass/internal/cliobs"
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/obs"
+	"spammass/internal/pagerank"
+	"spammass/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address (use :0 with -addr-file for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file after startup")
+	graphPath := flag.String("graph", "", "graph file (binary or text format)")
+	namesPath := flag.String("names", "", "host-name file: one name per line")
+	corePath := flag.String("core", "", "good-core file: one node ID per line")
+	tau := flag.Float64("tau", 0.98, "relative mass threshold τ")
+	rho := flag.Float64("rho", 10, "scaled PageRank threshold ρ")
+	gamma := flag.Float64("gamma", 0.85, "core jump scaling ‖w‖ = γ")
+	damping := flag.Float64("damping", 0.85, "damping factor c")
+	refresh := flag.Duration("refresh", 0, "re-estimate from the input files this often (0 = only on SIGHUP / POST /admin/refresh)")
+	refreshTimeout := flag.Duration("refresh-timeout", 0, "abort a refresh attempt after this long (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /v1/* requests before shedding with 429")
+	reqTimeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "host limit per POST /v1/batch")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address")
+	verbose := flag.Bool("v", false, "log refreshes and solver progress to stderr")
+	flag.Parse()
+	if *graphPath == "" || *namesPath == "" || *corePath == "" {
+		die("missing -graph, -names, or -core")
+	}
+
+	// A server keeps metrics on at all times — they are the interface
+	// operators scrape — with logging and the debug endpoint opt-in.
+	reg := obs.NewRegistry()
+	octx := obs.NewContext(reg, nil)
+	if *verbose {
+		octx = octx.WithLogf(obs.StderrLogf(os.Stderr))
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebug(*debugAddr, reg)
+		if err != nil {
+			die("debug endpoint: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars http://%s/debug/pprof/\n", dbg.Addr(), dbg.Addr())
+	}
+
+	dcfg := mass.DetectConfig{RelMassThreshold: *tau, ScaledPageRankThreshold: *rho}
+	solver := pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000, Obs: octx}
+	build := func(ctx context.Context, prev *serve.Snapshot, epoch int64) (*serve.Snapshot, error) {
+		g, _, err := graph.LoadFile(*graphPath, octx)
+		if err != nil {
+			return nil, fmt.Errorf("load graph: %w", err)
+		}
+		names, err := cliobs.LoadLines(*namesPath)
+		if err != nil {
+			return nil, fmt.Errorf("load names: %w", err)
+		}
+		h, err := graph.NewHostGraph(g, names)
+		if err != nil {
+			return nil, fmt.Errorf("host graph: %w", err)
+		}
+		core, err := cliobs.LoadNodeIDs(*corePath, g.NumNodes())
+		if err != nil {
+			return nil, fmt.Errorf("load core: %w", err)
+		}
+		est, err := mass.EstimateFromCore(g, core, mass.Options{Solver: solver, Gamma: *gamma})
+		if err != nil {
+			return nil, fmt.Errorf("estimate: %w", err)
+		}
+		return serve.NewSnapshot(h, est, serve.SnapshotConfig{
+			Detect:   dcfg,
+			Gamma:    *gamma,
+			CoreSize: len(core),
+		}, epoch)
+	}
+
+	store := serve.NewStore()
+	ref := serve.NewRefresher(store, build, serve.RefresherConfig{
+		Interval: *refresh,
+		Timeout:  *refreshTimeout,
+		Obs:      octx,
+	})
+	// Fail fast if the inputs cannot produce even one snapshot; after
+	// that, refresh failures only log and the old snapshot keeps serving.
+	startCtx, startCancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	if err := ref.Refresh(startCtx); err != nil {
+		startCancel()
+		die("initial snapshot: %v", err)
+	}
+	startCancel()
+
+	srv := serve.NewServer(store, ref, serve.Config{
+		MaxInFlight: *maxInflight,
+		Timeout:     *reqTimeout,
+		MaxBatch:    *maxBatch,
+		Obs:         octx,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		die("listen: %v", err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			die("write addr file: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "spamserver: serving %d hosts (epoch %d) on http://%s\n",
+		store.Load().NumHosts(), store.Epoch(), ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	runCtx, stopRefresher := context.WithCancel(context.Background())
+	refresherDone := make(chan struct{})
+	go func() {
+		defer close(refresherDone)
+		ref.Run(runCtx)
+	}()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		for sig := range sigs {
+			if sig == syscall.SIGHUP {
+				octx.Logf("spamserver: SIGHUP, scheduling refresh")
+				ref.Trigger()
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "spamserver: %s, draining\n", sig)
+			stopRefresher()
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			shutdownErr <- hs.Shutdown(ctx)
+			cancel()
+			return
+		}
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		die("serve: %v", err)
+	}
+	if err := <-shutdownErr; err != nil {
+		die("shutdown: %v", err)
+	}
+	stopRefresher()
+	<-refresherDone
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,11 +6,15 @@ import (
 )
 
 // PrintCall flags direct output from library packages: fmt.Print*,
-// log output functions, and the println/print builtins. Library code
-// must route human-visible output through the obs layer (Context.Logf,
-// spans) or return values; printing from a library interleaves with
-// CLI output, breaks -json consumers, and is invisible to traces.
-// Writing to an io.Writer the caller supplied (fmt.Fprintf) is fine.
+// log output functions — both the package-level log.Printf family and
+// methods on a *log.Logger value — and the println/print builtins.
+// Library code must route human-visible output through the obs layer
+// (Context.Logf, spans) or return values; printing from a library
+// interleaves with CLI output, breaks -json consumers, and is
+// invisible to traces. Long-running packages like internal/serve are
+// the motivating case: a handler error path that grabs its own logger
+// bypasses the metrics/span story the server is built on. Writing to
+// an io.Writer the caller supplied (fmt.Fprintf) is fine.
 var PrintCall = &Analyzer{
 	Name: "printcall",
 	Doc:  "fmt.Print*/log.Print*/println in a library package (route output through obs)",
@@ -25,6 +29,29 @@ var printFuncs = map[string]map[string]bool{
 		"Panic": true, "Panicf": true, "Panicln": true,
 		"Output": true,
 	},
+}
+
+// loggerMethod reports calls to the output methods of *log.Logger —
+// whether the logger came from log.Default(), log.New, or a struct
+// field, the bytes still bypass the obs layer.
+func loggerMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	obj, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || obj.Pkg() == nil || obj.Pkg().Path() != "log" {
+		return "", false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	name := obj.Name()
+	if !printFuncs["log"][name] {
+		return "", false
+	}
+	return name, true
 }
 
 func runPrintCall(pass *Pass) {
@@ -42,12 +69,14 @@ func runPrintCall(pass *Pass) {
 				}
 				return true
 			}
-			pkgPath, name, ok := calleeName(pass.Info, call)
-			if !ok {
+			if pkgPath, name, ok := calleeName(pass.Info, call); ok {
+				if fns, ok := printFuncs[pkgPath]; ok && fns[name] {
+					pass.Reportf(call.Pos(), "%s.%s in library package; route output through obs.Context or return values", pkgPath, name)
+				}
 				return true
 			}
-			if fns, ok := printFuncs[pkgPath]; ok && fns[name] {
-				pass.Reportf(call.Pos(), "%s.%s in library package; route output through obs.Context or return values", pkgPath, name)
+			if name, ok := loggerMethod(pass.Info, call); ok {
+				pass.Reportf(call.Pos(), "(*log.Logger).%s in library package; route output through obs.Context or return values", name)
 			}
 			return true
 		})

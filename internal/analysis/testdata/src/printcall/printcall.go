@@ -22,6 +22,26 @@ func Fatal(err error) {
 	log.Fatalf("boom: %v", err) // want `log\.Fatalf in library package`
 }
 
+// Handler holds its own logger, the pattern that used to slip through:
+// method calls on a *log.Logger are flagged like the package funcs.
+type Handler struct {
+	logger *log.Logger
+}
+
+// ServeError logs through logger values instead of the obs layer: all
+// three call forms flagged.
+func (h *Handler) ServeError(err error) {
+	h.logger.Printf("error: %v", err)                // want `\(\*log\.Logger\)\.Printf in library package`
+	log.Default().Println("fallback:", err)          // want `\(\*log\.Logger\)\.Println in library package`
+	log.New(os.Stderr, "", 0).Output(2, err.Error()) // want `\(\*log\.Logger\)\.Output in library package`
+}
+
+// Configure only wires a logger up without emitting through it: clean.
+func Configure(h *Handler) {
+	h.logger = log.New(os.Stderr, "serve: ", log.LstdFlags)
+	h.logger.SetPrefix("handler: ")
+}
+
 // Suppressed print with a written reason: clean.
 func Suppressed(x int) {
 	// lint:ignore printcall fixture demonstrates a deliberate debug print

@@ -7,11 +7,18 @@
 package cliobs
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
+	"spammass/internal/graph"
 	"spammass/internal/obs"
 )
 
@@ -113,10 +120,60 @@ func (p *Pipeline) Close() error {
 			firstErr = err
 		}
 	}
-	if err := p.dbg.Close(); err != nil && firstErr == nil {
+	// Drain in-flight debug scrapes briefly, then force-close; a
+	// deadline here is not an error — the port is already released and
+	// lingering connections were torn down by Shutdown's fallback.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.dbg.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) && firstErr == nil {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// LoadLines reads path into one string per line, whitespace-trimmed.
+// It is the shared line-file loader of the CLIs (names, labels).
+func LoadLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		out = append(out, strings.TrimSpace(sc.Text()))
+	}
+	return out, sc.Err()
+}
+
+// LoadNodeIDs reads a node-ID file — one decimal ID per line, blank
+// lines and #-comments skipped — validating every ID against a graph
+// of n nodes. It is the shared core/seed loader of the CLIs.
+func LoadNodeIDs(path string, n int) ([]graph.NodeID, error) {
+	lines, err := LoadLines(path)
+	if err != nil {
+		return nil, err
+	}
+	var ids []graph.NodeID
+	for _, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		id, err := strconv.ParseUint(line, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad node ID %q: %w", line, err)
+		}
+		if int(id) >= n {
+			return nil, fmt.Errorf("node %d outside graph of %d nodes", id, n)
+		}
+		ids = append(ids, graph.NodeID(id))
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no node IDs in %s", path)
+	}
+	return ids, nil
 }
 
 func writeTo(path string, fill func(io.Writer) error) error {

@@ -66,6 +66,22 @@ func (h *HostGraph) NodeByName(name string) (NodeID, bool) {
 	return id, ok
 }
 
+// HostIndex returns the name→node map of the graph. The internal index
+// is built once at construction; each call returns a fresh copy, so
+// callers may hold or mutate the result without aliasing the graph's
+// own lookup state (the same no-shared-mutable-state rule the
+// sliceexport analyzer enforces for numeric slices). Use NodeByName for
+// single lookups; HostIndex is for callers that need the whole table,
+// e.g. a serving snapshot that must keep resolving names after the
+// HostGraph itself has been replaced.
+func (h *HostGraph) HostIndex() map[string]NodeID {
+	out := make(map[string]NodeID, len(h.index))
+	for name, id := range h.index {
+		out[name] = id
+	}
+	return out
+}
+
 // CollapseToHosts builds the host-level graph from a page-level graph g
 // and the URL of each page. All hyperlinks between any pair of pages on
 // two different hosts are collapsed into a single directed edge, and

@@ -529,6 +529,29 @@ func ReportSummary(e *Estimates, coreSize int, gamma float64, dcfg DetectConfig,
 	return s
 }
 
+// RecordFor renders one node's detection outcome as a report row,
+// labeled per Algorithm 2: spam when the node crosses both thresholds
+// (scaled PageRank ≥ ρ and m̃ ≥ τ), good otherwise — including nodes
+// below ρ, which Algorithm 2 never examines and therefore never labels
+// spam. name may be empty. This is the single-node lookup surface
+// shared by Records, the spammass -host flag, and the spamserver
+// snapshot precompute.
+func RecordFor(e *Estimates, x graph.NodeID, dcfg DetectConfig, name string) obs.DetectionRecord {
+	rec := obs.DetectionRecord{
+		Node:    int64(x),
+		Host:    name,
+		P:       e.ScaledPageRank(x),
+		PCore:   e.PCore[x] * float64(e.N()) / (1 - e.Damping),
+		AbsMass: e.ScaledAbsMass(x),
+		RelMass: e.Rel[x],
+		Label:   obs.LabelGood,
+	}
+	if rec.P >= dcfg.ScaledPageRankThreshold && rec.RelMass >= dcfg.RelMassThreshold {
+		rec.Label = obs.LabelSpam
+	}
+	return rec
+}
+
 // Records renders the detection outcome of every node in T (scaled
 // PageRank ≥ ρ) as report rows, sorted by decreasing relative mass,
 // labeled per Algorithm 2. names, when non-nil, supplies the host
@@ -538,25 +561,14 @@ func Records(e *Estimates, dcfg DetectConfig, names []string) []obs.DetectionRec
 	var out []obs.DetectionRecord
 	for x := 0; x < e.N(); x++ {
 		id := graph.NodeID(x)
-		spr := e.ScaledPageRank(id)
-		if spr < dcfg.ScaledPageRankThreshold {
+		if e.ScaledPageRank(id) < dcfg.ScaledPageRankThreshold {
 			continue
 		}
-		rec := obs.DetectionRecord{
-			Node:    int64(x),
-			P:       spr,
-			PCore:   e.PCore[x] * float64(e.N()) / (1 - e.Damping),
-			AbsMass: e.ScaledAbsMass(id),
-			RelMass: e.Rel[x],
-			Label:   obs.LabelGood,
-		}
-		if e.Rel[x] >= dcfg.RelMassThreshold {
-			rec.Label = obs.LabelSpam
-		}
+		name := ""
 		if names != nil {
-			rec.Host = names[x]
+			name = names[x]
 		}
-		out = append(out, rec)
+		out = append(out, RecordFor(e, id, dcfg, name))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		// lint:ignore floatcmp exact tie-break keeps the record order a strict weak ordering

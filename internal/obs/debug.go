@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -49,10 +50,33 @@ func (d *DebugServer) Addr() string {
 	return d.ln.Addr().String()
 }
 
-// Close stops the server.
+// Close stops the server immediately, aborting in-flight requests and
+// releasing the listener (and therefore the port). Use Shutdown to
+// drain in-flight scrapes first.
 func (d *DebugServer) Close() error {
 	if d == nil {
 		return nil
 	}
 	return d.srv.Close()
+}
+
+// Shutdown stops the server gracefully: the listener is closed right
+// away (the port is free for reuse when Shutdown returns), then
+// in-flight requests — a pprof profile capture can run for seconds —
+// are drained until done or ctx expires, whichever comes first. On a
+// deadline the remaining connections are torn down via Close so the
+// server never outlives the call.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil {
+		return nil
+	}
+	err := d.srv.Shutdown(ctx)
+	if err != nil {
+		// Shutdown stopped waiting (ctx expired) without closing the
+		// lingering connections; Close tears them down.
+		if cerr := d.srv.Close(); cerr != nil && cerr != http.ErrServerClosed {
+			return cerr
+		}
+	}
+	return err
 }

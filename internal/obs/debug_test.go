@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDebugServerReleasesPort is the regression test for the listener
+// leak: stopping the debug server must free its port for immediate
+// reuse, both via Close and via context-based Shutdown. Before the
+// fix the listener survived the server for the process lifetime.
+func TestDebugServerReleasesPort(t *testing.T) {
+	stop := map[string]func(*DebugServer) error{
+		"close":    func(d *DebugServer) error { return d.Close() },
+		"shutdown": func(d *DebugServer) error { return d.Shutdown(context.Background()) },
+	}
+	for name, fn := range stop {
+		t.Run(name, func(t *testing.T) {
+			d, err := StartDebug("127.0.0.1:0", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := d.Addr()
+			if err := fn(d); err != nil {
+				t.Fatalf("stopping debug server: %v", err)
+			}
+			// The exact address must be bindable again. A few retries
+			// absorb kernel-level teardown latency, but the listener
+			// itself must already be closed.
+			var ln net.Listener
+			for i := 0; i < 50; i++ {
+				if ln, err = net.Listen("tcp", addr); err == nil {
+					break
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err != nil {
+				t.Fatalf("port %s not released after %s: %v", addr, name, err)
+			}
+			ln.Close()
+		})
+	}
+}
+
+// TestDebugServerShutdownDeadline pins the degraded path: a Shutdown
+// whose context is already expired still closes the listener and
+// returns the context error instead of hanging on in-flight requests.
+func TestDebugServerShutdownDeadline(t *testing.T) {
+	d, err := StartDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr()
+	// Park an active connection (partial request) so Shutdown cannot
+	// drain to idle and must hit the context instead.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /debug/vars HTTP/1.1\r\nHost: debug\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.Shutdown(ctx); err != context.Canceled {
+		t.Fatalf("Shutdown with canceled context returned %v, want context.Canceled", err)
+	}
+	if _, err := (&http.Client{Timeout: time.Second}).Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Fatal("debug server still serving after Shutdown")
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/testutil"
+)
+
+// benchSnapshot builds a served snapshot over a 10k-host random graph
+// with real estimates, matching the mass package's benchmark corpus.
+func benchSnapshot(b *testing.B) (*graph.HostGraph, *Store) {
+	b.Helper()
+	const n = 10000
+	rng := rand.New(rand.NewSource(1))
+	g := testutil.RandomGraph(rng, n, 8)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("host%05d.example", i)
+	}
+	h, err := graph.NewHostGraph(g, names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core := make([]graph.NodeID, n/150)
+	for i := range core {
+		core[i] = graph.NodeID(i * 150)
+	}
+	est, err := mass.EstimateFromCore(g, core, mass.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := NewSnapshot(h, est, SnapshotConfig{Detect: mass.DefaultDetectConfig(), Gamma: 0.85, CoreSize: len(core)}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewStore()
+	if err := st.Publish(snap); err != nil {
+		b.Fatal(err)
+	}
+	return h, st
+}
+
+// BenchmarkServeLookup is the acceptance benchmark: full-stack single
+// host lookups (mux routing, admission control, snapshot load, JSON
+// encoding) against the 10k example graph. The PR target is ≥100k
+// lookups/sec; the lookups/s metric lands in BENCH_pr4.json.
+func BenchmarkServeLookup(b *testing.B) {
+	h, st := benchSnapshot(b)
+	handler := NewServer(st, nil, Config{MaxInFlight: 4096}).Handler()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			name := h.Names[int(next.Add(1))%len(h.Names)]
+			req := httptest.NewRequest(http.MethodGet, "/v1/host/"+name, nil)
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("lookup %s: status %d", name, rec.Code)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+// BenchmarkSnapshotLookup isolates the data-path cost (index hit +
+// record copy) without the HTTP layer, to show where serving time goes.
+func BenchmarkSnapshotLookup(b *testing.B) {
+	h, st := benchSnapshot(b)
+	snap := st.Load()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := snap.Lookup(h.Names[i%len(h.Names)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+)
+
+// snapshotForEpoch builds a snapshot whose estimate vectors are uniform
+// functions of the epoch, so a reader can compute the exact record it
+// must see for any epoch and detect torn reads (a response mixing
+// fields from two generations cannot equal any single epoch's record).
+func snapshotForEpoch(t testing.TB, h *graph.HostGraph, epoch int64) *Snapshot {
+	t.Helper()
+	n := 5
+	p := make(pagerank.Vector, n)
+	pCore := make(pagerank.Vector, n)
+	for x := range p {
+		p[x] = float64(epoch) / 1000
+		pCore[x] = p[x] / 2
+	}
+	est := mass.Derive(p, pCore, 0.85)
+	snap, err := NewSnapshot(h, est, SnapshotConfig{Detect: mass.DefaultDetectConfig()}, epoch)
+	if err != nil {
+		t.Fatalf("snapshotForEpoch(%d): %v", epoch, err)
+	}
+	return snap
+}
+
+// TestConcurrentLookupDuringRefresh hammers GET /v1/host from several
+// goroutines while the writer forces refreshes (including injected
+// failures). Run under -race. Asserts: every response is 200 — never a
+// 5xx while swaps happen — each goroutine observes monotonically
+// non-decreasing epochs, and every record exactly equals the one its
+// epoch's snapshot serves (no torn reads).
+func TestConcurrentLookupDuringRefresh(t *testing.T) {
+	const (
+		epochs  = 40
+		readers = 8
+	)
+	h := testHostGraph(t)
+
+	// Pre-build every generation and the exact records each must serve.
+	snaps := make(map[int64]*Snapshot, epochs)
+	expected := make(map[int64]map[string]HostRecord, epochs)
+	for e := int64(1); e <= epochs; e++ {
+		snap := snapshotForEpoch(t, h, e)
+		snaps[e] = snap
+		byHost := make(map[string]HostRecord, len(h.Names))
+		for _, name := range h.Names {
+			rec, ok := snap.Lookup(name)
+			if !ok {
+				t.Fatalf("epoch %d missing host %s", e, name)
+			}
+			byHost[name] = rec
+		}
+		expected[e] = byHost
+	}
+
+	// Every 5th build attempt fails once before succeeding, exercising
+	// the keep-old-snapshot path mid-hammer.
+	var attempts atomic.Int64
+	injected := errors.New("injected refresh failure")
+	build := func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error) {
+		if attempts.Add(1)%5 == 0 {
+			return nil, injected
+		}
+		snap, ok := snaps[epoch]
+		if !ok {
+			return nil, fmt.Errorf("no prebuilt snapshot for epoch %d", epoch)
+		}
+		return snap, nil
+	}
+
+	st := NewStore()
+	ref := NewRefresher(st, build, RefresherConfig{})
+	for st.Epoch() == 0 {
+		ref.Refresh(context.Background())
+	}
+	ts := httptest.NewServer(NewServer(st, ref, Config{MaxInFlight: readers * 4}).Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := &http.Client{}
+			lastEpoch := int64(0)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				name := h.Names[i%len(h.Names)]
+				resp, err := client.Get(ts.URL + "/v1/host/" + name)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %v", id, err)
+					return
+				}
+				var rec HostRecord
+				err = json.NewDecoder(resp.Body).Decode(&rec)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("reader %d: status %d during refresh", id, resp.StatusCode)
+					return
+				}
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: decode: %v", id, err)
+					return
+				}
+				if rec.Epoch < lastEpoch {
+					errc <- fmt.Errorf("reader %d: epoch went backwards %d -> %d", id, lastEpoch, rec.Epoch)
+					return
+				}
+				lastEpoch = rec.Epoch
+				want, ok := expected[rec.Epoch][name]
+				if !ok {
+					errc <- fmt.Errorf("reader %d: response claims unknown epoch %d", id, rec.Epoch)
+					return
+				}
+				if rec != want {
+					errc <- fmt.Errorf("reader %d: torn read at epoch %d: got %+v want %+v", id, rec.Epoch, rec, want)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for st.Epoch() < epochs {
+		// Failures are expected (injected); the store must still advance.
+		if err := ref.Refresh(context.Background()); err != nil && !errors.Is(err, injected) {
+			close(done)
+			wg.Wait()
+			t.Fatalf("unexpected refresh error: %v", err)
+		}
+		select {
+		case err := <-errc:
+			close(done)
+			wg.Wait()
+			t.Fatal(err)
+		default:
+		}
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	if ok, failed := ref.Counts(); ok != epochs || failed == 0 {
+		t.Fatalf("refresh counts ok=%d failed=%d, want ok=%d with injected failures", ok, failed, epochs)
+	}
+}

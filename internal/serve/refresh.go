@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spammass/internal/obs"
+)
+
+// BuildFunc produces the next snapshot generation: reload inputs,
+// re-run the estimation, and return a validated snapshot carrying the
+// given epoch. prev is the currently served snapshot (nil on the
+// initial build) — builders use it to warm-start the core-based solve
+// (mass.Estimator.Recompute) or to diff inputs. A builder that fails
+// returns an error; it must not publish anything itself.
+type BuildFunc func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error)
+
+// RefresherConfig configures the background refresh loop.
+type RefresherConfig struct {
+	// Interval is the timer-driven refresh period; 0 disables the
+	// timer, leaving SIGHUP / POST /admin/refresh triggers only.
+	Interval time.Duration
+	// Timeout bounds one refresh attempt (build + publish); 0 means
+	// no bound beyond the Run context.
+	Timeout time.Duration
+	// Obs receives the refresh spans, counters, and snapshot gauges.
+	Obs *obs.Context
+}
+
+// Refresher drives snapshot turnover: it runs BuildFunc on a timer or
+// on demand, and publishes the result to the Store only when the build
+// succeeded end to end. Any failure — input reload, solver
+// non-convergence (pagerank.ErrNotConverged from the estimator),
+// snapshot validation — leaves the previous snapshot serving and is
+// recorded in LastError and the serve.refresh_failures counter.
+// Refreshes are serialized; triggers arriving mid-refresh coalesce
+// into one follow-up run.
+type Refresher struct {
+	store *Store
+	build BuildFunc
+	cfg   RefresherConfig
+
+	trigger  chan struct{}
+	mu       sync.Mutex // serializes Refresh
+	ok       atomic.Int64
+	failed   atomic.Int64
+	lastErr  atomic.Pointer[refreshError]
+	lastWall atomic.Int64 // nanoseconds of the last successful refresh
+}
+
+type refreshError struct{ err error }
+
+// NewRefresher binds a store and a build function. Call Run to start
+// the background loop, or Refresh for synchronous one-shot control.
+func NewRefresher(store *Store, build BuildFunc, cfg RefresherConfig) *Refresher {
+	return &Refresher{store: store, build: build, cfg: cfg, trigger: make(chan struct{}, 1)}
+}
+
+// Refresh synchronously builds and publishes the next snapshot
+// generation. On failure the store is untouched — the old snapshot
+// keeps serving — and the error is recorded and returned. Concurrent
+// calls are serialized.
+func (r *Refresher) Refresh(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Timeout)
+		defer cancel()
+	}
+	octx := r.cfg.Obs
+	sp := octx.Span("serve.refresh")
+	defer sp.End()
+	prev := r.store.Load()
+	epoch := int64(1)
+	if prev != nil {
+		epoch = prev.Epoch() + 1
+	}
+	sp.SetAttr("epoch", epoch)
+	start := time.Now()
+	snap, err := r.build(ctx, prev, epoch)
+	if err == nil && snap == nil {
+		err = fmt.Errorf("serve: build returned neither snapshot nor error")
+	}
+	if err == nil {
+		err = r.store.Publish(snap)
+	}
+	octx.Histogram("serve.refresh_seconds").Observe(time.Since(start).Seconds())
+	if err != nil {
+		err = fmt.Errorf("serve: refresh to epoch %d failed, keeping epoch %d: %w", epoch, r.store.Epoch(), err)
+		sp.SetAttr("error", err.Error())
+		r.failed.Add(1)
+		r.lastErr.Store(&refreshError{err: err})
+		octx.Counter("serve.refresh_failures").Inc()
+		return err
+	}
+	r.ok.Add(1)
+	r.lastErr.Store(&refreshError{})
+	r.lastWall.Store(int64(time.Since(start)))
+	octx.Counter("serve.refreshes").Inc()
+	octx.Gauge("serve.snapshot_epoch").Set(float64(snap.Epoch()))
+	octx.Gauge("serve.snapshot_hosts").Set(float64(snap.NumHosts()))
+	octx.Gauge("serve.snapshot_age_seconds").Set(0)
+	octx.Logf("serve: published snapshot epoch %d (%d hosts, %s)", snap.Epoch(), snap.NumHosts(), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// Trigger requests an asynchronous refresh from the Run loop. It never
+// blocks; triggers raised while a refresh is already pending coalesce.
+func (r *Refresher) Trigger() {
+	select {
+	case r.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// Run executes the refresh loop until ctx is canceled: one refresh per
+// Interval tick and one per Trigger. Failures are absorbed — recorded
+// via LastError and metrics, old snapshot retained — so a transient
+// bad input cannot take the loop down.
+func (r *Refresher) Run(ctx context.Context) {
+	var tick <-chan time.Time
+	if r.cfg.Interval > 0 {
+		t := time.NewTicker(r.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+		case <-r.trigger:
+		}
+		if err := r.Refresh(ctx); err != nil {
+			r.cfg.Obs.Logf("serve: refresh failed: %v", err)
+		}
+	}
+}
+
+// Counts returns how many refreshes succeeded and failed.
+func (r *Refresher) Counts() (ok, failed int64) {
+	return r.ok.Load(), r.failed.Load()
+}
+
+// LastError returns the error of the most recent refresh attempt, or
+// nil if it succeeded (or none ran yet).
+func (r *Refresher) LastError() error {
+	if re := r.lastErr.Load(); re != nil {
+		return re.err
+	}
+	return nil
+}
+
+// LastDuration returns the wall time of the most recent successful
+// refresh.
+func (r *Refresher) LastDuration() time.Duration {
+	return time.Duration(r.lastWall.Load())
+}

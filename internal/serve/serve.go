@@ -1,0 +1,282 @@
+// Package serve is the online query layer over the batch detector:
+// it packages one complete detection state — host graph, mass
+// estimates, per-host detection records, and the host-name index —
+// into an immutable Snapshot, publishes snapshots through an atomic
+// double-buffered Store so readers never block, and answers HTTP JSON
+// queries (single host, bounded batch, precomputed rankings) against
+// whichever snapshot is current.
+//
+// The paper frames Algorithm 2 as an offline filter, but its output —
+// per-host p, p', M̃, m̃ and spam labels — is exactly what a search
+// engine consults at query time. The serving constraint is the
+// refresh: the web graph evolves continuously, so recomputed estimates
+// must replace the live state without downtime and without torn reads.
+// A Refresher re-runs the estimation in the background, validates the
+// result (convergence is enforced upstream by pagerank.ErrNotConverged;
+// NaN/±Inf poisoning is re-checked here at the snapshot boundary), and
+// swaps the Store pointer atomically. A failed refresh changes nothing:
+// the previous snapshot keeps serving, the failure is recorded in
+// metrics and LastError — graceful degradation over partial state.
+//
+// Concurrency model: a Snapshot is immutable after construction; the
+// Store hands out the current *Snapshot with one atomic load; an
+// in-flight request keeps using the snapshot it loaded even while a
+// newer one is published, so every response is internally consistent
+// (all fields from one epoch). Epochs increase monotonically across
+// publishes, which the race tests assert under hammering.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/obs"
+)
+
+// HostRecord is the JSON answer for one host: the detection row of
+// Algorithm 2 plus the serving metadata (epoch, evaluated flag). All
+// score fields are in the paper's scaled n/(1−c) units.
+type HostRecord struct {
+	Host string `json:"host"`
+	Node int64  `json:"node"`
+	// PageRank is the scaled regular PageRank p.
+	PageRank float64 `json:"pagerank"`
+	// CorePageRank is the scaled core-based PageRank p'.
+	CorePageRank float64 `json:"core_pagerank"`
+	// AbsMass is the scaled absolute spam mass M̃ = p − p'.
+	AbsMass float64 `json:"abs_mass"`
+	// RelMass is the relative spam mass m̃ = 1 − p'/p.
+	RelMass float64 `json:"rel_mass"`
+	// Label is "spam" for hosts crossing both Algorithm 2 thresholds,
+	// "good" otherwise.
+	Label string `json:"label"`
+	// Evaluated reports whether the host is in the examined set T
+	// (scaled PageRank ≥ ρ); Algorithm 2 never labels hosts below ρ,
+	// so their "good" label carries less evidence.
+	Evaluated bool `json:"evaluated"`
+	// Epoch is the snapshot generation this record was computed in.
+	Epoch int64 `json:"epoch"`
+}
+
+// Ranking metrics accepted by Snapshot.Top and GET /v1/top.
+const (
+	MetricRelMass  = "relmass"
+	MetricAbsMass  = "absmass"
+	MetricPageRank = "pagerank"
+)
+
+// DefaultMaxTop caps the length of the precomputed rankings (and
+// therefore the n of GET /v1/top) when SnapshotConfig.MaxTop is zero.
+const DefaultMaxTop = 1000
+
+// SnapshotConfig fixes the detection and ranking parameters of one
+// snapshot generation.
+type SnapshotConfig struct {
+	// Detect holds the Algorithm 2 thresholds (ρ, τ) used to label
+	// every record.
+	Detect mass.DetectConfig
+	// Gamma and CoreSize describe the estimation inputs, surfaced in
+	// /admin/status for operators.
+	Gamma    float64
+	CoreSize int
+	// MaxTop caps the precomputed ranking length; 0 means
+	// DefaultMaxTop.
+	MaxTop int
+}
+
+// Snapshot is one immutable detection state: every accessor is safe
+// for unsynchronized concurrent use, and nothing in a Snapshot changes
+// after NewSnapshot returns. Records, labels, and rankings are
+// precomputed at build time so the query path is a map lookup plus an
+// indexed read.
+type Snapshot struct {
+	epoch    int64
+	builtAt  time.Time
+	hosts    *graph.HostGraph
+	est      *mass.Estimates
+	cfg      SnapshotConfig
+	index    map[string]graph.NodeID
+	records  []HostRecord
+	rankings map[string][]HostRecord
+}
+
+// NewSnapshot validates the estimates and precomputes the per-host
+// records and rankings. The validation is the vectorcheck guard at the
+// serving boundary: a NaN or ±Inf anywhere in the estimate vectors, or
+// a negative PageRank score, fails the build so a poisoned refresh can
+// never be published. epoch must be positive; the Refresher assigns
+// prev+1.
+func NewSnapshot(hosts *graph.HostGraph, est *mass.Estimates, cfg SnapshotConfig, epoch int64) (*Snapshot, error) {
+	if epoch <= 0 {
+		return nil, fmt.Errorf("serve: snapshot epoch %d must be positive", epoch)
+	}
+	n := hosts.Graph.NumNodes()
+	if est.N() != n {
+		return nil, fmt.Errorf("serve: estimates cover %d nodes, host graph has %d", est.N(), n)
+	}
+	if len(hosts.Names) != n {
+		return nil, fmt.Errorf("serve: %d host names for %d nodes", len(hosts.Names), n)
+	}
+	if err := validateEstimates(est); err != nil {
+		return nil, err
+	}
+	if cfg.MaxTop <= 0 {
+		cfg.MaxTop = DefaultMaxTop
+	}
+	s := &Snapshot{
+		epoch:   epoch,
+		builtAt: time.Now(),
+		hosts:   hosts,
+		est:     est,
+		cfg:     cfg,
+		index:   hosts.HostIndex(),
+		records: make([]HostRecord, n),
+	}
+	for x := 0; x < n; x++ {
+		id := graph.NodeID(x)
+		rec := mass.RecordFor(est, id, cfg.Detect, hosts.Names[x])
+		s.records[x] = HostRecord{
+			Host:         rec.Host,
+			Node:         rec.Node,
+			PageRank:     rec.P,
+			CorePageRank: rec.PCore,
+			AbsMass:      rec.AbsMass,
+			RelMass:      rec.RelMass,
+			Label:        rec.Label,
+			Evaluated:    rec.P >= cfg.Detect.ScaledPageRankThreshold,
+			Epoch:        epoch,
+		}
+	}
+	s.rankings = map[string][]HostRecord{
+		MetricRelMass:  s.rank(cfg.MaxTop, true, func(r *HostRecord) float64 { return r.RelMass }),
+		MetricAbsMass:  s.rank(cfg.MaxTop, false, func(r *HostRecord) float64 { return r.AbsMass }),
+		MetricPageRank: s.rank(cfg.MaxTop, false, func(r *HostRecord) float64 { return r.PageRank }),
+	}
+	return s, nil
+}
+
+// rank returns the top-k records by key, descending, ties broken by
+// ascending node ID. evaluatedOnly restricts the ranking to the
+// examined set T — the relative-mass ranking is meaningless below ρ,
+// where tiny absolute errors blow up m̃ (Section 3.6).
+func (s *Snapshot) rank(k int, evaluatedOnly bool, key func(*HostRecord) float64) []HostRecord {
+	idx := make([]int, 0, len(s.records))
+	for x := range s.records {
+		if evaluatedOnly && !s.records[x].Evaluated {
+			continue
+		}
+		idx = append(idx, x)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		ki, kj := key(&s.records[idx[i]]), key(&s.records[idx[j]])
+		// lint:ignore floatcmp exact tie-break keeps the ranking a strict weak ordering
+		if ki != kj {
+			return ki > kj
+		}
+		return idx[i] < idx[j]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]HostRecord, k)
+	for i, x := range idx[:k] {
+		out[i] = s.records[x]
+	}
+	return out
+}
+
+// validateEstimates is the NaN/±Inf guard at the snapshot boundary,
+// mirroring the engine's -tags vectorcheck scan: estimates computed in
+// a background refresh must never poison the serving state.
+func validateEstimates(est *mass.Estimates) error {
+	vectors := []struct {
+		name string
+		v    []float64
+	}{{"p", est.P}, {"p_core", est.PCore}, {"abs_mass", est.Abs}, {"rel_mass", est.Rel}}
+	for _, vec := range vectors {
+		for i, v := range vec.v {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("serve: estimate vector %s has non-finite value %v at node %d", vec.name, v, i)
+			}
+		}
+	}
+	for i, v := range est.P {
+		if v < 0 {
+			return fmt.Errorf("serve: PageRank vector has negative score %v at node %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Epoch returns the snapshot generation, positive and strictly
+// increasing across publishes.
+func (s *Snapshot) Epoch() int64 { return s.epoch }
+
+// BuiltAt returns the snapshot construction time.
+func (s *Snapshot) BuiltAt() time.Time { return s.builtAt }
+
+// Age returns the time elapsed since the snapshot was built.
+func (s *Snapshot) Age() time.Duration { return time.Since(s.builtAt) }
+
+// NumHosts returns the number of hosts covered.
+func (s *Snapshot) NumHosts() int { return len(s.records) }
+
+// Config returns the snapshot's detection and ranking parameters.
+func (s *Snapshot) Config() SnapshotConfig { return s.cfg }
+
+// Estimates exposes the underlying mass estimates (e.g. for report
+// summaries); treat the result as read-only.
+func (s *Snapshot) Estimates() *mass.Estimates { return s.est }
+
+// Lookup resolves a host name to its record.
+func (s *Snapshot) Lookup(name string) (HostRecord, bool) {
+	x, ok := s.index[name]
+	if !ok {
+		return HostRecord{}, false
+	}
+	return s.records[x], true
+}
+
+// LookupNode returns the record of node x.
+func (s *Snapshot) LookupNode(x graph.NodeID) (HostRecord, bool) {
+	if int(x) >= len(s.records) {
+		return HostRecord{}, false
+	}
+	return s.records[x], true
+}
+
+// Top returns the first n entries of the precomputed ranking for
+// metric (MetricRelMass, MetricAbsMass, or MetricPageRank). n is
+// clamped to the precomputed length (SnapshotConfig.MaxTop).
+func (s *Snapshot) Top(metric string, n int) ([]HostRecord, error) {
+	ranked, ok := s.rankings[metric]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown ranking metric %q (want %s, %s, or %s)",
+			metric, MetricRelMass, MetricAbsMass, MetricPageRank)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]HostRecord, n)
+	copy(out, ranked[:n])
+	return out, nil
+}
+
+// Summary condenses the snapshot into the RunReport mass section, so a
+// server -report carries the same diagnostics as a batch run.
+func (s *Snapshot) Summary() *obs.MassSummary {
+	candidates := 0
+	for x := range s.records {
+		if s.records[x].Label == obs.LabelSpam {
+			candidates++
+		}
+	}
+	return mass.ReportSummary(s.est, s.cfg.CoreSize, s.cfg.Gamma, s.cfg.Detect, candidates)
+}

@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spammass/internal/obs"
+)
+
+// Config tunes the HTTP query layer.
+type Config struct {
+	// MaxInFlight bounds the number of /v1/* requests served
+	// concurrently; excess load is shed with 429 + Retry-After instead
+	// of queueing into collapse. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// Timeout is the per-request deadline attached to every /v1/*
+	// request context. 0 means DefaultTimeout.
+	Timeout time.Duration
+	// MaxBatch bounds the number of hosts in one POST /v1/batch; 0
+	// means DefaultMaxBatch.
+	MaxBatch int
+	// Obs receives request counters and latency histograms; the
+	// handles are cached at construction so the hot path pays no
+	// registry lookups. A nil Obs costs one nil check per request.
+	Obs *obs.Context
+	// TraceRequests additionally records one span per request under
+	// the Obs root. Spans accumulate in the parent for the life of the
+	// trace, so this is for bounded diagnostic runs, not always-on
+	// production serving; metrics cover the steady state.
+	TraceRequests bool
+}
+
+// Serving defaults.
+const (
+	DefaultMaxInFlight = 256
+	DefaultTimeout     = 5 * time.Second
+	DefaultMaxBatch    = 1000
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	return c
+}
+
+// Server answers spam-mass queries over HTTP against the current
+// Store snapshot. Build one with NewServer and mount Handler on an
+// http.Server; see cmd/spamserver for the full wiring including
+// graceful shutdown.
+//
+// Endpoints:
+//
+//	GET  /v1/host/{name}            one host's record
+//	POST /v1/batch                  {"hosts":[...]} → aligned records
+//	GET  /v1/top?metric=relmass&n=  precomputed ranking
+//	GET  /healthz                   process liveness
+//	GET  /readyz                    snapshot readiness (503 before first publish)
+//	POST /admin/refresh[?wait=1]    trigger (or run) a refresh
+//	GET  /admin/status              epoch, age, refresh counters
+type Server struct {
+	store *Store
+	ref   *Refresher // nil disables /admin/refresh
+	cfg   Config
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	requests *obs.Counter
+	shed     *obs.Counter
+	misses   *obs.Counter
+	latency  *obs.Histogram
+	ageGauge *obs.Gauge
+}
+
+// NewServer builds the query layer over store. ref may be nil, which
+// disables the refresh endpoint (refreshes then come only from
+// whatever drives the store directly).
+func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		store:    store,
+		ref:      ref,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		mux:      http.NewServeMux(),
+		requests: cfg.Obs.Counter("serve.requests"),
+		shed:     cfg.Obs.Counter("serve.shed"),
+		misses:   cfg.Obs.Counter("serve.lookup_misses"),
+		latency:  cfg.Obs.Histogram("serve.request_seconds"),
+		ageGauge: cfg.Obs.Gauge("serve.snapshot_age_seconds"),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/host/{name}", s.limited("host", s.handleHost))
+	s.mux.HandleFunc("POST /v1/batch", s.limited("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /v1/top", s.limited("top", s.handleTop))
+	s.mux.HandleFunc("POST /admin/refresh", s.handleRefresh)
+	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// An encode failure here means the client went away mid-write;
+	// there is nobody left to tell.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// limited wraps a query handler with the serving guardrails: admission
+// control (shed with 429 when MaxInFlight requests are already in
+// flight), the per-request deadline, and request metrics. Health and
+// admin endpoints bypass it so operators can always see in.
+func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "overloaded, retry later"})
+			return
+		}
+		defer func() { <-s.sem }()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		var sp *obs.Span
+		if s.cfg.TraceRequests {
+			sp = s.cfg.Obs.Span("serve." + route)
+			defer sp.End()
+		}
+		start := time.Now()
+		h(w, r.WithContext(ctx))
+		s.latency.ObserveSince(start)
+		s.requests.Inc()
+	}
+}
+
+// snapshot loads the current snapshot, answering 503 itself when none
+// has been published yet.
+func (s *Server) snapshot(w http.ResponseWriter) *Snapshot {
+	snap := s.store.Load()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no snapshot published yet"})
+	}
+	return snap
+}
+
+func (s *Server) handleHost(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	rec, ok := snap.Lookup(r.PathValue("name"))
+	if !ok {
+		s.misses.Inc()
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown host"})
+		return
+	}
+	writeJSON(w, http.StatusOK, &rec)
+}
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	Hosts []string `json:"hosts"`
+}
+
+// BatchResponse answers a batch lookup: Records is aligned with the
+// request (null for unknown hosts), all records from one epoch.
+type BatchResponse struct {
+	Epoch   int64         `json:"epoch"`
+	Records []*HostRecord `json:"records"`
+	Misses  int           `json:"misses"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Hosts) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty hosts list"})
+		return
+	}
+	if len(req.Hosts) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorBody{Error: "batch of " + strconv.Itoa(len(req.Hosts)) + " exceeds limit " + strconv.Itoa(s.cfg.MaxBatch)})
+		return
+	}
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	resp := BatchResponse{Epoch: snap.Epoch(), Records: make([]*HostRecord, len(req.Hosts))}
+	for i, name := range req.Hosts {
+		if i%256 == 255 && r.Context().Err() != nil {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "request deadline exceeded"})
+			return
+		}
+		if rec, ok := snap.Lookup(name); ok {
+			cp := rec
+			resp.Records[i] = &cp
+		} else {
+			resp.Misses++
+		}
+	}
+	s.misses.Add(int64(resp.Misses))
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// TopResponse answers GET /v1/top.
+type TopResponse struct {
+	Epoch   int64        `json:"epoch"`
+	Metric  string       `json:"metric"`
+	Records []HostRecord `json:"records"`
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot(w)
+	if snap == nil {
+		return
+	}
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		metric = MetricRelMass
+	}
+	n := 50
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad n parameter"})
+			return
+		}
+		n = v
+	}
+	recs, err := snap.Top(metric, n)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, &TopResponse{Epoch: snap.Epoch(), Metric: metric, Records: recs})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Load()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no snapshot"})
+		return
+	}
+	age := snap.Age()
+	s.ageGauge.Set(age.Seconds())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
+		"epoch":       snap.Epoch(),
+		"age_seconds": age.Seconds(),
+	})
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if s.ref == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "no refresher configured"})
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		s.ref.Trigger()
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "refresh scheduled"})
+		return
+	}
+	if err := s.ref.Refresh(r.Context()); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "refreshed", "epoch": s.store.Epoch()})
+}
+
+// StatusResponse is the GET /admin/status body.
+type StatusResponse struct {
+	Epoch           int64     `json:"epoch"`
+	BuiltAt         time.Time `json:"built_at"`
+	AgeSeconds      float64   `json:"age_seconds"`
+	Hosts           int       `json:"hosts"`
+	Gamma           float64   `json:"gamma"`
+	CoreSize        int       `json:"core_size"`
+	Refreshes       int64     `json:"refreshes"`
+	RefreshFailures int64     `json:"refresh_failures"`
+	LastError       string    `json:"last_error,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	var resp StatusResponse
+	if snap := s.store.Load(); snap != nil {
+		resp.Epoch = snap.Epoch()
+		resp.BuiltAt = snap.BuiltAt()
+		resp.AgeSeconds = snap.Age().Seconds()
+		resp.Hosts = snap.NumHosts()
+		resp.Gamma = snap.Config().Gamma
+		resp.CoreSize = snap.Config().CoreSize
+		s.ageGauge.Set(resp.AgeSeconds)
+	}
+	if s.ref != nil {
+		resp.Refreshes, resp.RefreshFailures = s.ref.Counts()
+		if err := s.ref.LastError(); err != nil {
+			resp.LastError = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}

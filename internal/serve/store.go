@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Store publishes snapshots to readers through one atomic pointer —
+// the classic double-buffer: readers Load the current snapshot with a
+// single atomic read and keep using it for the whole request, while a
+// writer builds the next generation off to the side and Publishes it
+// with one atomic swap. Readers never block, writers never wait for
+// readers, and the superseded snapshot stays valid until its last
+// reader drops it (the garbage collector is the reclamation scheme).
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// NewStore returns an empty store; Load returns nil until the first
+// Publish, which /readyz surfaces as not-ready.
+func NewStore() *Store { return &Store{} }
+
+// Load returns the current snapshot, or nil before the first Publish.
+// The result is immutable and remains valid indefinitely.
+func (s *Store) Load() *Snapshot { return s.cur.Load() }
+
+// Publish installs snap as the current snapshot. Epochs must strictly
+// increase: a publish racing a newer one loses and returns an error
+// instead of moving the served state backwards.
+func (s *Store) Publish(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("serve: cannot publish nil snapshot")
+	}
+	for {
+		old := s.cur.Load()
+		if old != nil && snap.epoch <= old.epoch {
+			return fmt.Errorf("serve: stale publish: epoch %d is not newer than current %d", snap.epoch, old.epoch)
+		}
+		if s.cur.CompareAndSwap(old, snap) {
+			return nil
+		}
+	}
+}
+
+// Epoch returns the current snapshot's epoch, or 0 before the first
+// Publish.
+func (s *Store) Epoch() int64 {
+	if snap := s.cur.Load(); snap != nil {
+		return snap.epoch
+	}
+	return 0
+}
