@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke serve-smoke verify clean
+.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke serve-smoke delta-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,16 @@ test:
 	$(GO) test ./...
 
 # bench runs the 10k-node acceptance benchmarks — the mass-estimation
-# sweep plus the serving-layer lookup benchmark — with -benchmem and
-# converts the combined output into the machine-readable benchmark
-# summary for this PR (ServeLookup's lookups/s lands under "extra").
-BENCH_OUT ?= BENCH_pr4.json
+# sweep, the serving-layer lookup benchmark, and the incremental
+# (delta + warm start) refresh against its cold baseline — with
+# -benchmem, and converts the combined output into the machine-readable
+# benchmark summary for this PR (per-op "iters" record the solver
+# iteration counts the ≥2x incremental claim is pinned on).
+BENCH_OUT ?= BENCH_pr5.json
 bench:
 	{ $(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ && \
-	  $(GO) test -run='^$$' -bench=ServeLookup -benchmem ./internal/serve/; } \
+	  $(GO) test -run='^$$' -bench=ServeLookup -benchmem ./internal/serve/ && \
+	  $(GO) test -run='^$$' -bench=Refresh10k -benchmem ./internal/delta/; } \
 	  | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # bench-all is the full benchmark sweep over every package.
@@ -53,12 +56,19 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzHostOf -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzCollapseToHosts -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzDerive -fuzztime=$(FUZZTIME) ./internal/mass/
+	$(GO) test -run='^$$' -fuzz=FuzzDeltaApply -fuzztime=$(FUZZTIME) ./internal/delta/
 
 # serve-smoke boots cmd/spamserver on an ephemeral port against a
 # generated example graph, curls the health and query endpoints, forces
 # a refresh, and shuts it down.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# delta-smoke exercises the incremental refresh path end to end:
+# generate a graph plus one churn delta, boot spamserver, POST the
+# delta, and assert the snapshot generation advanced.
+delta-smoke:
+	sh scripts/delta_smoke.sh
 
 # verify is the tier-1 gate: vet, spamlint, full build, full test
 # suite, the race detector over every package, and the pagerank tests

@@ -8,6 +8,12 @@
 //	genweb -hosts 150000 -seed 1 -out web
 //
 // writes web.graph, web.names, web.labels, and web.core.
+//
+// With -churn N the generator additionally advances the world N spam
+// generations (Section 3.4 churn: farms abandoned, fresh ones stood up
+// on recycled hosts) and writes each step's mutations as a delta file
+// web.delta.1 … web.delta.N — the feed format of spamserver's
+// /admin/delta endpoint and -delta-watch flag.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"spammass/internal/delta"
 	"spammass/internal/goodcore"
 	"spammass/internal/graph"
 	"spammass/internal/webgen"
@@ -27,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "web", "output path prefix")
 	text := flag.Bool("text", false, "write the graph in text format instead of binary")
+	churn := flag.Int("churn", 0, "also evolve N spam generations, writing one delta file per step")
 	configPath := flag.String("config", "", "read the generator configuration from this JSON file")
 	dumpConfig := flag.Bool("dumpconfig", false, "print the default configuration as JSON and exit")
 	flag.Parse()
@@ -97,6 +105,32 @@ func main() {
 	})
 	fmt.Printf("wrote %s.graph, %s.names, %s.labels, %s.core (core %d hosts)\n",
 		*out, *out, *out, *out, core.Size())
+
+	cur := w
+	for i := 1; i <= *churn; i++ {
+		next, err := webgen.EvolveSpam(cur, webgen.EvolveConfig{Seed: *seed + int64(i)})
+		if err != nil {
+			die("churn step %d: %v", i, err)
+		}
+		oldH, err := graph.NewHostGraph(cur.Graph, cur.Names)
+		if err != nil {
+			die("churn step %d: %v", i, err)
+		}
+		newH, err := graph.NewHostGraph(next.Graph, next.Names)
+		if err != nil {
+			die("churn step %d: %v", i, err)
+		}
+		b, err := delta.Diff(oldH, newH)
+		if err != nil {
+			die("churn step %d: diff: %v", i, err)
+		}
+		path := fmt.Sprintf("%s.delta.%d", *out, i)
+		if err := delta.WriteFile(path, b); err != nil {
+			die("churn step %d: %v", i, err)
+		}
+		fmt.Printf("wrote %s (%d ops)\n", path, b.NumOps())
+		cur = next
+	}
 }
 
 func writeFile(path string, fill func(*bufio.Writer) error) {

@@ -9,11 +9,13 @@
 //	spamserver -addr :8080 -graph web.graph -names web.names -core web.core
 //	           [-tau 0.98] [-rho 10] [-gamma 0.85] [-damping 0.85]
 //	           [-refresh 15m] [-refresh-timeout 5m]
+//	           [-delta-watch path.delta] [-delta-poll 2s]
 //	           [-max-inflight 256] [-timeout 5s] [-max-batch 1000]
 //	           [-addr-file path] [-debug-addr :6060] [-v]
 //
 // Endpoints: GET /v1/host/{name}, POST /v1/batch, GET /v1/top,
-// GET /healthz, GET /readyz, POST /admin/refresh, GET /admin/status.
+// GET /healthz, GET /readyz, POST /admin/refresh, POST /admin/delta,
+// GET /admin/status.
 //
 // Refreshes reload all three input files from disk, so replacing them
 // in place and sending SIGHUP (or POST /admin/refresh) picks up a new
@@ -21,6 +23,15 @@
 // solver non-convergence, NaN/Inf in the result — leaves the previous
 // snapshot serving. SIGINT/SIGTERM drain in-flight requests before
 // exit. -addr-file writes the bound address (useful with -addr :0).
+//
+// Between full refreshes the graph can evolve incrementally: POST a
+// mutation batch in the delta text format to /admin/delta (?wait=1 to
+// apply synchronously), or point -delta-watch at a delta file that a
+// churn source rewrites — the server polls its mtime every -delta-poll
+// and applies the new batch. Each applied batch advances the epoch by
+// one; the estimation warm-starts from the previous snapshot's
+// vectors, so small-churn batches converge in a fraction of a cold
+// rebuild's iterations.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 	"time"
 
 	"spammass/internal/cliobs"
+	"spammass/internal/delta"
 	"spammass/internal/graph"
 	"spammass/internal/mass"
 	"spammass/internal/obs"
@@ -55,6 +67,8 @@ func main() {
 	damping := flag.Float64("damping", 0.85, "damping factor c")
 	refresh := flag.Duration("refresh", 0, "re-estimate from the input files this often (0 = only on SIGHUP / POST /admin/refresh)")
 	refreshTimeout := flag.Duration("refresh-timeout", 0, "abort a refresh attempt after this long (0 = unbounded)")
+	deltaWatch := flag.String("delta-watch", "", "watch this delta file and apply each new batch incrementally")
+	deltaPoll := flag.Duration("delta-poll", 2*time.Second, "poll interval for -delta-watch")
 	maxInflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /v1/* requests before shedding with 429")
 	reqTimeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "host limit per POST /v1/batch")
@@ -108,14 +122,18 @@ func main() {
 			Detect:   dcfg,
 			Gamma:    *gamma,
 			CoreSize: len(core),
+			// Carrying the core lets /admin/delta apply batches on top
+			// of this snapshot with the core remapped, not reloaded.
+			Core: core,
 		}, epoch)
 	}
 
 	store := serve.NewStore()
 	ref := serve.NewRefresher(store, build, serve.RefresherConfig{
-		Interval: *refresh,
-		Timeout:  *refreshTimeout,
-		Obs:      octx,
+		Interval:   *refresh,
+		Timeout:    *refreshTimeout,
+		ApplyDelta: serve.NewDeltaBuilder(serve.DeltaBuilderConfig{Solver: solver, Obs: octx}),
+		Obs:        octx,
 	})
 	// Fail fast if the inputs cannot produce even one snapshot; after
 	// that, refresh failures only log and the old snapshot keeps serving.
@@ -151,6 +169,9 @@ func main() {
 		defer close(refresherDone)
 		ref.Run(runCtx)
 	}()
+	if *deltaWatch != "" {
+		go watchDelta(runCtx, *deltaWatch, *deltaPoll, ref, octx)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
@@ -179,6 +200,53 @@ func main() {
 	}
 	stopRefresher()
 	<-refresherDone
+}
+
+// watchDelta polls path and enqueues its batch whenever the file
+// changes. A file already present at boot is treated as consumed —
+// the initial snapshot was just built from the full inputs, so an old
+// delta must not be replayed on top of it. Read or submit failures
+// log and leave the marker untouched, so the next poll retries.
+func watchDelta(ctx context.Context, path string, every time.Duration, ref *serve.Refresher, octx *obs.Context) {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	type mark struct {
+		mtime time.Time
+		size  int64
+	}
+	var last mark
+	if fi, err := os.Stat(path); err == nil {
+		last = mark{fi.ModTime(), fi.Size()}
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue // not written yet, or mid-rename
+		}
+		cur := mark{fi.ModTime(), fi.Size()}
+		if cur == last {
+			continue
+		}
+		b, err := delta.ReadFile(path)
+		if err != nil {
+			octx.Logf("spamserver: delta watch: %v", err)
+			continue
+		}
+		if err := ref.SubmitDelta(b); err != nil {
+			octx.Logf("spamserver: delta watch: %v", err)
+			continue
+		}
+		octx.Logf("spamserver: delta watch: submitted %d ops from %s", b.NumOps(), path)
+		last = cur
+	}
 }
 
 func die(format string, args ...any) {

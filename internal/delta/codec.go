@@ -1,0 +1,130 @@
+package delta
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Text format, mirroring the graph package's edge-list codec: a header
+// line "delta <version>" followed by one op per line —
+//
+//	+h <host>          add host
+//	-h <host>          remove host (and its incident edges)
+//	+e <src> <dst>     add edge
+//	-e <src> <dst>     remove edge
+//
+// Lines starting with '#' are comments; blank lines are ignored. Hosts
+// are identified by name, the identifier that is stable across graph
+// generations (node IDs are renumbered by Apply).
+const textVersion = 1
+
+// WriteText writes b in the line-oriented text format.
+func WriteText(w io.Writer, b *Batch) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "delta %d\n", textVersion); err != nil {
+		return err
+	}
+	for _, op := range b.Ops {
+		if _, err := fmt.Fprintln(bw, op.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format produced by WriteText. The returned
+// batch passes Validate; cross-op conflicts are still Apply's to find.
+func ReadText(r io.Reader) (*Batch, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	b := &Batch{}
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if !sawHeader {
+			var version int
+			if len(fields) != 2 || fields[0] != "delta" {
+				return nil, fmt.Errorf("delta: line %d: expected header \"delta <version>\", got %q", line, text)
+			}
+			if _, err := fmt.Sscanf(fields[1], "%d", &version); err != nil {
+				return nil, fmt.Errorf("delta: line %d: bad version: %w", line, err)
+			}
+			if version != textVersion {
+				return nil, fmt.Errorf("delta: line %d: unsupported version %d", line, version)
+			}
+			sawHeader = true
+			continue
+		}
+		var op Op
+		switch fields[0] {
+		case "+h", "-h":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("delta: line %d: host op wants one name, got %q", line, text)
+			}
+			op = Op{Kind: AddHost, Src: fields[1]}
+			if fields[0] == "-h" {
+				op.Kind = RemoveHost
+			}
+		case "+e", "-e":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("delta: line %d: edge op wants two names, got %q", line, text)
+			}
+			op = Op{Kind: AddEdge, Src: fields[1], Dst: fields[2]}
+			if fields[0] == "-e" {
+				op.Kind = RemoveEdge
+			}
+		default:
+			return nil, fmt.Errorf("delta: line %d: unknown op %q", line, fields[0])
+		}
+		if err := op.validate(); err != nil {
+			return nil, fmt.Errorf("delta: line %d: %w", line, err)
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("delta: empty input, missing header")
+	}
+	return b, nil
+}
+
+// ReadFile loads one batch from a delta file.
+func ReadFile(path string) (*Batch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := ReadText(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteFile writes one batch to a delta file.
+func WriteFile(path string, b *Batch) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteText(f, b); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}

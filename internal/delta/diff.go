@@ -1,0 +1,98 @@
+package delta
+
+import (
+	"fmt"
+	"sort"
+
+	"spammass/internal/graph"
+)
+
+// Diff computes the batch that transforms old into new: host
+// additions/removals by name, then the name-level edge difference.
+// Applying the result to old yields a graph whose host set and edge
+// set match new exactly (node IDs may differ; names are the stable
+// identity). Diff is how churn sources — a fresh crawl, the genweb
+// -churn generator — are turned into delta files.
+func Diff(old, new *graph.HostGraph) (*Batch, error) {
+	b := &Batch{}
+	// Host difference.
+	oldHas := make(map[string]graph.NodeID, len(old.Names))
+	for x, name := range old.Names {
+		oldHas[name] = graph.NodeID(x)
+	}
+	newHas := make(map[string]graph.NodeID, len(new.Names))
+	for _, name := range new.Names {
+		x, ok := new.NodeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("delta: new graph index missing name %q", name)
+		}
+		newHas[name] = x
+		if _, exists := oldHas[name]; !exists {
+			b.Ops = append(b.Ops, AddHostOp(name))
+		}
+	}
+	for _, name := range old.Names {
+		if _, exists := newHas[name]; !exists {
+			b.Ops = append(b.Ops, RemoveHostOp(name))
+		}
+	}
+
+	// Edge difference, per surviving source host: both neighbor lists
+	// are brought into the old graph's sorted ID order (new-graph
+	// neighbors translate by name; neighbors only one side knows sort
+	// to the appropriate end), then a two-pointer pass emits the ops.
+	for x, name := range old.Names {
+		nx, survives := newHas[name]
+		if !survives {
+			// RemoveHost drops every incident edge implicitly; explicit
+			// removals referencing the host would conflict in Apply.
+			continue
+		}
+		var oldN, newN []string
+		for _, y := range old.Graph.OutNeighbors(graph.NodeID(x)) {
+			oldN = append(oldN, old.Names[y])
+		}
+		for _, y := range new.Graph.OutNeighbors(nx) {
+			newN = append(newN, new.Names[y])
+		}
+		emitDiff(b, name, oldN, newN, newHas)
+	}
+	// Edges out of hosts that exist only in the new graph.
+	for _, name := range new.Names {
+		if _, existed := oldHas[name]; existed {
+			continue
+		}
+		nx := newHas[name]
+		for _, y := range new.Graph.OutNeighbors(nx) {
+			b.Ops = append(b.Ops, AddEdgeOp(name, new.Names[y]))
+		}
+	}
+	return b, nil
+}
+
+// emitDiff appends the edge ops turning src's old out-neighbor name
+// set into the new one. Removals into hosts the batch removes, and
+// additions out of removed hosts, are implicit in the host ops and
+// skipped here.
+func emitDiff(b *Batch, src string, oldN, newN []string, newHas map[string]graph.NodeID) {
+	sort.Strings(oldN)
+	sort.Strings(newN)
+	i, j := 0, 0
+	for i < len(oldN) || j < len(newN) {
+		switch {
+		case j == len(newN) || (i < len(oldN) && oldN[i] < newN[j]):
+			// Edge disappeared. If the destination host itself is gone,
+			// RemoveHost already drops it.
+			if _, kept := newHas[oldN[i]]; kept {
+				b.Ops = append(b.Ops, RemoveEdgeOp(src, oldN[i]))
+			}
+			i++
+		case i == len(oldN) || oldN[i] > newN[j]:
+			b.Ops = append(b.Ops, AddEdgeOp(src, newN[j]))
+			j++
+		default: // equal: edge unchanged
+			i++
+			j++
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package delta
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"spammass/internal/graph"
+)
+
+// FuzzDeltaApply drives arbitrary delta text through the full
+// pipeline: whatever parses must round-trip through the codec, and
+// whatever applies cleanly must produce a graph satisfying the CSR
+// invariants whose application is undone by the inverse batch. Run
+// the seeds as normal tests, or explore with `go test -fuzz=FuzzDeltaApply`.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add("delta 1\n+h new.test\n-h a.test\n+e b.test c.test\n-e a.test b.test\n")
+	f.Add("delta 1\n# comment\n\n+e x.test y.test\n")
+	f.Add("delta 1\n-h a.test\n-h b.test\n-h c.test\n")
+	f.Add("delta 1\n+e n0.test n1.test\n+e n1.test n0.test\n+h lone.test\n")
+	f.Add("delta 1\n+e a.test a.test\n")     // self edge: must not parse
+	f.Add("delta 1\n+h a.test\n+h a.test\n") // dup add: parses, Apply rejects
+	f.Add("nonsense\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<14 {
+			return
+		}
+		b, err := ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Codec round trip: write→read must reproduce the ops exactly.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, b); err != nil {
+			t.Fatalf("WriteText on parsed batch: %v", err)
+		}
+		b2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if len(b.Ops) != len(b2.Ops) || (len(b.Ops) > 0 && !reflect.DeepEqual(b.Ops, b2.Ops)) {
+			t.Fatalf("codec round trip changed ops:\nin  %v\nout %v", b.Ops, b2.Ops)
+		}
+
+		// Apply against a small fixed world; conflicts are fine, a
+		// malformed result is not.
+		base := fuzzWorld(t)
+		res, err := Apply(base, b)
+		if err != nil {
+			return
+		}
+		if err := res.Hosts.Graph.Validate(); err != nil {
+			t.Fatalf("applied graph violates invariants: %v", err)
+		}
+		if len(res.Hosts.Names) != res.Hosts.Graph.NumNodes() {
+			t.Fatalf("%d names for %d nodes", len(res.Hosts.Names), res.Hosts.Graph.NumNodes())
+		}
+		// Batch + inverse restores the original at the name level.
+		back, err := Apply(res.Hosts, res.Inverse)
+		if err != nil {
+			t.Fatalf("inverse failed to apply: %v", err)
+		}
+		be, bn := fuzzNameEdges(back.Hosts)
+		oe, on := fuzzNameEdges(base)
+		if !reflect.DeepEqual(bn, on) || !reflect.DeepEqual(be, oe) {
+			t.Fatalf("inverse did not restore the original:\nhosts %v vs %v\nedges %v vs %v", bn, on, be, oe)
+		}
+	})
+}
+
+func fuzzWorld(t *testing.T) *graph.HostGraph {
+	t.Helper()
+	names := []string{"a.test", "b.test", "c.test", "n0.test", "n1.test", "x.test"}
+	b := graph.NewBuilder(len(names))
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {0, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	h, err := graph.NewHostGraph(b.Build(), names)
+	if err != nil {
+		t.Fatalf("fuzz world: %v", err)
+	}
+	return h
+}
+
+func fuzzNameEdges(h *graph.HostGraph) (edges, names []string) {
+	h.Graph.Edges(func(x, y graph.NodeID) bool {
+		edges = append(edges, h.Names[x]+">"+h.Names[y])
+		return true
+	})
+	names = append(names, h.Names...)
+	sort.Strings(edges)
+	sort.Strings(names)
+	return edges, names
+}

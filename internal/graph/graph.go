@@ -149,6 +149,68 @@ func validateCSR(start []int64, adj []NodeID, n int, kind string) error {
 	return nil
 }
 
+// FromCSR assembles a Graph directly from a forward CSR adjacency:
+// outStart has n+1 offsets and the out-neighbors of node x are
+// outAdj[outStart[x]:outStart[x+1]], strictly increasing, with no
+// self-links. The reverse CSR is derived. FromCSR takes ownership of
+// both slices; callers must not modify them afterwards.
+//
+// This is the constructor for producers that already emit a sorted,
+// deduplicated adjacency — e.g. the delta merge pass — and would waste
+// an O(m log m) sort going through a Builder. The input is fully
+// validated, so a malformed CSR cannot produce a corrupt Graph.
+func FromCSR(outStart []int64, outAdj []NodeID) (*Graph, error) {
+	if len(outStart) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR needs at least the [0] offset row")
+	}
+	n := len(outStart) - 1
+	if n == 0 {
+		if len(outAdj) != 0 {
+			return nil, fmt.Errorf("graph: empty CSR with %d adjacency entries", len(outAdj))
+		}
+		return &Graph{}, nil
+	}
+	// The forward CSR must be checked before deriving the reverse:
+	// reverseCSR indexes counters by target ID, so an out-of-range
+	// entry would panic rather than error.
+	if err := validateCSR(outStart, outAdj, n, "out"); err != nil {
+		return nil, err
+	}
+	g := &Graph{n: n, outStart: outStart, outAdj: outAdj}
+	g.inStart, g.inAdj = reverseCSR(outStart, outAdj, n)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Equal reports whether g and o are identical graphs: same node count
+// and byte-identical CSR arrays. Since Build, ReadBinary, and FromCSR
+// all produce sorted deduplicated adjacency, Equal is exact structural
+// equality, not an isomorphism check.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.n != o.n {
+		return false
+	}
+	if g.n == 0 {
+		return true
+	}
+	if len(g.outAdj) != len(o.outAdj) {
+		return false
+	}
+	for i := range g.outStart {
+		if g.outStart[i] != o.outStart[i] {
+			return false
+		}
+	}
+	for i := range g.outAdj {
+		if g.outAdj[i] != o.outAdj[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Transpose returns a new graph with every edge reversed. The operation
 // is cheap: the forward and reverse CSR halves are swapped, sharing the
 // underlying arrays with the receiver.

@@ -211,3 +211,81 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Error("Validate accepted out-of-range adjacency")
 	}
 }
+
+func TestFromCSR(t *testing.T) {
+	// 0→{1,2}, 1→{2}, 2→{} — the canonical CSR of a 3-node chain+skip.
+	g, err := FromCSR([]int64{0, 2, 3, 3}, []NodeID{1, 2, 2})
+	if err != nil {
+		t.Fatalf("valid CSR rejected: %v", err)
+	}
+	want := FromEdges(3, [][2]NodeID{{0, 1}, {0, 2}, {1, 2}})
+	if !g.Equal(want) {
+		t.Error("FromCSR graph differs from FromEdges equivalent")
+	}
+	// The reverse CSR must be derived, not left empty.
+	if got := g.InDegree(2); got != 2 {
+		t.Errorf("InDegree(2) = %d, want 2", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate after FromCSR: %v", err)
+	}
+}
+
+func TestFromCSREmpty(t *testing.T) {
+	g, err := FromCSR([]int64{0}, nil)
+	if err != nil {
+		t.Fatalf("empty CSR rejected: %v", err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty CSR produced %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestFromCSRRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name     string
+		outStart []int64
+		outAdj   []NodeID
+	}{
+		{"no offsets", nil, nil},
+		{"empty with adjacency", []int64{0}, []NodeID{1}},
+		{"offsets not ending at len", []int64{0, 1, 1}, []NodeID{1, 0}},
+		{"decreasing offsets", []int64{0, 2, 1}, []NodeID{1, 0}},
+		{"self link", []int64{0, 1, 1}, []NodeID{0}},
+		{"unsorted adjacency", []int64{0, 2, 2, 2}, []NodeID{2, 1}},
+		{"duplicate adjacency", []int64{0, 2, 2, 2}, []NodeID{1, 1}},
+		{"out of range target", []int64{0, 1, 1}, []NodeID{5}},
+	}
+	for _, tc := range cases {
+		if _, err := FromCSR(tc.outStart, tc.outAdj); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestGraphEqual(t *testing.T) {
+	a := FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}})
+	b := FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}})
+	if !a.Equal(b) {
+		t.Error("identical graphs not Equal")
+	}
+	if !a.Equal(a) {
+		t.Error("graph not Equal to itself")
+	}
+	c := FromEdges(3, [][2]NodeID{{0, 1}, {2, 1}})
+	if a.Equal(c) {
+		t.Error("different edges reported Equal")
+	}
+	d := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}})
+	if a.Equal(d) {
+		t.Error("different node counts reported Equal")
+	}
+	e := FromEdges(3, [][2]NodeID{{0, 1}})
+	if a.Equal(e) {
+		t.Error("different edge counts reported Equal")
+	}
+	var z1, z2 Graph
+	if !z1.Equal(&z2) {
+		t.Error("empty graphs not Equal")
+	}
+}

@@ -56,6 +56,11 @@ type SolveSummary struct {
 	EdgesSwept     int64   `json:"edges_swept"`
 	EdgesPerSecond float64 `json:"edges_per_second"`
 	Workers        int     `json:"workers"`
+	// WarmStarted reports a solve seeded from a previous solution; the
+	// initial residual then measures how far that seed was from the new
+	// fixpoint.
+	WarmStarted     bool    `json:"warm_started,omitempty"`
+	InitialResidual float64 `json:"initial_residual,omitempty"`
 }
 
 // MassSummary condenses one mass estimation plus thresholding run:

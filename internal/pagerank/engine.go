@@ -138,6 +138,19 @@ func (e *Engine) SolveManyConfig(vs []Vector, cfg Config) ([]*Result, error) {
 	if cfg.WarmStart != nil && len(cfg.WarmStart) != n {
 		return nil, fmt.Errorf("pagerank: warm start has length %d, want %d", len(cfg.WarmStart), n)
 	}
+	if cfg.WarmStarts != nil {
+		if cfg.WarmStart != nil {
+			return nil, fmt.Errorf("pagerank: both WarmStart and WarmStarts set")
+		}
+		if len(cfg.WarmStarts) != k {
+			return nil, fmt.Errorf("pagerank: %d warm starts for a batch of %d vectors", len(cfg.WarmStarts), k)
+		}
+		for j, w := range cfg.WarmStarts {
+			if len(w) != n {
+				return nil, fmt.Errorf("pagerank: warm start %d has length %d, want %d", j, len(w), n)
+			}
+		}
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -161,13 +174,20 @@ func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
 			jump[i*k+j] = v[i]
 		}
 	}
-	if cfg.WarmStart != nil {
+	switch {
+	case cfg.WarmStarts != nil:
+		for j, w := range cfg.WarmStarts {
+			for i := 0; i < n; i++ {
+				cur[i*k+j] = w[i]
+			}
+		}
+	case cfg.WarmStart != nil:
 		for i := 0; i < n; i++ {
 			for j := 0; j < k; j++ {
 				cur[i*k+j] = cfg.WarmStart[i]
 			}
 		}
-	} else {
+	default:
 		copy(cur, jump)
 	}
 
@@ -178,7 +198,12 @@ func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
 	e.partial = growBuf(e.partial, workers*k)
 
 	start := time.Now()
-	stats := &SolveStats{Algorithm: cfg.Algorithm, Batch: k, Workers: workers}
+	stats := &SolveStats{
+		Algorithm:   cfg.Algorithm,
+		Batch:       k,
+		Workers:     workers,
+		WarmStarted: cfg.WarmStart != nil || cfg.WarmStarts != nil,
+	}
 	octx := cfg.Obs
 	sp := octx.Span("pagerank.solve")
 	if sp != nil {

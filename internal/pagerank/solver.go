@@ -26,6 +26,12 @@ type Config struct {
 	// when the jump vector changes only slightly — e.g. re-estimating
 	// after a Section 4.4.2 core fix.
 	WarmStart Vector
+	// WarmStarts, if non-nil, supplies one initial guess per jump
+	// vector of a SolveMany batch — the delta-refresh path seeds p and
+	// p' from the previous snapshot's solutions, which differ per
+	// column. Its length must equal the batch width. Setting both
+	// WarmStart and WarmStarts is a configuration error.
+	WarmStarts []Vector
 	// Algorithm selects the linear solver: AlgoJacobi (default),
 	// AlgoGaussSeidel, or AlgoPowerIteration. All reach the same
 	// fixpoint (the eigenvector one up to rescaling); Gauss-Seidel

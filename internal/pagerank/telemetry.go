@@ -83,6 +83,15 @@ type SolveStats struct {
 	// Workers is the number of goroutines used for parallel sweeps
 	// (1 when the sweep ran sequentially).
 	Workers int
+	// WarmStarted reports whether the solve was seeded from a previous
+	// solution (Config.WarmStart or WarmStarts) rather than the jump
+	// vector.
+	WarmStarted bool
+	// InitialResidual is the L1 residual after the first sweep — for a
+	// warm-started solve it measures how far the seed was from the new
+	// fixpoint, which is what makes warm vs cold starts comparable in
+	// run reports.
+	InitialResidual float64
 }
 
 // finish stamps the wall time and derives the sweep throughput. It is
@@ -94,6 +103,9 @@ func (s *SolveStats) finish(wall time.Duration) {
 	s.EdgesPerSecond = 0
 	if secs := wall.Seconds(); secs > 0 {
 		s.EdgesPerSecond = float64(s.EdgesSwept) / secs
+	}
+	if len(s.Residuals) > 0 {
+		s.InitialResidual = s.Residuals[0]
 	}
 }
 
@@ -113,15 +125,17 @@ func (s *SolveStats) Summary(name string, converged bool) obs.SolveSummary {
 		return obs.SolveSummary{Name: name, Converged: converged}
 	}
 	sum := obs.SolveSummary{
-		Name:           name,
-		Algorithm:      s.Algorithm.String(),
-		Batch:          s.Batch,
-		Iterations:     s.Iterations,
-		Converged:      converged,
-		WallNS:         int64(s.WallTime),
-		EdgesSwept:     s.EdgesSwept,
-		EdgesPerSecond: s.EdgesPerSecond,
-		Workers:        s.Workers,
+		Name:            name,
+		Algorithm:       s.Algorithm.String(),
+		Batch:           s.Batch,
+		Iterations:      s.Iterations,
+		Converged:       converged,
+		WallNS:          int64(s.WallTime),
+		EdgesSwept:      s.EdgesSwept,
+		EdgesPerSecond:  s.EdgesPerSecond,
+		Workers:         s.Workers,
+		WarmStarted:     s.WarmStarted,
+		InitialResidual: s.InitialResidual,
 	}
 	if len(s.Residuals) > 0 {
 		sum.FinalResidual = s.Residuals[len(s.Residuals)-1]

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"spammass/internal/delta"
+	"spammass/internal/mass"
+	"spammass/internal/obs"
+	"spammass/internal/pagerank"
+)
+
+// DeltaBuilderConfig configures the standard incremental build path.
+type DeltaBuilderConfig struct {
+	// Solver configures the warm re-estimation; γ and the detection
+	// thresholds are carried over from the previous snapshot's config,
+	// so a delta apply never changes the estimation parameters —
+	// only the graph.
+	Solver pagerank.Config
+	// Obs receives the delta spans and the delta.* metrics.
+	Obs *obs.Context
+}
+
+// NewDeltaBuilder returns the standard DeltaApplyFunc: apply the
+// mutation batch to the previous snapshot's host graph in one merge
+// pass, remap the good core and the solved (p, p') vectors onto the
+// new node set, re-estimate warm-started from them, and package the
+// result as the next snapshot generation.
+//
+// The warm start is what makes the path incremental rather than
+// merely convenient: with churn touching a small fraction of the
+// graph, the previous vectors are already close to the new fixpoint
+// and the batched solve converges in a fraction of the cold
+// iteration count, while the published estimates match a cold rebuild
+// to within the convergence tolerance.
+//
+// The previous snapshot must carry its core (SnapshotConfig.Core);
+// applying a batch that removes the entire core is an error — mass
+// estimation is undefined without Ṽ⁺.
+func NewDeltaBuilder(cfg DeltaBuilderConfig) DeltaApplyFunc {
+	return func(ctx context.Context, prev *Snapshot, epoch int64, batch *delta.Batch) (*Snapshot, error) {
+		octx := cfg.Obs
+		sp := octx.Span("serve.delta_build")
+		defer sp.End()
+		sp.SetAttr("ops", batch.NumOps())
+
+		res, err := delta.Apply(prev.HostGraph(), batch)
+		if err != nil {
+			return nil, fmt.Errorf("apply delta: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		prevCore := prev.Core()
+		if prevCore == nil {
+			return nil, fmt.Errorf("serve: previous snapshot carries no core; delta path needs SnapshotConfig.Core")
+		}
+		core := res.RemapNodes(prevCore)
+		if len(core) == 0 {
+			return nil, fmt.Errorf("serve: delta removed the entire good core (%d nodes)", len(prevCore))
+		}
+		scfg := prev.Config()
+		warm, err := mass.RemapWarmStart(prev.Estimates(), res.Remap, res.Hosts.Graph.NumNodes(), core, scfg.Gamma)
+		if err != nil {
+			return nil, fmt.Errorf("remap warm start: %w", err)
+		}
+
+		solver := cfg.Solver
+		if solver.Obs == nil {
+			solver.Obs = octx.In(sp)
+		}
+		es, err := mass.NewEstimator(res.Hosts.Graph, mass.Options{Solver: solver, Gamma: scfg.Gamma})
+		if err != nil {
+			return nil, fmt.Errorf("estimator: %w", err)
+		}
+		defer es.Close()
+		est, err := es.EstimateFromCoreWarm(core, warm)
+		if err != nil {
+			return nil, fmt.Errorf("warm estimate: %w", err)
+		}
+
+		octx.Counter("delta.batches").Inc()
+		octx.Counter("delta.applied_edges").Add(res.Stats.AppliedEdges())
+		octx.Counter("delta.hosts_added").Add(int64(res.Stats.HostsAdded))
+		octx.Counter("delta.hosts_removed").Add(int64(res.Stats.HostsRemoved))
+		sp.SetAttr("stats", res.Stats.String())
+		octx.Logf("serve: delta %s → %d hosts", res.Stats, res.Hosts.Graph.NumNodes())
+
+		scfg.Core = core
+		scfg.CoreSize = len(core)
+		return NewSnapshot(res.Hosts, est, scfg, epoch)
+	}
+}

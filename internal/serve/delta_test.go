@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spammass/internal/delta"
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+)
+
+// coreBuilder is estimatorBuilder plus the carried core: the snapshot
+// records which nodes the estimates came from, which is what the delta
+// path needs to remap the core onto the next generation.
+func coreBuilder(h *graph.HostGraph, core []graph.NodeID, solver pagerank.Config) BuildFunc {
+	return func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error) {
+		opts := mass.Options{Solver: solver, Gamma: 0.85}
+		est, err := mass.EstimateFromCore(h.Graph, core, opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := SnapshotConfig{Detect: mass.DefaultDetectConfig(), Gamma: 0.85, Core: core}
+		return NewSnapshot(h, est, cfg, epoch)
+	}
+}
+
+// newDeltaRefresher wires the production delta path over the 5-host
+// test graph and publishes the first generation.
+func newDeltaRefresher(t *testing.T) (*graph.HostGraph, *Store, *Refresher) {
+	t.Helper()
+	h := testHostGraph(t)
+	st := NewStore()
+	apply := NewDeltaBuilder(DeltaBuilderConfig{Solver: pagerank.DefaultConfig()})
+	ref := NewRefresher(st, coreBuilder(h, []graph.NodeID{0, 1}, pagerank.DefaultConfig()),
+		RefresherConfig{ApplyDelta: apply})
+	if err := ref.Refresh(context.Background()); err != nil {
+		t.Fatalf("initial refresh: %v", err)
+	}
+	return h, st, ref
+}
+
+func deltaText(t *testing.T, b *delta.Batch) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := delta.WriteText(&buf, b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+func waitEpoch(t *testing.T, st *Store, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Epoch() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("store stuck at epoch %d, want %d", st.Epoch(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestApplyDeltaAdvancesEpoch applies one mutation batch synchronously
+// and holds the published snapshot to the cold-rebuild standard: the
+// epoch advances by one, the new host is served, and the warm-started
+// estimates match a from-scratch estimation of the mutated graph.
+func TestApplyDeltaAdvancesEpoch(t *testing.T) {
+	h, st, ref := newDeltaRefresher(t)
+	b := &delta.Batch{Ops: []delta.Op{
+		delta.AddHostOp("f.example"),
+		delta.AddEdgeOp("e.example", "f.example"),
+		delta.RemoveEdgeOp("a.example", "e.example"),
+	}}
+	if err := ref.ApplyDelta(context.Background(), b); err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	snap := st.Load()
+	if snap.Epoch() != 2 {
+		t.Fatalf("epoch %d after delta, want 2", snap.Epoch())
+	}
+	if ref.DeltaCount() != 1 {
+		t.Fatalf("DeltaCount %d, want 1", ref.DeltaCount())
+	}
+	rec, ok := snap.Lookup("f.example")
+	if !ok {
+		t.Fatal("created host not served")
+	}
+	if rec.Epoch != 2 {
+		t.Fatalf("new host record epoch %d, want 2", rec.Epoch)
+	}
+	if got := snap.NumHosts(); got != 6 {
+		t.Fatalf("snapshot has %d hosts, want 6", got)
+	}
+	if st := snap.Estimates().SolveStats; st == nil || !st.WarmStarted {
+		t.Error("delta-built snapshot not marked warm-started")
+	}
+	if core := snap.Core(); len(core) != 2 {
+		t.Fatalf("carried core has %d nodes, want 2", len(core))
+	}
+
+	// Parity with a cold rebuild of the same mutated graph.
+	res, err := delta.Apply(h, b)
+	if err != nil {
+		t.Fatalf("scratch apply: %v", err)
+	}
+	cold, err := mass.EstimateFromCore(res.Hosts.Graph, res.RemapNodes([]graph.NodeID{0, 1}), mass.DefaultOptions())
+	if err != nil {
+		t.Fatalf("cold estimate: %v", err)
+	}
+	if d := snap.Estimates().P.Clone().Sub(cold.P).Norm1(); d > 1e-9 {
+		t.Errorf("warm snapshot p vs cold rebuild: L1 = %.3e", d)
+	}
+}
+
+// TestApplyDeltaConflictKeepsSnapshot feeds a conflicting batch and
+// asserts graceful degradation: the error surfaces, the previous
+// snapshot keeps serving, and nothing counts as applied.
+func TestApplyDeltaConflictKeepsSnapshot(t *testing.T) {
+	_, st, ref := newDeltaRefresher(t)
+	before := st.Load()
+	b := &delta.Batch{Ops: []delta.Op{delta.RemoveHostOp("nosuch.example")}}
+	err := ref.ApplyDelta(context.Background(), b)
+	if err == nil {
+		t.Fatal("conflicting batch applied without error")
+	}
+	if !strings.Contains(err.Error(), "unknown host") {
+		t.Errorf("conflict error %q does not name the cause", err)
+	}
+	if st.Load() != before {
+		t.Error("conflicting delta replaced the snapshot")
+	}
+	if ref.DeltaCount() != 0 {
+		t.Errorf("DeltaCount %d after failed apply, want 0", ref.DeltaCount())
+	}
+	if _, failed := ref.Counts(); failed != 1 {
+		t.Errorf("failed count %d, want 1", failed)
+	}
+	if ref.LastError() == nil {
+		t.Error("LastError empty after failed apply")
+	}
+}
+
+// TestApplyDeltaPreconditions covers the refusal paths: an
+// unconfigured delta pipeline, an empty batch, a missing base
+// snapshot, and a base snapshot that carries no core.
+func TestApplyDeltaPreconditions(t *testing.T) {
+	h := testHostGraph(t)
+	ctx := context.Background()
+	b := &delta.Batch{Ops: []delta.Op{delta.AddHostOp("f.example")}}
+
+	plain := NewRefresher(NewStore(), coreBuilder(h, []graph.NodeID{0, 1}, pagerank.DefaultConfig()), RefresherConfig{})
+	if err := plain.ApplyDelta(ctx, b); err == nil {
+		t.Error("ApplyDelta accepted without a configured delta path")
+	}
+	if err := plain.SubmitDelta(b); err == nil {
+		t.Error("SubmitDelta accepted without a configured delta path")
+	}
+	if plain.DeltaEnabled() {
+		t.Error("DeltaEnabled true without ApplyDelta")
+	}
+
+	apply := NewDeltaBuilder(DeltaBuilderConfig{Solver: pagerank.DefaultConfig()})
+	ref := NewRefresher(NewStore(), coreBuilder(h, []graph.NodeID{0, 1}, pagerank.DefaultConfig()),
+		RefresherConfig{ApplyDelta: apply})
+	if !ref.DeltaEnabled() {
+		t.Error("DeltaEnabled false with ApplyDelta configured")
+	}
+	if err := ref.ApplyDelta(ctx, &delta.Batch{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := ref.SubmitDelta(nil); err == nil {
+		t.Error("nil batch submitted")
+	}
+	if err := ref.ApplyDelta(ctx, b); err == nil || !strings.Contains(err.Error(), "no snapshot") {
+		t.Errorf("delta before first refresh: err = %v, want a no-snapshot error", err)
+	}
+
+	// A base snapshot without a carried core cannot seed the delta path.
+	coreless := NewRefresher(NewStore(), estimatorBuilder(h, []graph.NodeID{0, 1}, pagerank.DefaultConfig()),
+		RefresherConfig{ApplyDelta: apply})
+	if err := coreless.Refresh(ctx); err != nil {
+		t.Fatalf("coreless refresh: %v", err)
+	}
+	if err := coreless.ApplyDelta(ctx, b); err == nil || !strings.Contains(err.Error(), "core") {
+		t.Errorf("coreless delta apply: err = %v, want a missing-core error", err)
+	}
+}
+
+// TestSubmitDeltaRunLoop drives the asynchronous path: a submitted
+// batch is picked up by the Run loop and published without any
+// synchronous call.
+func TestSubmitDeltaRunLoop(t *testing.T) {
+	_, st, ref := newDeltaRefresher(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ref.Run(ctx)
+	}()
+
+	b := &delta.Batch{Ops: []delta.Op{delta.AddEdgeOp("b.example", "e.example")}}
+	if err := ref.SubmitDelta(b); err != nil {
+		t.Fatalf("SubmitDelta: %v", err)
+	}
+	waitEpoch(t, st, 2)
+	if ref.DeltaCount() != 1 {
+		t.Errorf("DeltaCount %d after async apply, want 1", ref.DeltaCount())
+	}
+	cancel()
+	<-done
+}
+
+// TestDeltaEndpoint walks POST /admin/delta through its status codes:
+// 501 unconfigured, 400 unparseable, 200 applied with ?wait=1, 409 on
+// conflict with the snapshot untouched, 202 queued without ?wait, and
+// the /admin/status fields that report the path.
+func TestDeltaEndpoint(t *testing.T) {
+	// No delta path at all → 501.
+	h := testHostGraph(t)
+	plainRef := NewRefresher(NewStore(), coreBuilder(h, []graph.NodeID{0, 1}, pagerank.DefaultConfig()), RefresherConfig{})
+	plain := httptest.NewServer(NewServer(NewStore(), plainRef, Config{}).Handler())
+	defer plain.Close()
+	resp, err := http.Post(plain.URL+"/admin/delta", "text/plain", strings.NewReader("delta 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("unconfigured delta endpoint: status %d, want 501", resp.StatusCode)
+	}
+
+	_, st, ref := newDeltaRefresher(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ref.Run(ctx)
+	ts := httptest.NewServer(NewServer(st, ref, Config{}).Handler())
+	defer ts.Close()
+	post := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("POST %s: decode: %v", path, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	if code, _ := post("/admin/delta", "not a delta\n"); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", code)
+	}
+
+	add := deltaText(t, &delta.Batch{Ops: []delta.Op{delta.AddEdgeOp("b.example", "e.example")}})
+	code, body := post("/admin/delta?wait=1", add)
+	if code != http.StatusOK {
+		t.Fatalf("wait=1 apply: status %d body %v, want 200", code, body)
+	}
+	if body["epoch"].(float64) != 2 {
+		t.Fatalf("wait=1 apply reported epoch %v, want 2", body["epoch"])
+	}
+
+	// The same edge again conflicts; the serving snapshot must survive.
+	if code, _ := post("/admin/delta?wait=1", add); code != http.StatusConflict {
+		t.Fatalf("conflicting apply: status %d, want 409", code)
+	}
+	if st.Epoch() != 2 {
+		t.Fatalf("epoch %d after conflict, want 2", st.Epoch())
+	}
+
+	remove := deltaText(t, &delta.Batch{Ops: []delta.Op{delta.RemoveEdgeOp("b.example", "e.example")}})
+	code, body = post("/admin/delta", remove)
+	if code != http.StatusAccepted {
+		t.Fatalf("queued apply: status %d body %v, want 202", code, body)
+	}
+	waitEpoch(t, st, 3)
+
+	var status StatusResponse
+	if code := getJSON(t, ts.URL+"/admin/status", &status); code != http.StatusOK {
+		t.Fatalf("status endpoint: %d", code)
+	}
+	if !status.DeltaEnabled {
+		t.Error("status does not report the delta path enabled")
+	}
+	if status.DeltaBatches != 2 {
+		t.Errorf("status reports %d delta batches, want 2", status.DeltaBatches)
+	}
+	if status.Epoch != 3 {
+		t.Errorf("status epoch %d, want 3", status.Epoch)
+	}
+}
+
+// TestConcurrentDeltaDuringLookups is the delta-path swap hammer, run
+// under -race: one writer applies mutation batches, another forces
+// full rebuilds, and reader goroutines hammer the query and status
+// endpoints throughout. Readers must never see a non-200 response or
+// an epoch moving backwards; conflicts between the two writers (a
+// delta against a graph the full rebuild just reset) are expected and
+// must only fail the batch, never the serving path.
+func TestConcurrentDeltaDuringLookups(t *testing.T) {
+	const (
+		targetEpoch = 30
+		readers     = 6
+	)
+	_, st, ref := newDeltaRefresher(t)
+	ts := httptest.NewServer(NewServer(st, ref, Config{MaxInFlight: readers * 4}).Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	errc := make(chan error, readers+2)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client := &http.Client{}
+			paths := []string{"/v1/host/a.example", "/admin/status"}
+			lastEpoch := int64(0)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := client.Get(ts.URL + paths[i%len(paths)])
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %v", id, err)
+					return
+				}
+				var body struct {
+					Epoch int64 `json:"epoch"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("reader %d: status %d during delta hammer", id, resp.StatusCode)
+					return
+				}
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: decode: %v", id, err)
+					return
+				}
+				if body.Epoch < lastEpoch {
+					errc <- fmt.Errorf("reader %d: epoch went backwards %d -> %d", id, lastEpoch, body.Epoch)
+					return
+				}
+				lastEpoch = body.Epoch
+			}
+		}(g)
+	}
+
+	// Writer 1: mutation batches, alternating add/remove of one edge.
+	// Full rebuilds racing in from writer 2 reset the graph underneath
+	// it, so some batches conflict — those must fail cleanly.
+	var deltaOK atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			op := delta.AddEdgeOp("b.example", "e.example")
+			if i%2 == 1 {
+				op = delta.RemoveEdgeOp("b.example", "e.example")
+			}
+			if err := ref.ApplyDelta(ctx, &delta.Batch{Ops: []delta.Op{op}}); err == nil {
+				deltaOK.Add(1)
+			}
+		}
+	}()
+
+	// Writer 2: full rebuilds from the base graph.
+	var refreshOK atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := ref.Refresh(ctx); err != nil {
+				errc <- fmt.Errorf("full refresh: %v", err)
+				return
+			}
+			refreshOK.Add(1)
+		}
+	}()
+
+	// Run until both writers have demonstrably interleaved: rebuilds on
+	// this tiny graph are fast enough to hit the target epoch before
+	// the delta writer is even scheduled, so the epoch alone is not a
+	// stopping condition.
+	deadline := time.Now().Add(30 * time.Second)
+	for st.Epoch() < targetEpoch || deltaOK.Load() < 5 || refreshOK.Load() < 5 {
+		select {
+		case err := <-errc:
+			close(done)
+			wg.Wait()
+			t.Fatal(err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			close(done)
+			wg.Wait()
+			t.Fatalf("hammer stalled at epoch %d, want %d", st.Epoch(), targetEpoch)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if deltaOK.Load() == 0 {
+		t.Error("no delta batch ever applied during the hammer")
+	}
+	if refreshOK.Load() == 0 {
+		t.Error("no full refresh ever completed during the hammer")
+	}
+	t.Logf("hammer: %d deltas applied, %d full refreshes, final epoch %d",
+		deltaOK.Load(), refreshOK.Load(), st.Epoch())
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spammass/internal/delta"
 	"spammass/internal/obs"
 )
 
@@ -18,6 +19,18 @@ import (
 // returns an error; it must not publish anything itself.
 type BuildFunc func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error)
 
+// DeltaApplyFunc produces the next snapshot generation from the
+// current one plus a mutation batch: apply the delta to prev's host
+// graph, re-estimate warm-started from prev's vectors, and return a
+// validated snapshot carrying the given epoch. prev is never nil —
+// deltas need a base generation. See NewDeltaBuilder for the standard
+// implementation.
+type DeltaApplyFunc func(ctx context.Context, prev *Snapshot, epoch int64, batch *delta.Batch) (*Snapshot, error)
+
+// DefaultDeltaQueue is the SubmitDelta queue capacity when
+// RefresherConfig.DeltaQueue is zero.
+const DefaultDeltaQueue = 16
+
 // RefresherConfig configures the background refresh loop.
 type RefresherConfig struct {
 	// Interval is the timer-driven refresh period; 0 disables the
@@ -26,6 +39,13 @@ type RefresherConfig struct {
 	// Timeout bounds one refresh attempt (build + publish); 0 means
 	// no bound beyond the Run context.
 	Timeout time.Duration
+	// ApplyDelta, if non-nil, enables the incremental refresh path:
+	// POST /admin/delta and SubmitDelta feed mutation batches through
+	// it, each applied batch advancing the epoch by one.
+	ApplyDelta DeltaApplyFunc
+	// DeltaQueue is the SubmitDelta queue capacity; 0 means
+	// DefaultDeltaQueue. A full queue rejects rather than blocks.
+	DeltaQueue int
 	// Obs receives the refresh spans, counters, and snapshot gauges.
 	Obs *obs.Context
 }
@@ -44,9 +64,11 @@ type Refresher struct {
 	cfg   RefresherConfig
 
 	trigger  chan struct{}
-	mu       sync.Mutex // serializes Refresh
+	deltaCh  chan *delta.Batch
+	mu       sync.Mutex // serializes Refresh and ApplyDelta
 	ok       atomic.Int64
 	failed   atomic.Int64
+	deltas   atomic.Int64 // batches applied and published
 	lastErr  atomic.Pointer[refreshError]
 	lastWall atomic.Int64 // nanoseconds of the last successful refresh
 }
@@ -56,7 +78,15 @@ type refreshError struct{ err error }
 // NewRefresher binds a store and a build function. Call Run to start
 // the background loop, or Refresh for synchronous one-shot control.
 func NewRefresher(store *Store, build BuildFunc, cfg RefresherConfig) *Refresher {
-	return &Refresher{store: store, build: build, cfg: cfg, trigger: make(chan struct{}, 1)}
+	r := &Refresher{store: store, build: build, cfg: cfg, trigger: make(chan struct{}, 1)}
+	if cfg.ApplyDelta != nil {
+		q := cfg.DeltaQueue
+		if q <= 0 {
+			q = DefaultDeltaQueue
+		}
+		r.deltaCh = make(chan *delta.Batch, q)
+	}
+	return r
 }
 
 // Refresh synchronously builds and publishes the next snapshot
@@ -64,6 +94,52 @@ func NewRefresher(store *Store, build BuildFunc, cfg RefresherConfig) *Refresher
 // keeps serving — and the error is recorded and returned. Concurrent
 // calls are serialized.
 func (r *Refresher) Refresh(ctx context.Context) error {
+	return r.runBuild(ctx, "serve.refresh", false, r.build)
+}
+
+// ApplyDelta synchronously applies one mutation batch: the configured
+// DeltaApplyFunc builds the next generation from the current snapshot
+// plus the batch, and the result is published with epoch prev+1. It
+// shares Refresh's serialization, so deltas and full rebuilds
+// interleave cleanly — each publish sees a settled predecessor. A
+// failed apply (conflicting batch, non-convergence, validation)
+// leaves the previous snapshot serving, like a failed refresh.
+func (r *Refresher) ApplyDelta(ctx context.Context, b *delta.Batch) error {
+	if r.cfg.ApplyDelta == nil {
+		return fmt.Errorf("serve: delta path not configured")
+	}
+	if b == nil || b.NumOps() == 0 {
+		return fmt.Errorf("serve: empty delta batch")
+	}
+	return r.runBuild(ctx, "serve.delta_apply", true, func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error) {
+		return r.cfg.ApplyDelta(ctx, prev, epoch, b)
+	})
+}
+
+// SubmitDelta enqueues a batch for asynchronous application by the Run
+// loop. It never blocks: a full queue (or an unconfigured delta path,
+// or a Run loop that was never started) returns an error and the batch
+// is dropped — the feed can resubmit or fall back to a full refresh.
+func (r *Refresher) SubmitDelta(b *delta.Batch) error {
+	if r.deltaCh == nil {
+		return fmt.Errorf("serve: delta path not configured")
+	}
+	if b == nil || b.NumOps() == 0 {
+		return fmt.Errorf("serve: empty delta batch")
+	}
+	select {
+	case r.deltaCh <- b:
+		return nil
+	default:
+		return fmt.Errorf("serve: delta queue full (%d pending)", cap(r.deltaCh))
+	}
+}
+
+// runBuild is the shared build-and-publish body of Refresh and
+// ApplyDelta: serialize, bound by Timeout, run the builder for epoch
+// prev+1, publish only on end-to-end success, and record the outcome
+// in metrics and LastError.
+func (r *Refresher) runBuild(ctx context.Context, spanName string, needPrev bool, build BuildFunc) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cfg.Timeout > 0 {
@@ -72,16 +148,19 @@ func (r *Refresher) Refresh(ctx context.Context) error {
 		defer cancel()
 	}
 	octx := r.cfg.Obs
-	sp := octx.Span("serve.refresh")
+	sp := octx.Span(spanName)
 	defer sp.End()
 	prev := r.store.Load()
+	if needPrev && prev == nil {
+		return fmt.Errorf("serve: no snapshot to apply delta to; run a full refresh first")
+	}
 	epoch := int64(1)
 	if prev != nil {
 		epoch = prev.Epoch() + 1
 	}
 	sp.SetAttr("epoch", epoch)
 	start := time.Now()
-	snap, err := r.build(ctx, prev, epoch)
+	snap, err := build(ctx, prev, epoch)
 	if err == nil && snap == nil {
 		err = fmt.Errorf("serve: build returned neither snapshot nor error")
 	}
@@ -98,9 +177,20 @@ func (r *Refresher) Refresh(ctx context.Context) error {
 		return err
 	}
 	r.ok.Add(1)
+	if needPrev {
+		r.deltas.Add(1)
+	}
 	r.lastErr.Store(&refreshError{})
 	r.lastWall.Store(int64(time.Since(start)))
 	octx.Counter("serve.refreshes").Inc()
+	// Warm vs cold solver effort, the incremental path's payoff metric.
+	if st := snap.Estimates().SolveStats; st != nil {
+		if st.WarmStarted {
+			octx.Counter("serve.refresh_iterations_warm").Add(int64(st.Iterations))
+		} else {
+			octx.Counter("serve.refresh_iterations_cold").Add(int64(st.Iterations))
+		}
+	}
 	octx.Gauge("serve.snapshot_epoch").Set(float64(snap.Epoch()))
 	octx.Gauge("serve.snapshot_hosts").Set(float64(snap.NumHosts()))
 	octx.Gauge("serve.snapshot_age_seconds").Set(0)
@@ -134,6 +224,11 @@ func (r *Refresher) Run(ctx context.Context) {
 			return
 		case <-tick:
 		case <-r.trigger:
+		case b := <-r.deltaCh: // nil channel when deltas are disabled
+			if err := r.ApplyDelta(ctx, b); err != nil {
+				r.cfg.Obs.Logf("serve: delta apply failed: %v", err)
+			}
+			continue
 		}
 		if err := r.Refresh(ctx); err != nil {
 			r.cfg.Obs.Logf("serve: refresh failed: %v", err)
@@ -145,6 +240,14 @@ func (r *Refresher) Run(ctx context.Context) {
 func (r *Refresher) Counts() (ok, failed int64) {
 	return r.ok.Load(), r.failed.Load()
 }
+
+// DeltaCount returns how many delta batches were applied and
+// published. Each is also counted as a successful refresh in Counts.
+func (r *Refresher) DeltaCount() int64 { return r.deltas.Load() }
+
+// DeltaEnabled reports whether the incremental delta path is
+// configured.
+func (r *Refresher) DeltaEnabled() bool { return r.cfg.ApplyDelta != nil }
 
 // LastError returns the error of the most recent refresh attempt, or
 // nil if it succeeded (or none ran yet).

@@ -83,6 +83,12 @@ type SnapshotConfig struct {
 	// /admin/status for operators.
 	Gamma    float64
 	CoreSize int
+	// Core is the good-core node set the estimates were computed from,
+	// in this snapshot's ID space. The delta refresh path carries it
+	// forward: delta.Apply remaps the previous snapshot's core onto the
+	// next generation's IDs. NewSnapshot clones the slice; when Core is
+	// set and CoreSize is zero, CoreSize is derived from it.
+	Core []graph.NodeID
 	// MaxTop caps the precomputed ranking length; 0 means
 	// DefaultMaxTop.
 	MaxTop int
@@ -126,6 +132,17 @@ func NewSnapshot(hosts *graph.HostGraph, est *mass.Estimates, cfg SnapshotConfig
 	}
 	if cfg.MaxTop <= 0 {
 		cfg.MaxTop = DefaultMaxTop
+	}
+	if cfg.Core != nil {
+		for _, x := range cfg.Core {
+			if int(x) >= n {
+				return nil, fmt.Errorf("serve: core node %d outside host graph of %d nodes", x, n)
+			}
+		}
+		cfg.Core = append([]graph.NodeID(nil), cfg.Core...)
+		if cfg.CoreSize == 0 {
+			cfg.CoreSize = len(cfg.Core)
+		}
 	}
 	s := &Snapshot{
 		epoch:   epoch,
@@ -231,6 +248,22 @@ func (s *Snapshot) Config() SnapshotConfig { return s.cfg }
 // Estimates exposes the underlying mass estimates (e.g. for report
 // summaries); treat the result as read-only.
 func (s *Snapshot) Estimates() *mass.Estimates { return s.est }
+
+// HostGraph exposes the host graph the snapshot was built over — the
+// base the delta refresh path applies the next mutation batch to.
+// Treat the result as read-only; HostGraph contents are immutable by
+// convention.
+func (s *Snapshot) HostGraph() *graph.HostGraph { return s.hosts }
+
+// Core returns a copy of the good-core node set the snapshot's
+// estimates were computed from (nil when the builder did not record
+// one). The delta refresh path remaps it onto the next generation.
+func (s *Snapshot) Core() []graph.NodeID {
+	if s.cfg.Core == nil {
+		return nil
+	}
+	return append([]graph.NodeID(nil), s.cfg.Core...)
+}
 
 // Lookup resolves a host name to its record.
 func (s *Snapshot) Lookup(name string) (HostRecord, bool) {

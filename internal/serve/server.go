@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"spammass/internal/delta"
 	"spammass/internal/obs"
 )
 
@@ -104,6 +105,7 @@ func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.limited("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/top", s.limited("top", s.handleTop))
 	s.mux.HandleFunc("POST /admin/refresh", s.handleRefresh)
+	s.mux.HandleFunc("POST /admin/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
 	return s
 }
@@ -296,6 +298,42 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "refreshed", "epoch": s.store.Epoch()})
 }
 
+// maxDeltaBody bounds the POST /admin/delta request body.
+const maxDeltaBody = 64 << 20
+
+// handleDelta ingests one mutation batch in the delta text format.
+// Without ?wait=1 the batch is enqueued for the refresher loop and the
+// response is 202; with ?wait=1 the batch is applied synchronously and
+// the response carries the published epoch. A parse or validation
+// failure is the client's fault (400); a full queue is back-pressure
+// (503 + Retry-After); an apply failure (conflicting batch,
+// non-convergence) is 409 — the serving snapshot is unchanged.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if s.ref == nil || !s.ref.DeltaEnabled() {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "no delta path configured"})
+		return
+	}
+	b, err := delta.ReadText(http.MaxBytesReader(w, r.Body, maxDeltaBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad delta body: " + err.Error()})
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		if err := s.ref.SubmitDelta(b); err != nil {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"status": "delta scheduled", "ops": b.NumOps()})
+		return
+	}
+	if err := s.ref.ApplyDelta(r.Context(), b); err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "delta applied", "epoch": s.store.Epoch(), "ops": b.NumOps()})
+}
+
 // StatusResponse is the GET /admin/status body.
 type StatusResponse struct {
 	Epoch           int64     `json:"epoch"`
@@ -306,7 +344,11 @@ type StatusResponse struct {
 	CoreSize        int       `json:"core_size"`
 	Refreshes       int64     `json:"refreshes"`
 	RefreshFailures int64     `json:"refresh_failures"`
-	LastError       string    `json:"last_error,omitempty"`
+	// DeltaEnabled reports whether POST /admin/delta is wired;
+	// DeltaBatches counts batches applied and published.
+	DeltaEnabled bool   `json:"delta_enabled"`
+	DeltaBatches int64  `json:"delta_batches"`
+	LastError    string `json:"last_error,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -322,6 +364,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.ref != nil {
 		resp.Refreshes, resp.RefreshFailures = s.ref.Counts()
+		resp.DeltaEnabled = s.ref.DeltaEnabled()
+		resp.DeltaBatches = s.ref.DeltaCount()
 		if err := s.ref.LastError(); err != nil {
 			resp.LastError = err.Error()
 		}

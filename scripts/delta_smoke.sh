@@ -1,0 +1,92 @@
+#!/bin/sh
+# delta_smoke.sh — end-to-end smoke test for the incremental delta path.
+#
+# Generates a synthetic web graph plus one churn-generation delta file
+# (genweb -churn 1), boots spamserver, POSTs the delta to /admin/delta
+# with ?wait=1, and asserts the snapshot epoch advanced, the batch was
+# counted, and served records carry the new epoch. Exits non-zero on
+# any failed probe. Run via `make delta-smoke`.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "delta-smoke: building binaries"
+$GO build -o "$WORK/genweb" ./cmd/genweb
+$GO build -o "$WORK/spamserver" ./cmd/spamserver
+
+echo "delta-smoke: generating 10k-host graph with one churn generation"
+"$WORK/genweb" -hosts 10000 -churn 1 -out "$WORK/web" >/dev/null
+if [ ! -s "$WORK/web.delta.1" ]; then
+    echo "delta-smoke: genweb -churn 1 wrote no delta file" >&2
+    exit 1
+fi
+
+"$WORK/spamserver" -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+    -graph "$WORK/web.graph" -names "$WORK/web.names" -core "$WORK/web.core" \
+    2>"$WORK/server.log" &
+SERVER_PID=$!
+
+i=0
+while [ ! -s "$WORK/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "delta-smoke: server never bound" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/addr")
+echo "delta-smoke: server up on $ADDR"
+
+probe() {
+    # probe <name> <url> [curl args...] — body must arrive with HTTP 200.
+    name=$1
+    url=$2
+    shift 2
+    if ! body=$(curl -sS --fail --max-time 30 "$@" "$url"); then
+        echo "delta-smoke: $name probe failed ($url)" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    echo "delta-smoke: $name -> $body"
+}
+
+# expect <name> <pattern> — the last probe's body must contain pattern.
+expect() {
+    if ! echo "$body" | grep -q "$2"; then
+        echo "delta-smoke: $1: expected $2 in: $body" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+}
+
+probe status "http://$ADDR/admin/status"
+expect "delta path wired" '"delta_enabled":true'
+expect "initial epoch" '"epoch":1'
+
+probe "delta apply" "http://$ADDR/admin/delta?wait=1" -X POST --data-binary "@$WORK/web.delta.1"
+expect "delta applied" '"status":"delta applied"'
+expect "epoch advanced" '"epoch":2'
+
+probe status "http://$ADDR/admin/status"
+expect "batch counted" '"delta_batches":1'
+expect "published epoch" '"epoch":2'
+
+# A served record must come from the post-delta generation.
+HOST=$(head -1 "$WORK/web.names")
+probe "host lookup" "http://$ADDR/v1/host/$HOST"
+expect "record epoch" '"epoch":2'
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "delta-smoke: OK"

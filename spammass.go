@@ -33,6 +33,7 @@ import (
 	"spammass/internal/anomaly"
 	"spammass/internal/baseline"
 	"spammass/internal/content"
+	"spammass/internal/delta"
 	"spammass/internal/diskgraph"
 	"spammass/internal/forensics"
 	"spammass/internal/goodcore"
@@ -132,6 +133,10 @@ func ReadGraphBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 
 // WriteGraphBinary writes the compact binary graph format.
 func WriteGraphBinary(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// NewHostGraph couples a graph with one host name per node (the
+// substrate delta batches are keyed on).
+func NewHostGraph(g *Graph, names []string) (*HostGraph, error) { return graph.NewHostGraph(g, names) }
 
 // CollapseToHosts collapses a page-level graph to the host level.
 func CollapseToHosts(g *Graph, pageURLs []string) (*HostGraph, error) {
@@ -358,6 +363,45 @@ func ExpandPages(w *World) (*webgen.PageWorld, error) {
 
 // PageWorld is a page-level expansion of a host world.
 type PageWorld = webgen.PageWorld
+
+// DeltaBatch is an ordered list of graph mutations (add/remove host,
+// add/remove edge), keyed by host name — the identifier that is
+// stable across graph generations.
+type DeltaBatch = delta.Batch
+
+// DeltaOp is one mutation of a DeltaBatch.
+type DeltaOp = delta.Op
+
+// DeltaResult carries everything one applied batch produced: the next
+// host-graph generation, the monotone old→new node remapping, and the
+// inverse batch.
+type DeltaResult = delta.Result
+
+// ApplyDelta merges a mutation batch into a host graph in one pass,
+// producing the next generation — byte-identical to rebuilding from
+// the mutated edge list. On any conflict the graph is untouched.
+func ApplyDelta(h *HostGraph, b *DeltaBatch) (*DeltaResult, error) { return delta.Apply(h, b) }
+
+// DiffHostGraphs computes the batch that transforms old into new;
+// applying it to old reproduces new exactly.
+func DiffHostGraphs(old, new *HostGraph) (*DeltaBatch, error) { return delta.Diff(old, new) }
+
+// ReadDeltaText parses the line-oriented delta text format.
+func ReadDeltaText(r io.Reader) (*DeltaBatch, error) { return delta.ReadText(r) }
+
+// WriteDeltaText writes the line-oriented delta text format.
+func WriteDeltaText(w io.Writer, b *DeltaBatch) error { return delta.WriteText(w, b) }
+
+// MassWarmStart seeds an incremental re-estimation with a previous
+// generation's solved vectors.
+type MassWarmStart = mass.WarmStart
+
+// RemapWarmStart maps a previous generation's estimates onto the node
+// set produced by ApplyDelta (remap is DeltaResult.Remap), yielding
+// the warm start for Estimator.EstimateFromCoreWarm.
+func RemapWarmStart(prev *Estimates, remap []int64, n int, core []NodeID, gamma float64) (*MassWarmStart, error) {
+	return mass.RemapWarmStart(prev, remap, n, core, gamma)
+}
 
 // PairwiseOrderedness scores how well a ranking separates judged good
 // nodes above judged spam nodes (the TrustRank paper's metric).
