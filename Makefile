@@ -8,15 +8,17 @@ build:
 test:
 	$(GO) test ./...
 
-# bench runs the 10k-node acceptance benchmarks — the mass-estimation
-# sweep, the serving-layer lookup benchmark, and the incremental
-# (delta + warm start) refresh against its cold baseline — with
-# -benchmem, and converts the combined output into the machine-readable
-# benchmark summary for this PR (per-op "iters" record the solver
-# iteration counts the ≥2x incremental claim is pinned on).
-BENCH_OUT ?= BENCH_pr5.json
+# bench runs the acceptance benchmarks — the 1M-host sweep and
+# solve-to-epsilon suite (fixed-sweep layout comparison plus the
+# Gauss-Southwell vs full-sweep wall-clock headline), the 10k-node
+# mass-estimation sweep, the serving-layer lookup benchmark, and the
+# incremental (delta + warm start) refresh against its cold baseline —
+# with -benchmem, and converts the combined output into the
+# machine-readable benchmark summary for this PR.
+BENCH_OUT ?= BENCH_pr6.json
 bench:
-	{ $(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ && \
+	{ $(GO) test -run='^$$' -bench=1M -benchtime=2x -timeout 1800s ./internal/pagerank/ && \
+	  $(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ && \
 	  $(GO) test -run='^$$' -bench=ServeLookup -benchmem ./internal/serve/ && \
 	  $(GO) test -run='^$$' -bench=Refresh10k -benchmem ./internal/delta/; } \
 	  | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
@@ -35,8 +37,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs spamlint, the repo's own static-analysis suite
-# (internal/analysis): sliceexport, floatcmp, solveerr, spanend,
-# printcall. Suppress intentional findings with
+# (internal/analysis): sliceexport, floatcmp, f32acc, solveerr,
+# spanend, printcall. Suppress intentional findings with
 # `// lint:ignore <analyzer> <reason>`.
 lint:
 	$(GO) run ./cmd/spamlint ./...
@@ -54,6 +56,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzReadText -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzHostOf -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzGapList -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzCollapseToHosts -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzDerive -fuzztime=$(FUZZTIME) ./internal/mass/
 	$(GO) test -run='^$$' -fuzz=FuzzDeltaApply -fuzztime=$(FUZZTIME) ./internal/delta/

@@ -12,6 +12,7 @@
 //	           [-delta-watch path.delta] [-delta-poll 2s]
 //	           [-max-inflight 256] [-timeout 5s] [-max-batch 1000]
 //	           [-addr-file path] [-debug-addr :6060] [-v]
+//	           [-solver-layout blocked|flat] [-solver-precision float64|float32]
 //
 // Endpoints: GET /v1/host/{name}, POST /v1/batch, GET /v1/top,
 // GET /healthz, GET /readyz, POST /admin/refresh, POST /admin/delta,
@@ -74,9 +75,32 @@ func main() {
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "host limit per POST /v1/batch")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address")
 	verbose := flag.Bool("v", false, "log refreshes and solver progress to stderr")
+	layoutFlag := flag.String("solver-layout", "blocked", "solver adjacency layout: blocked (degree-sorted compressed sweeps) or flat")
+	precisionFlag := flag.String("solver-precision", "float64", "solver storage precision: float64, or float32 for mixed-precision blocked sweeps")
 	flag.Parse()
 	if *graphPath == "" || *namesPath == "" || *corePath == "" {
 		die("missing -graph, -names, or -core")
+	}
+	var layout pagerank.Layout
+	switch *layoutFlag {
+	case "blocked":
+		layout = pagerank.LayoutBlocked
+	case "flat":
+		layout = pagerank.LayoutFlat
+	default:
+		die("unknown -solver-layout %q (want blocked or flat)", *layoutFlag)
+	}
+	var precision pagerank.Precision
+	switch *precisionFlag {
+	case "float64":
+		precision = pagerank.PrecisionFloat64
+	case "float32":
+		precision = pagerank.PrecisionFloat32
+	default:
+		die("unknown -solver-precision %q (want float64 or float32)", *precisionFlag)
+	}
+	if precision == pagerank.PrecisionFloat32 && layout != pagerank.LayoutBlocked {
+		die("-solver-precision float32 requires -solver-layout blocked")
 	}
 
 	// A server keeps metrics on at all times — they are the interface
@@ -96,7 +120,8 @@ func main() {
 	}
 
 	dcfg := mass.DetectConfig{RelMassThreshold: *tau, ScaledPageRankThreshold: *rho}
-	solver := pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000, Obs: octx}
+	solver := pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000, Obs: octx,
+		Layout: layout, Precision: precision}
 	build := func(ctx context.Context, prev *serve.Snapshot, epoch int64) (*serve.Snapshot, error) {
 		g, _, err := graph.LoadFile(*graphPath, octx)
 		if err != nil {

@@ -15,6 +15,8 @@ func TestSliceExportGolden(t *testing.T) { analysistest.Run(t, "sliceexport", an
 
 func TestFloatCmpGolden(t *testing.T) { analysistest.Run(t, "floatcmp", analysis.FloatCmp) }
 
+func TestF32AccGolden(t *testing.T) { analysistest.Run(t, "f32acc", analysis.F32Acc) }
+
 func TestSolveErrGolden(t *testing.T) { analysistest.Run(t, "solveerr", analysis.SolveErr) }
 
 func TestSpanEndGolden(t *testing.T) { analysistest.Run(t, "spanend", analysis.SpanEnd) }
@@ -60,7 +62,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 			t.Errorf("analyzer %s is in All() but has no default rule", a.Name)
 		}
 	}
-	if len(analysis.All()) < 5 {
-		t.Errorf("expected at least 5 analyzers, have %d", len(analysis.All()))
+	if len(analysis.All()) < 6 {
+		t.Errorf("expected at least 6 analyzers, have %d", len(analysis.All()))
 	}
 }

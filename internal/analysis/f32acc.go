@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// F32Acc flags float32 accumulation across loop iterations: `s += x`,
+// `s -= x`, or `s = s + x` inside a for/range loop where s is declared
+// outside that loop's body. A float32 running sum loses one bit of the
+// addend once the sum grows past 2²⁴ ulps of it, which on a
+// million-edge sweep silently erases the small residual contributions
+// the convergence test depends on. Reductions must accumulate in
+// float64 and convert once at the end — the mixed-precision kernels
+// store iterates in float32 but never sum in it.
+//
+// A float32 variable declared inside the loop body is fresh every
+// iteration and cannot accumulate, so it is exempt. Intentional
+// quantized accumulation carries a lint:ignore suppression with the
+// reason written down.
+var F32Acc = &Analyzer{
+	Name: "f32acc",
+	Doc:  "float32 accumulated across loop iterations (sum in float64, convert once)",
+	Run:  runF32Acc,
+}
+
+func runF32Acc(pass *Pass) {
+	for _, f := range pass.Files {
+		var loops []ast.Node // enclosing for/range statements, outermost first
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					loops = append(loops, n)
+					walk(n.Body)
+					loops = loops[:len(loops)-1]
+					return false
+				case *ast.RangeStmt:
+					loops = append(loops, n)
+					walk(n.Body)
+					loops = loops[:len(loops)-1]
+					return false
+				case *ast.AssignStmt:
+					checkF32Accum(pass, n, loops)
+				}
+				return true
+			})
+		}
+		walk(f)
+	}
+}
+
+// checkF32Accum reports assign if it accumulates into a float32
+// identifier declared outside the innermost enclosing loop body.
+func checkF32Accum(pass *Pass, assign *ast.AssignStmt, loops []ast.Node) {
+	if len(loops) == 0 {
+		return
+	}
+	var target *ast.Ident
+	switch assign.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(assign.Lhs) == 1 {
+			target, _ = ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		}
+	case token.ASSIGN:
+		// s = s + x and s = s - x are the spelled-out accumulations.
+		if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+			return
+		}
+		id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		bin, ok := ast.Unparen(assign.Rhs[0]).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return
+		}
+		if x, ok := ast.Unparen(bin.X).(*ast.Ident); ok && sameObject(pass.Info, id, x) {
+			target = id
+		} else if y, ok := ast.Unparen(bin.Y).(*ast.Ident); ok && bin.Op == token.ADD && sameObject(pass.Info, id, y) {
+			target = id
+		}
+	}
+	if target == nil || !isFloat32(pass.TypeOf(target)) {
+		return
+	}
+	obj := pass.Info.ObjectOf(target)
+	if obj == nil {
+		return
+	}
+	// Fresh per iteration — declared inside the innermost loop body —
+	// is not an accumulator.
+	inner := loops[len(loops)-1]
+	var body *ast.BlockStmt
+	switch l := inner.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+		return
+	}
+	pass.Reportf(assign.TokPos, "float32 accumulation across loop iterations; sum in float64 and convert once (quantized accumulation is intentional only with a suppressed reason)")
+}
+
+// sameObject reports whether two identifiers resolve to the same
+// declared object.
+func sameObject(info *types.Info, a, b *ast.Ident) bool {
+	oa, ob := info.ObjectOf(a), info.ObjectOf(b)
+	return oa != nil && oa == ob
+}
+
+// isFloat32 reports whether t's underlying type is exactly float32.
+func isFloat32(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float32
+}

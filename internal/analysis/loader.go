@@ -47,10 +47,10 @@ type Loader struct {
 	// host GOOS/GOARCH and release tags (e.g. "vectorcheck").
 	Tags map[string]bool
 
-	std      types.Importer
-	stdSrc   types.Importer
-	pkgs     map[string]*Package
-	loading  map[string]bool
+	std     types.Importer
+	stdSrc  types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
 }
 
 // NewLoader builds a loader for the module rooted at root. tags lists

@@ -13,9 +13,9 @@ func writeModule(t *testing.T) string {
 	t.Helper()
 	root := t.TempDir()
 	files := map[string]string{
-		"go.mod": "module example.com/tagmod\n\ngo 1.21\n",
-		"a.go":   "package tagmod\n\nvar A = 1\n",
-		"b_tagged.go": "//go:build lintfixturetag\n\npackage tagmod\n\nvar B = 2\n",
+		"go.mod":        "module example.com/tagmod\n\ngo 1.21\n",
+		"a.go":          "package tagmod\n\nvar A = 1\n",
+		"b_tagged.go":   "//go:build lintfixturetag\n\npackage tagmod\n\nvar B = 2\n",
 		"c_excluded.go": "//go:build neverenabledtag\n\npackage tagmod\n\nvar C = 3\n",
 	}
 	for name, src := range files {

@@ -50,7 +50,7 @@ func runSpanEnd(pass *Pass) {
 
 // spanVar is one span-typed local created in the function body.
 type spanVar struct {
-	id   *ast.Ident    // the declared identifier
+	id   *ast.Ident      // the declared identifier
 	stmt *ast.AssignStmt // the creating statement
 	name string
 }

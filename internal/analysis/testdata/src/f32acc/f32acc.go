@@ -1,0 +1,115 @@
+// Fixture for the f32acc analyzer: float32 reduction accumulators.
+package f32acc
+
+type score float32
+
+// Sum accumulates a float32 across iterations: flagged.
+func Sum(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x // want `float32 accumulation across loop iterations`
+	}
+	return s
+}
+
+// SpelledOut writes the accumulation as s = s + x: flagged.
+func SpelledOut(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s = s + a[i]*b[i] // want `float32 accumulation across loop iterations`
+	}
+	return s
+}
+
+// Commuted accumulates as s = x + s: flagged.
+func Commuted(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s = x + s // want `float32 accumulation across loop iterations`
+	}
+	return s
+}
+
+// Residual subtracts into an outer float32: flagged.
+func Residual(total float32, xs []float32) float32 {
+	for _, x := range xs {
+		total -= x // want `float32 accumulation across loop iterations`
+	}
+	return total
+}
+
+// NamedType accumulates through a defined float32 type: flagged.
+func NamedType(xs []score) score {
+	var s score
+	for _, x := range xs {
+		s += x // want `float32 accumulation across loop iterations`
+	}
+	return s
+}
+
+// InnerReduction declares the accumulator in the outer loop body but
+// reduces over the inner loop: flagged — it still sums a whole row in
+// float32.
+func InnerReduction(rows [][]float32) []float32 {
+	out := make([]float32, 0, len(rows))
+	for _, row := range rows {
+		var s float32
+		for _, x := range row {
+			s += x // want `float32 accumulation across loop iterations`
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Float64Accum is the required idiom — float64 sum over float32 data,
+// converted once: clean.
+func Float64Accum(xs []float32) float32 {
+	s := 0.0
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return float32(s)
+}
+
+// PerIteration declares the float32 inside the loop body, so it is
+// fresh every iteration: clean.
+func PerIteration(xs, out []float32) {
+	for i, x := range xs {
+		t := x
+		t += 1
+		out[i] = t
+	}
+}
+
+// NoLoop accumulates outside any loop: clean.
+func NoLoop(a, b float32) float32 {
+	a += b
+	return a
+}
+
+// ElementStore writes float32 elements without a running sum: clean.
+func ElementStore(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// IntCounter accumulates an int, not a float32: clean.
+func IntCounter(xs []float32) int {
+	n := 0
+	for range xs {
+		n += 1
+	}
+	return n
+}
+
+// Suppressed quantized accumulation with a written reason: clean.
+func Suppressed(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		// lint:ignore f32acc fixture demonstrates intentional quantized accumulation
+		s += x
+	}
+	return s
+}

@@ -58,21 +58,18 @@ func Build(path string, g *graph.Graph) error {
 			return err
 		}
 	}
+	// Adjacency rows use the shared gap codec (graph.AppendGapList):
+	// the same wire format the in-memory blocked layout speaks, so the
+	// encoder and both decoders are covered by one test and fuzz corpus.
+	var row []byte
 	for y := 0; y < n; y++ {
 		in := g.InNeighbors(graph.NodeID(y))
 		if err := put(uint64(len(in))); err != nil {
 			return err
 		}
-		prev := uint64(0)
-		for i, x := range in {
-			gap := uint64(x) - prev
-			if i == 0 {
-				gap = uint64(x)
-			}
-			if err := put(gap); err != nil {
-				return err
-			}
-			prev = uint64(x)
+		row = graph.AppendGapList(row[:0], in)
+		if _, err := bw.Write(row); err != nil {
+			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -167,27 +164,23 @@ func (dg *DiskGraph) NumEdges() int64 { return dg.m }
 // in-adjacency from r (positioned at the adjacency section).
 func (dg *DiskGraph) sweep(br *bufio.Reader, cur, next pagerank.Vector, c float64, v pagerank.Vector) error {
 	edgesSeen := int64(0)
+	dec := graph.NewGapDecoder(br, uint64(dg.n))
 	for y := 0; y < dg.n; y++ {
 		deg, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("diskgraph: in-degree of %d: %w", y, err)
 		}
+		if deg > uint64(dg.n) {
+			return fmt.Errorf("diskgraph: node %d claims in-degree %d on a %d-node graph", y, deg, dg.n)
+		}
+		dec.Reset(int(deg))
 		sum := 0.0
-		prev := uint64(0)
-		for i := uint64(0); i < deg; i++ {
-			gap, err := binary.ReadUvarint(br)
+		for dec.Remaining() > 0 {
+			x, err := dec.Next()
 			if err != nil {
 				return fmt.Errorf("diskgraph: in-neighbors of %d: %w", y, err)
 			}
-			x := prev + gap
-			if i == 0 {
-				x = gap
-			}
-			if x >= uint64(dg.n) {
-				return fmt.Errorf("diskgraph: node %d references %d outside [0,%d)", y, x, dg.n)
-			}
 			sum += cur[x] * dg.inv[x]
-			prev = x
 			edgesSeen++
 		}
 		next[y] = c*sum + (1-c)*v[y]

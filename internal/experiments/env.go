@@ -58,10 +58,10 @@ func DefaultConfig() Config {
 // the assembled good core, the two PageRank vectors, the mass
 // estimates, the high-PageRank set T, and the judged sample T'.
 type Env struct {
-	Cfg    Config
-	World  *webgen.World
-	Core   *goodcore.Core
-	Est    *mass.Estimates
+	Cfg   Config
+	World *webgen.World
+	Core  *goodcore.Core
+	Est   *mass.Estimates
 	// Estimator is the shared mass estimator bound to the world graph.
 	// Every experiment method that re-estimates on the same graph goes
 	// through it, reusing the solver engine's cached out-degree and

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder accumulates edges and produces an immutable Graph. It
@@ -40,6 +40,17 @@ func (b *Builder) Grow(n int) {
 	}
 }
 
+// Reserve pre-allocates capacity for at least m pending edges. Web-scale
+// generators know their expected edge count (hosts × mean out-degree);
+// reserving up front replaces the ~2× append-doubling overshoot of
+// growing edge buffers with a single right-sized allocation.
+func (b *Builder) Reserve(m int) {
+	if cap(b.src) < m {
+		b.src = append(make([]NodeID, 0, m), b.src...)
+		b.dst = append(make([]NodeID, 0, m), b.dst...)
+	}
+}
+
 // AddNode appends a fresh node and returns its ID.
 func (b *Builder) AddNode() NodeID {
 	id := NodeID(b.n)
@@ -62,6 +73,14 @@ func (b *Builder) AddEdge(x, y NodeID) {
 
 // Build sorts, deduplicates, and freezes the accumulated edges into a
 // Graph. The Builder must not be reused afterwards.
+//
+// Edges are bucketed into CSR rows by a counting scatter (two linear
+// passes over the pending edges) and each row is then sorted and
+// deduplicated in place — O(m + Σ dₓ·log dₓ) with sequential access,
+// where the old global comparison sort over an index array was
+// O(m·log m) of cache-hostile double indirection. At web scale (10⁷
+// hosts, ~10⁸ pending edges) the global sort dominated generation
+// time; the counting scatter makes Build a small fraction of it.
 func (b *Builder) Build() *Graph {
 	if b.built {
 		panic("graph: Builder.Build called twice")
@@ -69,37 +88,47 @@ func (b *Builder) Build() *Graph {
 	b.built = true
 
 	m := len(b.src)
-	order := make([]int32, m)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, c := order[i], order[j]
-		if b.src[a] != b.src[c] {
-			return b.src[a] < b.src[c]
-		}
-		return b.dst[a] < b.dst[c]
-	})
-
 	g := &Graph{n: b.n}
 	g.outStart = make([]int64, b.n+1)
-	g.outAdj = make([]NodeID, 0, m)
-	prevX, prevY := NodeID(0), NodeID(0)
-	first := true
-	for _, idx := range order {
-		x, y := b.src[idx], b.dst[idx]
-		if !first && x == prevX && y == prevY {
-			continue // collapse duplicate edge
-		}
-		first = false
-		prevX, prevY = x, y
-		g.outAdj = append(g.outAdj, y)
+	for _, x := range b.src {
 		g.outStart[x+1]++
 	}
 	for x := 0; x < b.n; x++ {
 		g.outStart[x+1] += g.outStart[x]
 	}
+	adj := make([]NodeID, m)
+	cursor := make([]int64, b.n)
+	copy(cursor, g.outStart[:b.n])
+	for i, x := range b.src {
+		adj[cursor[x]] = b.dst[i]
+		cursor[x]++
+	}
+	// The pending-edge buffers are dead from here on; releasing them
+	// before the dedup and transpose passes keeps peak memory at one
+	// adjacency copy plus the CSR being built.
 	b.src, b.dst = nil, nil
+
+	// Sort each row and compact duplicates in place. The write cursor w
+	// never passes the read position (compaction only shrinks rows), so
+	// no scratch copy is needed.
+	w := int64(0)
+	for x := 0; x < b.n; x++ {
+		lo, hi := g.outStart[x], g.outStart[x+1]
+		row := adj[lo:hi]
+		slices.Sort(row)
+		g.outStart[x] = w
+		var last NodeID
+		for i, y := range row {
+			if i > 0 && y == last {
+				continue // collapse duplicate edge
+			}
+			adj[w] = y
+			w++
+			last = y
+		}
+	}
+	g.outStart[b.n] = w
+	g.outAdj = adj[:w]
 
 	g.inStart, g.inAdj = reverseCSR(g.outStart, g.outAdj, b.n)
 	return g

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randGraphLocal(rng *rand.Rand, n, maxOut int) *Graph {
+	b := NewBuilder(n)
+	for x := 0; x < n; x++ {
+		deg := rng.Intn(maxOut + 1)
+		for i := 0; i < deg; i++ {
+			y := NodeID(rng.Intn(n))
+			if y != NodeID(x) {
+				b.AddEdge(NodeID(x), y)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestDegreeOrderInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		g := randGraphLocal(rng, 2+rng.Intn(200), 8)
+		perm, inv := g.DegreeOrder()
+		n := g.NumNodes()
+		if len(perm) != n || len(inv) != n {
+			t.Fatalf("trial %d: perm/inv lengths %d/%d, want %d", trial, len(perm), len(inv), n)
+		}
+		for orig := 0; orig < n; orig++ {
+			if inv[perm[orig]] != NodeID(orig) {
+				t.Fatalf("trial %d: inv[perm[%d]] = %d", trial, orig, inv[perm[orig]])
+			}
+		}
+		for p := 1; p < n; p++ {
+			da, db := g.OutDegree(inv[p-1]), g.OutDegree(inv[p])
+			if da < db {
+				t.Fatalf("trial %d: out-degree increases at rank %d (%d then %d)", trial, p, da, db)
+			}
+			if da == db && inv[p-1] >= inv[p] {
+				t.Fatalf("trial %d: tie at rank %d not broken by ascending ID", trial, p)
+			}
+		}
+	}
+}
+
+func TestPermuteStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		g := randGraphLocal(rng, 2+rng.Intn(150), 6)
+		perm, inv := g.DegreeOrder()
+		h, err := g.Permute(perm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("trial %d: permuted graph invalid: %v", trial, err)
+		}
+		if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: size changed: %d/%d nodes, %d/%d edges",
+				trial, h.NumNodes(), g.NumNodes(), h.NumEdges(), g.NumEdges())
+		}
+		// Degrees preserved node-for-node, edges mapped bijectively.
+		for x := 0; x < g.NumNodes(); x++ {
+			p := perm[x]
+			if h.OutDegree(p) != g.OutDegree(NodeID(x)) || h.InDegree(p) != g.InDegree(NodeID(x)) {
+				t.Fatalf("trial %d: degree mismatch at node %d", trial, x)
+			}
+			for _, y := range g.OutNeighbors(NodeID(x)) {
+				if !h.HasEdge(p, perm[y]) {
+					t.Fatalf("trial %d: edge (%d,%d) missing as (%d,%d)", trial, x, y, p, perm[y])
+				}
+			}
+		}
+		// Permuting back with the inverse must reproduce the original.
+		back, err := h.Permute(inv)
+		if err != nil {
+			t.Fatalf("trial %d: inverse permute: %v", trial, err)
+		}
+		if !back.Equal(g) {
+			t.Fatalf("trial %d: inverse permutation did not restore the graph", trial)
+		}
+	}
+}
+
+func TestPermuteRejectsBadInput(t *testing.T) {
+	g := FromEdges(3, [][2]NodeID{{0, 1}, {1, 2}})
+	if _, err := g.Permute([]NodeID{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := g.Permute([]NodeID{0, 1, 3}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := g.Permute([]NodeID{0, 1, 1}); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	empty := &Graph{}
+	if h, err := empty.Permute(nil); err != nil || h.NumNodes() != 0 {
+		t.Fatalf("empty permute: %v", err)
+	}
+}

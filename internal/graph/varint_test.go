@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randIncreasing(rng *rand.Rand, n, maxDeg int) []NodeID {
+	deg := rng.Intn(maxDeg + 1)
+	if deg > n {
+		deg = n
+	}
+	seen := make(map[NodeID]bool, deg)
+	for len(seen) < deg {
+		seen[NodeID(rng.Intn(n))] = true
+	}
+	list := make([]NodeID, 0, deg)
+	for x := range seen {
+		list = append(list, x)
+	}
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && list[j] < list[j-1]; j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+	return list
+}
+
+func TestGapListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(1000)
+		list := randIncreasing(rng, n, 40)
+		enc := AppendGapList(nil, list)
+
+		// Slice decoder.
+		got, pos, err := DecodeGapList(nil, enc, 0, len(list), uint64(n))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if pos != len(enc) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, pos, len(enc))
+		}
+		if len(got) != len(list) {
+			t.Fatalf("trial %d: got %d elements, want %d", trial, len(got), len(list))
+		}
+		for i := range list {
+			if got[i] != list[i] {
+				t.Fatalf("trial %d: element %d = %d, want %d", trial, i, got[i], list[i])
+			}
+		}
+
+		// Streaming decoder must agree byte for byte.
+		d := NewGapDecoder(bytes.NewReader(enc), uint64(n))
+		d.Reset(len(list))
+		for i := range list {
+			x, err := d.Next()
+			if err != nil {
+				t.Fatalf("trial %d: stream element %d: %v", trial, i, err)
+			}
+			if x != list[i] {
+				t.Fatalf("trial %d: stream element %d = %d, want %d", trial, i, x, list[i])
+			}
+		}
+		if _, err := d.Next(); err != io.EOF {
+			t.Fatalf("trial %d: decoder past end returned %v, want io.EOF", trial, err)
+		}
+	}
+}
+
+func TestGapListConcatenated(t *testing.T) {
+	// Several lists back to back in one buffer, as the blocked layout
+	// and the disk format both store them.
+	lists := [][]NodeID{{3, 9, 10}, {0}, {}, {5, 6, 7, 2000}}
+	var enc []byte
+	for _, l := range lists {
+		enc = AppendGapList(enc, l)
+	}
+	pos := 0
+	for i, l := range lists {
+		var got []NodeID
+		var err error
+		got, pos, err = DecodeGapList(got, enc, pos, len(l), 1<<32)
+		if err != nil {
+			t.Fatalf("list %d: %v", i, err)
+		}
+		for j := range l {
+			if got[j] != l[j] {
+				t.Fatalf("list %d element %d = %d, want %d", i, j, got[j], l[j])
+			}
+		}
+	}
+	if pos != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", pos, len(enc))
+	}
+}
+
+func TestGapListTruncated(t *testing.T) {
+	list := []NodeID{1, 5, 130, 100000}
+	enc := AppendGapList(nil, list)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeGapList(nil, enc[:cut], 0, len(list), 1<<32); err == nil {
+			t.Fatalf("truncation at %d bytes decoded without error", cut)
+		}
+		d := NewGapDecoder(bytes.NewReader(enc[:cut]), 1<<32)
+		d.Reset(len(list))
+		var err error
+		for err == nil {
+			_, err = d.Next()
+		}
+		if err == io.EOF && cut > 0 {
+			// io.EOF is only acceptable for the empty prefix, where the
+			// very first read hits a clean end of stream.
+			t.Fatalf("truncation at %d bytes surfaced as clean io.EOF mid-list", cut)
+		}
+	}
+}
+
+func TestGapListRejectsMalformed(t *testing.T) {
+	// A zero gap after the first element would mean a duplicate
+	// neighbor; an overlong value must trip the range check.
+	zeroGap := []byte{5, 0}
+	if _, _, err := DecodeGapList(nil, zeroGap, 0, 2, 1<<32); err == nil {
+		t.Fatal("zero gap decoded without error")
+	}
+	huge := binary.AppendUvarint(nil, math.MaxUint64)
+	if _, _, err := DecodeGapList(nil, huge, 0, 1, 1<<32); err == nil {
+		t.Fatal("2^64-1 decoded as a node ID")
+	}
+	outOfRange := binary.AppendUvarint(nil, 10)
+	if _, _, err := DecodeGapList(nil, outOfRange, 0, 1, 10); err == nil {
+		t.Fatal("node ID 10 accepted with bound n=10")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendGapList accepted a non-increasing list")
+		}
+	}()
+	AppendGapList(nil, []NodeID{4, 4})
+}
+
+// FuzzGapList feeds arbitrary bytes to both decoders: they must agree
+// with each other, never panic, and anything that decodes must
+// re-encode to the identical prefix (round-trip stability).
+func FuzzGapList(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add(AppendGapList(nil, []NodeID{3, 9, 10}), uint16(3))
+	f.Add(AppendGapList(nil, []NodeID{0, 1, 2, 3}), uint16(4))
+	f.Add([]byte{0x80}, uint16(1))                     // truncated varint
+	f.Add([]byte{5, 0, 1}, uint16(3))                  // zero gap
+	f.Add(binary.AppendUvarint(nil, 1<<40), uint16(1)) // out of range
+	f.Fuzz(func(t *testing.T, data []byte, degRaw uint16) {
+		deg := int(degRaw % 256)
+		const n = uint64(1) << 32
+		list, pos, err := DecodeGapList(nil, data, 0, deg, n)
+
+		d := NewGapDecoder(bytes.NewReader(data), n)
+		d.Reset(deg)
+		var streamed []NodeID
+		var serr error
+		for {
+			x, e := d.Next()
+			if e != nil {
+				if e != io.EOF {
+					serr = e
+				}
+				break
+			}
+			streamed = append(streamed, x)
+		}
+
+		if err != nil {
+			if serr == nil && len(streamed) == deg {
+				t.Fatalf("slice decoder failed (%v) but stream decoded %d elements", err, deg)
+			}
+			return
+		}
+		if serr != nil || len(streamed) != len(list) {
+			t.Fatalf("stream decoder disagrees: err=%v, %d vs %d elements", serr, len(streamed), len(list))
+		}
+		for i := range list {
+			if streamed[i] != list[i] {
+				t.Fatalf("element %d: stream %d vs slice %d", i, streamed[i], list[i])
+			}
+			if i > 0 && list[i] <= list[i-1] {
+				t.Fatalf("decoded list not strictly increasing at %d", i)
+			}
+		}
+		// Round trip: re-encoding (canonically) and re-decoding must
+		// reproduce the list, even when the input used padded varints.
+		re := AppendGapList(nil, list)
+		back, _, err := DecodeGapList(nil, re, 0, deg, n)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		for i := range list {
+			if back[i] != list[i] {
+				t.Fatalf("round trip changed element %d: %d vs %d", i, back[i], list[i])
+			}
+		}
+		_ = pos
+	})
+}

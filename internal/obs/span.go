@@ -152,17 +152,17 @@ func (s *Span) Duration() time.Duration {
 // SpanJSON is the serialized form of a span tree; it is what a
 // RunReport embeds and what -trace files contain.
 type SpanJSON struct {
-	Name       string         `json:"name"`
-	Start      time.Time      `json:"start"`
-	DurationNS int64          `json:"duration_ns"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
 	// Ended distinguishes a finished span from one still running when
 	// the snapshot was taken (whose duration is the time so far). A
 	// span that is still open in a final trace is a telemetry bug —
 	// exactly what the spanend lint analyzer guards against.
-	Ended    bool        `json:"ended"`
+	Ended    bool           `json:"ended"`
 	Attrs    map[string]any `json:"attrs,omitempty"`
-	Events   []EventJSON `json:"events,omitempty"`
-	Children []*SpanJSON `json:"children,omitempty"`
+	Events   []EventJSON    `json:"events,omitempty"`
+	Children []*SpanJSON    `json:"children,omitempty"`
 }
 
 // EventJSON is one serialized span event; the offset is relative to

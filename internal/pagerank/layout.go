@@ -1,0 +1,598 @@
+package pagerank
+
+import (
+	"encoding/binary"
+	"slices"
+
+	"spammass/internal/graph"
+)
+
+// blockedBlockSize is the number of destination rows per block. Blocks
+// are the unit of parallel work and of destination-delta reset; 8192
+// rows keep the sequentially written next/contrib slices of a block
+// within L2 while leaving thousands of blocks for load balancing.
+const blockedBlockSize = 8192
+
+// floatT constrains the blocked sweep kernels to the two supported
+// score storage types. Reductions always accumulate in float64
+// regardless of F (the f32acc spamlint analyzer enforces this
+// invariant module-wide).
+type floatT interface {
+	~float32 | ~float64
+}
+
+// blockedAdj is the throughput layout of the reverse adjacency:
+// degree-sorted, destination-blocked, gap-compressed.
+//
+//   - Nodes are relabeled by descending out-degree (graph.DegreeOrder).
+//     A node with out-degree d appears in exactly d in-neighbor lists,
+//     so the relabeling packs the most frequently read entries of the
+//     contribution vector into the lowest IDs — a few cache lines
+//     absorb most of the sweep's random reads.
+//   - The in-neighbor lists are stored destination-major as one byte
+//     stream per run of blockSize destinations. Each row with at least
+//     one in-neighbor is encoded as uvarint(destination delta),
+//     uvarint(in-degree), then the in-neighbor list gap-encoded in the
+//     graph.AppendGapList format shared with internal/diskgraph.
+//     Compressed adjacency costs ~2 bytes/edge instead of 4, and the
+//     decode streams linearly while the only random access left is a
+//     4- or 8-byte contribution read.
+//
+// The permutation is engine-internal: all public APIs speak original
+// node IDs, and jump/warm/score vectors are translated at the solve
+// boundary (perm maps original → internal, inv the reverse).
+type blockedAdj struct {
+	n         int
+	m         int64
+	blockSize int
+	nblocks   int
+	perm, inv []graph.NodeID
+	invDeg    []float64      // 1/out-degree by internal ID, 0 for dangling
+	dangling  []graph.NodeID // internal IDs of dangling nodes, ascending
+	// live is the first dangling internal ID: degree order sorts the
+	// out-degree-0 tail last, so rows z ≥ live have invDeg[z] == 0 and
+	// their contribution entries are permanently zero — the kernels
+	// skip the contribNext store for them. Gathers never read past it
+	// either: a node appearing in an in-neighbor list has out-degree
+	// ≥ 1 by definition.
+	live   int
+	stream []byte
+	off    []int64 // nblocks+1 offsets into stream
+}
+
+func buildBlockedAdj(g *graph.Graph, blockSize int) *blockedAdj {
+	n := g.NumNodes()
+	perm, inv := g.DegreeOrder()
+	ba := &blockedAdj{
+		n:         n,
+		m:         g.NumEdges(),
+		blockSize: blockSize,
+		nblocks:   (n + blockSize - 1) / blockSize,
+		perm:      perm,
+		inv:       inv,
+		invDeg:    make([]float64, n),
+	}
+	for p := 0; p < n; p++ {
+		if d := g.OutDegree(inv[p]); d > 0 {
+			ba.invDeg[p] = 1 / float64(d)
+		} else {
+			ba.dangling = append(ba.dangling, graph.NodeID(p))
+		}
+	}
+	ba.live = n - len(ba.dangling)
+	if len(ba.dangling) > 0 && int(ba.dangling[0]) != ba.live {
+		// Defensive: if the dangling set is ever not the contiguous
+		// tail of the degree order, fall back to storing every row.
+		ba.live = n
+	}
+	ba.off = make([]int64, ba.nblocks+1)
+	stream := make([]byte, 0, 2*int(ba.m)+3*n/4)
+	var scratch []graph.NodeID
+	for b := 0; b < ba.nblocks; b++ {
+		lo := b * blockSize
+		hi := min(lo+blockSize, n)
+		prev := lo - 1
+		for p := lo; p < hi; p++ {
+			ins := g.InNeighbors(inv[p])
+			if len(ins) == 0 {
+				continue
+			}
+			scratch = scratch[:0]
+			for _, x := range ins {
+				scratch = append(scratch, perm[x])
+			}
+			slices.Sort(scratch)
+			stream = binary.AppendUvarint(stream, uint64(p-prev))
+			stream = binary.AppendUvarint(stream, uint64(len(scratch)))
+			stream = graph.AppendGapList(stream, scratch)
+			prev = p
+		}
+		ba.off[b+1] = int64(len(stream))
+	}
+	ba.stream = stream
+	return ba
+}
+
+// sweepBlocked runs one Jacobi/power-iteration pull sweep over the
+// blocked layout: next ← c·Tᵀcur + jumpCoef·v for every vector of the
+// batch, with the contribution vector double-buffered alongside
+// (contribNext[y] = next[y]/out(y)) so the next sweep's random reads
+// are a single F-sized load per edge. Residuals accumulate into resid
+// in float64.
+//
+// skipEmpty elides rows with no in-links entirely. Such a row's value
+// is the closed form jumpCoef[j]·v[z] — independent of the iterate —
+// so once both generations of the double buffer hold it (two full
+// sweeps with an unchanged jump coefficient, i.e. Jacobi, where
+// jumpCoef is the constant 1−c) rewriting it every sweep is pure
+// waste and its residual contribution is exactly zero. The gap
+// encoding jumps over those rows as a destination delta, so skipping
+// them costs nothing; on web-shaped graphs a third or more of all
+// rows drop out of the sweep.
+func sweepBlocked[F floatT](e *Engine, k int, c float64, jumpCoef, jump []float64, cur, next, contrib, contribNext []F, workers int, resid []float64, skipEmpty bool) {
+	ba := e.blk
+	run := func(b0, b1 int, acc []float64) {
+		switch k {
+		case 1:
+			sweepBlocked1(ba, c, jumpCoef[0], jump, cur, next, contrib, contribNext, b0, b1, skipEmpty, acc)
+		case 2:
+			sweepBlocked2(ba, c, jumpCoef, jump, cur, next, contrib, contribNext, b0, b1, skipEmpty, acc)
+		default:
+			sweepBlockedK(ba, k, c, jumpCoef, jump, cur, next, contrib, contribNext, b0, b1, skipEmpty, acc, make([]float64, k))
+		}
+	}
+	for j := 0; j < k; j++ {
+		resid[j] = 0
+	}
+	if workers <= 1 || ba.nblocks < 2 {
+		run(0, ba.nblocks, resid)
+		return
+	}
+	partial := e.partial[:workers*k]
+	for i := range partial {
+		partial[i] = 0
+	}
+	e.pool.run(ba.nblocks, func(chunk, lo, hi int) {
+		run(lo, hi, partial[chunk*k:(chunk+1)*k])
+	})
+	for j := 0; j < k; j++ {
+		for w := 0; w < workers; w++ {
+			resid[j] += partial[w*k+j]
+		}
+	}
+}
+
+// fillRun1 writes the closed-form value coef·v[z] of in-degree-0 rows
+// [z0, z1) and returns their residual contribution. Rows at or past
+// the live boundary are dangling; their contribution entry is
+// permanently zero and is not stored.
+func fillRun1[F floatT](invDeg []float64, coef float64, jump []float64, cur, next, contribNext []F, z0, z1, live int) float64 {
+	a := 0.0
+	lim := min(z1, live)
+	for z := z0; z < lim; z++ {
+		nv := coef * jump[z]
+		nf := F(nv)
+		d := float64(nf) - float64(cur[z])
+		if d < 0 {
+			d = -d
+		}
+		a += d
+		next[z] = nf
+		contribNext[z] = F(nv * invDeg[z])
+	}
+	for z := max(z0, lim); z < z1; z++ {
+		nv := coef * jump[z]
+		nf := F(nv)
+		d := float64(nf) - float64(cur[z])
+		if d < 0 {
+			d = -d
+		}
+		a += d
+		next[z] = nf
+	}
+	return a
+}
+
+// sweepBlocked1 is the single-vector kernel over blocks [b0, b1).
+// The varint decode is hand-inlined: most entries are one byte, and a
+// function call per edge would dominate the stream walk.
+func sweepBlocked1[F floatT](ba *blockedAdj, c, coef float64, jump []float64, cur, next, contrib, contribNext []F, b0, b1 int, skipEmpty bool, acc []float64) {
+	data := ba.stream
+	invDeg := ba.invDeg
+	live := ba.live
+	a := 0.0
+	for b := b0; b < b1; b++ {
+		pos, end := int(ba.off[b]), int(ba.off[b+1])
+		y := b*ba.blockSize - 1
+		blockEnd := min((b+1)*ba.blockSize, ba.n)
+		for pos < end {
+			v := uint64(data[pos])
+			pos++
+			if v >= 0x80 {
+				v &= 0x7f
+				for s := uint(7); ; s += 7 {
+					bt := data[pos]
+					pos++
+					v |= uint64(bt&0x7f) << s
+					if bt < 0x80 {
+						break
+					}
+				}
+			}
+			ny := y + int(v)
+			if !skipEmpty && ny > y+1 {
+				a += fillRun1(invDeg, coef, jump, cur, next, contribNext, y+1, ny, live)
+			}
+			y = ny
+			v = uint64(data[pos])
+			pos++
+			if v >= 0x80 {
+				v &= 0x7f
+				for s := uint(7); ; s += 7 {
+					bt := data[pos]
+					pos++
+					v |= uint64(bt&0x7f) << s
+					if bt < 0x80 {
+						break
+					}
+				}
+			}
+			deg := int(v)
+			v = uint64(data[pos])
+			pos++
+			if v >= 0x80 {
+				v &= 0x7f
+				for s := uint(7); ; s += 7 {
+					bt := data[pos]
+					pos++
+					v |= uint64(bt&0x7f) << s
+					if bt < 0x80 {
+						break
+					}
+				}
+			}
+			x := v
+			sum := float64(contrib[x])
+			for i := 1; i < deg; i++ {
+				v = uint64(data[pos])
+				pos++
+				if v >= 0x80 {
+					v &= 0x7f
+					for s := uint(7); ; s += 7 {
+						bt := data[pos]
+						pos++
+						v |= uint64(bt&0x7f) << s
+						if bt < 0x80 {
+							break
+						}
+					}
+				}
+				x += v
+				sum += float64(contrib[x])
+			}
+			nv := c*sum + coef*jump[y]
+			nf := F(nv)
+			d := float64(nf) - float64(cur[y])
+			if d < 0 {
+				d = -d
+			}
+			a += d
+			next[y] = nf
+			if y < live {
+				contribNext[y] = F(nv * invDeg[y])
+			}
+		}
+		if !skipEmpty && blockEnd > y+1 {
+			a += fillRun1(invDeg, coef, jump, cur, next, contribNext, y+1, blockEnd, live)
+		}
+	}
+	acc[0] += a
+}
+
+// fillRun2 is fillRun1 for the two-column interleaved batch.
+func fillRun2[F floatT](invDeg []float64, coef0, coef1 float64, jump []float64, cur, next, contribNext []F, z0, z1, live int) (float64, float64) {
+	a0, a1 := 0.0, 0.0
+	for z := z0; z < z1; z++ {
+		base := z * 2
+		nv0 := coef0 * jump[base]
+		nv1 := coef1 * jump[base+1]
+		nf0, nf1 := F(nv0), F(nv1)
+		d0 := float64(nf0) - float64(cur[base])
+		if d0 < 0 {
+			d0 = -d0
+		}
+		d1 := float64(nf1) - float64(cur[base+1])
+		if d1 < 0 {
+			d1 = -d1
+		}
+		a0 += d0
+		a1 += d1
+		next[base] = nf0
+		next[base+1] = nf1
+		if z < live {
+			w := invDeg[z]
+			contribNext[base] = F(nv0 * w)
+			contribNext[base+1] = F(nv1 * w)
+		}
+	}
+	return a0, a1
+}
+
+// sweepBlocked2 keeps both columns of the (p, p′) mass-estimation pair
+// in registers, mirroring pullRange's k=2 fast path.
+func sweepBlocked2[F floatT](ba *blockedAdj, c float64, jumpCoef, jump []float64, cur, next, contrib, contribNext []F, b0, b1 int, skipEmpty bool, acc []float64) {
+	data := ba.stream
+	invDeg := ba.invDeg
+	live := ba.live
+	coef0, coef1 := jumpCoef[0], jumpCoef[1]
+	a0, a1 := 0.0, 0.0
+	for b := b0; b < b1; b++ {
+		pos, end := int(ba.off[b]), int(ba.off[b+1])
+		y := b*ba.blockSize - 1
+		blockEnd := min((b+1)*ba.blockSize, ba.n)
+		for pos < end {
+			v := uint64(data[pos])
+			pos++
+			if v >= 0x80 {
+				v &= 0x7f
+				for s := uint(7); ; s += 7 {
+					bt := data[pos]
+					pos++
+					v |= uint64(bt&0x7f) << s
+					if bt < 0x80 {
+						break
+					}
+				}
+			}
+			ny := y + int(v)
+			if !skipEmpty && ny > y+1 {
+				d0, d1 := fillRun2(invDeg, coef0, coef1, jump, cur, next, contribNext, y+1, ny, live)
+				a0 += d0
+				a1 += d1
+			}
+			y = ny
+			v = uint64(data[pos])
+			pos++
+			if v >= 0x80 {
+				v &= 0x7f
+				for s := uint(7); ; s += 7 {
+					bt := data[pos]
+					pos++
+					v |= uint64(bt&0x7f) << s
+					if bt < 0x80 {
+						break
+					}
+				}
+			}
+			deg := int(v)
+			sum0, sum1 := 0.0, 0.0
+			x := uint64(0)
+			for i := 0; i < deg; i++ {
+				v = uint64(data[pos])
+				pos++
+				if v >= 0x80 {
+					v &= 0x7f
+					for s := uint(7); ; s += 7 {
+						bt := data[pos]
+						pos++
+						v |= uint64(bt&0x7f) << s
+						if bt < 0x80 {
+							break
+						}
+					}
+				}
+				x += v
+				base := int(x) * 2
+				sum0 += float64(contrib[base])
+				sum1 += float64(contrib[base+1])
+			}
+			base := y * 2
+			nv0 := c*sum0 + coef0*jump[base]
+			nv1 := c*sum1 + coef1*jump[base+1]
+			nf0, nf1 := F(nv0), F(nv1)
+			d0 := float64(nf0) - float64(cur[base])
+			if d0 < 0 {
+				d0 = -d0
+			}
+			d1 := float64(nf1) - float64(cur[base+1])
+			if d1 < 0 {
+				d1 = -d1
+			}
+			a0 += d0
+			a1 += d1
+			next[base] = nf0
+			next[base+1] = nf1
+			if y < live {
+				w := invDeg[y]
+				contribNext[base] = F(nv0 * w)
+				contribNext[base+1] = F(nv1 * w)
+			}
+		}
+		if !skipEmpty && blockEnd > y+1 { // block tail with no in-links
+			d0, d1 := fillRun2(invDeg, coef0, coef1, jump, cur, next, contribNext, y+1, blockEnd, live)
+			a0 += d0
+			a1 += d1
+		}
+	}
+	acc[0] += a0
+	acc[1] += a1
+}
+
+// fillRunK is fillRun1 for a k-wide interleaved batch.
+func fillRunK[F floatT](invDeg []float64, k int, jumpCoef, jump []float64, cur, next, contribNext []F, z0, z1, live int, acc []float64) {
+	for z := z0; z < z1; z++ {
+		base := z * k
+		if z < live {
+			w := invDeg[z]
+			for j := 0; j < k; j++ {
+				nv := jumpCoef[j] * jump[base+j]
+				nf := F(nv)
+				d := float64(nf) - float64(cur[base+j])
+				if d < 0 {
+					d = -d
+				}
+				acc[j] += d
+				next[base+j] = nf
+				contribNext[base+j] = F(nv * w)
+			}
+			continue
+		}
+		for j := 0; j < k; j++ {
+			nv := jumpCoef[j] * jump[base+j]
+			nf := F(nv)
+			d := float64(nf) - float64(cur[base+j])
+			if d < 0 {
+				d = -d
+			}
+			acc[j] += d
+			next[base+j] = nf
+		}
+	}
+}
+
+// sweepBlockedK is the generic batch-width kernel; sums is a caller
+// supplied k-sized float64 scratch.
+func sweepBlockedK[F floatT](ba *blockedAdj, k int, c float64, jumpCoef, jump []float64, cur, next, contrib, contribNext []F, b0, b1 int, skipEmpty bool, acc, sums []float64) {
+	data := ba.stream
+	invDeg := ba.invDeg
+	live := ba.live
+	for b := b0; b < b1; b++ {
+		pos, end := int(ba.off[b]), int(ba.off[b+1])
+		y := b*ba.blockSize - 1
+		blockEnd := min((b+1)*ba.blockSize, ba.n)
+		for pos < end {
+			v := uint64(data[pos])
+			pos++
+			if v >= 0x80 {
+				v &= 0x7f
+				for s := uint(7); ; s += 7 {
+					bt := data[pos]
+					pos++
+					v |= uint64(bt&0x7f) << s
+					if bt < 0x80 {
+						break
+					}
+				}
+			}
+			ny := y + int(v)
+			if !skipEmpty && ny > y+1 {
+				fillRunK(invDeg, k, jumpCoef, jump, cur, next, contribNext, y+1, ny, live, acc)
+			}
+			y = ny
+			v = uint64(data[pos])
+			pos++
+			if v >= 0x80 {
+				v &= 0x7f
+				for s := uint(7); ; s += 7 {
+					bt := data[pos]
+					pos++
+					v |= uint64(bt&0x7f) << s
+					if bt < 0x80 {
+						break
+					}
+				}
+			}
+			deg := int(v)
+			for j := 0; j < k; j++ {
+				sums[j] = 0
+			}
+			x := uint64(0)
+			for i := 0; i < deg; i++ {
+				v = uint64(data[pos])
+				pos++
+				if v >= 0x80 {
+					v &= 0x7f
+					for s := uint(7); ; s += 7 {
+						bt := data[pos]
+						pos++
+						v |= uint64(bt&0x7f) << s
+						if bt < 0x80 {
+							break
+						}
+					}
+				}
+				x += v
+				base := int(x) * k
+				for j := 0; j < k; j++ {
+					sums[j] += float64(contrib[base+j])
+				}
+			}
+			base := y * k
+			if y < live {
+				w := invDeg[y]
+				for j := 0; j < k; j++ {
+					nv := c*sums[j] + jumpCoef[j]*jump[base+j]
+					nf := F(nv)
+					d := float64(nf) - float64(cur[base+j])
+					if d < 0 {
+						d = -d
+					}
+					acc[j] += d
+					next[base+j] = nf
+					contribNext[base+j] = F(nv * w)
+				}
+			} else {
+				for j := 0; j < k; j++ {
+					nv := c*sums[j] + jumpCoef[j]*jump[base+j]
+					nf := F(nv)
+					d := float64(nf) - float64(cur[base+j])
+					if d < 0 {
+						d = -d
+					}
+					acc[j] += d
+					next[base+j] = nf
+				}
+			}
+		}
+		if !skipEmpty && blockEnd > y+1 {
+			fillRunK(invDeg, k, jumpCoef, jump, cur, next, contribNext, y+1, blockEnd, live, acc)
+		}
+	}
+}
+
+// danglingSums accumulates, per batch column, the score mass sitting
+// on dangling nodes: dᵀp in the notation of Section 2.2. The
+// accumulation is float64 for every storage precision.
+func danglingSums[F floatT](dangling []graph.NodeID, cur []F, k int, dsum []float64) {
+	for j := range dsum {
+		dsum[j] = 0
+	}
+	if k == 1 {
+		s := 0.0
+		for _, d := range dangling {
+			s += float64(cur[d])
+		}
+		dsum[0] = s
+		return
+	}
+	for _, d := range dangling {
+		base := int(d) * k
+		for j := 0; j < k; j++ {
+			dsum[j] += float64(cur[base+j])
+		}
+	}
+}
+
+// initContrib fills contrib[i] = cur[i]·invDeg[i/k] for an interleaved
+// batch, the pre-multiplied form the blocked kernels read per edge.
+func initContrib[F floatT](contrib, cur []F, invDeg []float64, k int) {
+	if k == 1 {
+		for i, w := range invDeg {
+			contrib[i] = F(float64(cur[i]) * w)
+		}
+		return
+	}
+	for i, w := range invDeg {
+		base := i * k
+		for j := 0; j < k; j++ {
+			contrib[base+j] = F(float64(cur[base+j]) * w)
+		}
+	}
+}
+
+func growBufF[F floatT](buf []F, size int) []F {
+	if cap(buf) < size {
+		return make([]F, size)
+	}
+	return buf[:size]
+}

@@ -1,0 +1,426 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/testutil"
+)
+
+// l1Diff is the L1 distance ‖a − b‖₁, the metric the layout-parity
+// acceptance bound is stated in.
+func l1Diff(a, b Vector) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// TestBlockedMatchesFlat checks the degree-sorted compressed sweep
+// against the flat CSR sweep: same graph, same jump vectors, same
+// algorithm — the public API speaks original IDs on both engines, so
+// the permutation inside the blocked engine must be invisible.
+func TestBlockedMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	graphs := []*graph.Graph{
+		testutil.RandomGraph(rng, 900, 6),
+		danglingHeavyGraph(rng, 700),
+		graph.FromEdges(1, nil),                       // single dangling node
+		graph.FromEdges(3, [][2]graph.NodeID{{0, 1}}), // mostly dangling
+		graph.FromEdges(2, [][2]graph.NodeID{{0, 1}, {1, 0}}),
+	}
+	for gi, g := range graphs {
+		n := g.NumNodes()
+		vs := []Vector{UniformJump(n)}
+		if n > 10 {
+			vs = append(vs,
+				ScaledCoreJump(n, []graph.NodeID{1, 3, 7}, 0.9),
+				ScaledCoreJump(n, []graph.NodeID{2}, 0.5))
+		}
+		for _, algo := range []Algorithm{AlgoJacobi, AlgoPowerIteration} {
+			cfg := DefaultConfig()
+			cfg.Algorithm = algo
+			flat, err := NewEngine(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bcfg := cfg
+			bcfg.Layout = LayoutBlocked
+			blk, err := NewEngine(g, bcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if algo == AlgoPowerIteration {
+				vs = vs[:1] // power iteration requires stochastic jumps
+			}
+			want, err := flat.SolveMany(vs)
+			if err != nil {
+				t.Fatalf("graph %d %v flat: %v", gi, algo, err)
+			}
+			got, err := blk.SolveMany(vs)
+			if err != nil {
+				t.Fatalf("graph %d %v blocked: %v", gi, algo, err)
+			}
+			for j := range vs {
+				if d := l1Diff(want[j].Scores, got[j].Scores); d > 1e-9 {
+					t.Errorf("graph %d %v vector %d: blocked vs flat L1 diff %v", gi, algo, j, d)
+				}
+			}
+			if got[0].Stats.Layout != LayoutBlocked {
+				t.Errorf("graph %d %v: Stats.Layout = %v, want %v", gi, algo, got[0].Stats.Layout, LayoutBlocked)
+			}
+			if want[0].Stats.Layout != LayoutFlat {
+				t.Errorf("graph %d %v: Stats.Layout = %v, want %v", gi, algo, want[0].Stats.Layout, LayoutFlat)
+			}
+			flat.Close()
+			blk.Close()
+		}
+	}
+}
+
+// TestBlockedParallelMatchesSequential exercises the per-block
+// parallel sweep path (the graph must clear parallelThreshold).
+func TestBlockedParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	g := testutil.RandomGraph(rng, 3*blockedBlockSize, 5)
+	v := UniformJump(g.NumNodes())
+	cfg := DefaultConfig()
+	cfg.Layout = LayoutBlocked
+	seqEng, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seqEng.Close()
+	cfg.Workers = 4
+	parEng, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parEng.Close()
+	seq, err := seqEng.Solve(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := parEng.Solve(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := l1Diff(seq.Scores, par.Scores); d > 1e-9 {
+		t.Errorf("parallel blocked sweep differs from sequential by L1 %v", d)
+	}
+}
+
+// TestFloat32Parity is the mixed-precision acceptance bound: a
+// PrecisionFloat32 solve (float32 sweeps, float64 finish) must agree
+// with the float64 reference to L1 ≤ 1e-9. The float32 phase must
+// actually run — a parity test that silently skipped the low-precision
+// leg would prove nothing.
+func TestFloat32Parity(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 3; trial++ {
+		var g *graph.Graph
+		if trial == 2 {
+			g = danglingHeavyGraph(rng, 800)
+		} else {
+			g = testutil.RandomGraph(rng, 600+rng.Intn(600), 6)
+		}
+		n := g.NumNodes()
+		for _, algo := range []Algorithm{AlgoJacobi, AlgoPowerIteration} {
+			cfg := DefaultConfig()
+			cfg.Algorithm = algo
+			ref, err := Solve(g, UniformJump(n), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Precision = PrecisionFloat32 // LayoutAuto resolves to Blocked
+			eng, err := NewEngine(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Solve(UniformJump(n))
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, algo, err)
+			}
+			if d := l1Diff(ref.Scores, got.Scores); d > 1e-9 {
+				t.Errorf("trial %d %v: float32 vs float64 L1 diff %v", trial, algo, d)
+			}
+			st := got.Stats
+			if st.Precision != PrecisionFloat32 || st.Layout != LayoutBlocked {
+				t.Errorf("trial %d %v: stats report %v/%v", trial, algo, st.Layout, st.Precision)
+			}
+			if st.Float32Iterations == 0 {
+				t.Errorf("trial %d %v: cold float32 solve ran no float32 iterations", trial, algo)
+			}
+			if st.Float32Iterations >= st.Iterations {
+				t.Errorf("trial %d %v: no float64 finish phase (f32=%d total=%d)",
+					trial, algo, st.Float32Iterations, st.Iterations)
+			}
+			eng.Close()
+		}
+	}
+}
+
+// A warm start is typically already below the float32 quantization
+// floor, so the low-precision phase is skipped and the result still
+// matches the reference.
+func TestFloat32WarmStartSkipsLowPrecisionPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	g := testutil.RandomGraph(rng, 700, 5)
+	v := UniformJump(g.NumNodes())
+	cfg := DefaultConfig()
+	cfg.Precision = PrecisionFloat32
+	eng, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cold, err := eng.Solve(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := eng.Config()
+	wcfg.WarmStart = cold.Scores
+	warm, err := eng.SolveConfig(v, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Float32Iterations != 0 {
+		t.Errorf("warm start ran %d float32 iterations, want 0", warm.Stats.Float32Iterations)
+	}
+	if d := l1Diff(cold.Scores, warm.Scores); d > 1e-9 {
+		t.Errorf("warm float32 solve differs from cold by L1 %v", d)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+// TestPermutationParity is the property test for the relabeling layer:
+// for random graphs and random permutations, PageRank commutes with
+// node relabeling — solving the permuted graph and permuting back must
+// reproduce the original solution. This holds the whole
+// permute-solve-unpermute chain (graph.Permute plus the engine's
+// boundary translation) to one invariant.
+func TestPermutationParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 8; trial++ {
+		g := testutil.RandomGraph(rng, 50+rng.Intn(400), 1+rng.Intn(6))
+		n := g.NumNodes()
+		perm := make([]graph.NodeID, n)
+		for i := range perm {
+			perm[i] = graph.NodeID(i)
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		pg, err := g.Permute(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make(Vector, n)
+		pv := make(Vector, n)
+		for i := 0; i < n; i++ {
+			v[i] = rng.Float64()
+			pv[perm[i]] = v[i]
+		}
+		for _, layout := range []Layout{LayoutFlat, LayoutBlocked} {
+			cfg := DefaultConfig()
+			cfg.Layout = layout
+			orig, err := Solve(g, v, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewEngine(pg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := eng.Solve(pv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back := make(Vector, n)
+			for i := 0; i < n; i++ {
+				back[i] = pres.Scores[perm[i]]
+			}
+			if d := l1Diff(orig.Scores, back); d > 1e-9 {
+				t.Errorf("trial %d %v: permuted solve differs after unpermutation by L1 %v", trial, layout, d)
+			}
+			eng.Close()
+		}
+	}
+}
+
+// TestGaussSouthwellMatchesJacobi checks the push solver against the
+// sweep reference on cold starts, warm starts, and batches.
+func TestGaussSouthwellMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 3; trial++ {
+		var g *graph.Graph
+		if trial == 1 {
+			g = danglingHeavyGraph(rng, 500)
+		} else {
+			g = testutil.RandomGraph(rng, 400+rng.Intn(400), 5)
+		}
+		n := g.NumNodes()
+		vs := []Vector{
+			UniformJump(n),
+			ScaledCoreJump(n, []graph.NodeID{1, 5, 9}, 0.8),
+		}
+		jcfg := DefaultConfig()
+		ref, err := Solve(g, vs[0], jcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg := DefaultConfig()
+		scfg.Algorithm = AlgoGaussSouthwell
+		eng, err := NewEngine(g, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.SolveMany(vs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := l1Diff(ref.Scores, got[0].Scores); d > 1e-9 {
+			t.Errorf("trial %d: Gauss-Southwell vs Jacobi L1 diff %v", trial, d)
+		}
+		ref1, err := Solve(g, vs[1], jcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := l1Diff(ref1.Scores, got[1].Scores); d > 1e-9 {
+			t.Errorf("trial %d: batch vector 1 L1 diff %v", trial, d)
+		}
+		st := got[0].Stats
+		if st.Algorithm != AlgoGaussSouthwell || st.Layout != LayoutFlat {
+			t.Errorf("trial %d: stats report %v/%v", trial, st.Algorithm, st.Layout)
+		}
+		// Cold pushes start from r = (1−c)v directly — no initial sweep —
+		// so EdgesSwept counts only out-neighbor lists actually pushed.
+		if st.EdgesSwept == 0 {
+			t.Errorf("trial %d: no edges recorded for %d pushes", trial, st.Iterations)
+		}
+		// A warm start from the exact solution must converge immediately:
+		// one verification sweep of m edges and no pushes beyond noise.
+		wcfg := scfg
+		wcfg.WarmStart = got[0].Scores
+		warm, err := eng.SolveConfig(vs[0], wcfg)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		if d := l1Diff(ref.Scores, warm.Scores); d > 1e-9 {
+			t.Errorf("trial %d: warm Gauss-Southwell L1 diff %v", trial, d)
+		}
+		if !warm.Converged {
+			t.Errorf("trial %d: warm restart from the fixpoint did not converge", trial)
+		}
+		eng.Close()
+	}
+}
+
+// TestEdgesSweptParityAcrossLayouts pins the telemetry invariant: a
+// sweep is m edges in every mode, so flat, blocked, and mixed-precision
+// solves forced through the same number of iterations must report
+// identical EdgesSwept. Throughput comparisons across layouts are
+// meaningless without this.
+func TestEdgesSweptParityAcrossLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	g := danglingHeavyGraph(rng, 600)
+	v := UniformJump(g.NumNodes())
+	const iters = 7
+	want := int64(iters) * g.NumEdges()
+	for _, tc := range []struct {
+		name      string
+		layout    Layout
+		precision Precision
+	}{
+		{"flat", LayoutFlat, PrecisionFloat64},
+		{"blocked", LayoutBlocked, PrecisionFloat64},
+		{"blocked-f32", LayoutBlocked, PrecisionFloat32},
+	} {
+		cfg := Config{
+			Damping:        0.85,
+			Epsilon:        1e-300, // unreachable: force exactly MaxIter sweeps
+			MaxIter:        iters,
+			Layout:         tc.layout,
+			Precision:      tc.precision,
+			AllowTruncated: true,
+		}
+		eng, err := NewEngine(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Solve(v)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.Stats.EdgesSwept != want {
+			t.Errorf("%s: EdgesSwept = %d, want %d", tc.name, res.Stats.EdgesSwept, want)
+		}
+		if res.Stats.Iterations != iters {
+			t.Errorf("%s: Iterations = %d, want %d", tc.name, res.Stats.Iterations, iters)
+		}
+		eng.Close()
+	}
+}
+
+// A blocked engine still serves the algorithms that need the flat
+// adjacency; the stats must say which layout actually ran.
+func TestBlockedEngineFlatAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	g := testutil.RandomGraph(rng, 500, 5)
+	v := UniformJump(g.NumNodes())
+	ref, err := Solve(g, v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Layout = LayoutBlocked
+	eng, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, algo := range []Algorithm{AlgoGaussSeidel, AlgoGaussSouthwell} {
+		acfg := cfg
+		acfg.Algorithm = algo
+		res, err := eng.SolveConfig(v, acfg)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Stats.Layout != LayoutFlat {
+			t.Errorf("%v on blocked engine: Stats.Layout = %v, want %v", algo, res.Stats.Layout, LayoutFlat)
+		}
+		if d := l1Diff(ref.Scores, res.Scores); d > 1e-9 {
+			t.Errorf("%v on blocked engine: L1 diff %v from reference", algo, d)
+		}
+	}
+}
+
+// TestPrecisionConfigValidation pins the legal (Layout, Precision,
+// Algorithm) combinations.
+func TestPrecisionConfigValidation(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 0}})
+	bad := []Config{
+		{Damping: 0.85, Epsilon: 1e-10, MaxIter: 50, Layout: LayoutFlat, Precision: PrecisionFloat32},
+		{Damping: 0.85, Epsilon: 1e-10, MaxIter: 50, Precision: PrecisionFloat32, Algorithm: AlgoGaussSeidel},
+		{Damping: 0.85, Epsilon: 1e-10, MaxIter: 50, Precision: PrecisionFloat32, Algorithm: AlgoGaussSouthwell},
+		{Damping: 0.85, Epsilon: 1e-10, MaxIter: 50, Layout: Layout(99)},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEngine(g, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// LayoutAuto resolves to Blocked when float32 is requested.
+	cfg := Config{Damping: 0.85, Epsilon: 1e-10, MaxIter: 50, Precision: PrecisionFloat32}
+	eng, err := NewEngine(g, cfg)
+	if err != nil {
+		t.Fatalf("auto layout with float32: %v", err)
+	}
+	defer eng.Close()
+	if eng.Config().Layout != LayoutBlocked {
+		t.Errorf("LayoutAuto + PrecisionFloat32 resolved to %v, want %v", eng.Config().Layout, LayoutBlocked)
+	}
+}

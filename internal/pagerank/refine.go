@@ -25,6 +25,12 @@ type RefineStats struct {
 	// the system residual r = c·Tᵀx + (1−c)v − x.
 	InitialResidual float64
 	FinalResidual   float64
+	// EdgesSwept counts adjacency entries actually touched: the m
+	// in-edges of the initial residual sweep plus one out-neighbor list
+	// per push. The unit is the same "edges" that SolveStats.EdgesSwept
+	// counts for sweep solvers on any layout, so push work and sweep
+	// work stay comparable in telemetry.
+	EdgesSwept int64
 	// Converged reports whether FinalResidual met the tolerance; false
 	// means the work budget ran out first and the caller's solver is
 	// expected to close the remaining gap.
@@ -79,7 +85,6 @@ func (e *Engine) Refine(x, v Vector, tol float64) (*RefineStats, error) {
 
 	g, inv, c := e.g, e.inv, e.cfg.Damping
 	stats := &RefineStats{}
-	work := int64(0)
 	budget := int64(refineBudgetSweeps) * (g.NumEdges() + int64(n))
 
 	// Initial residual: one pull pass, the only full-graph sweep the
@@ -94,15 +99,44 @@ func (e *Engine) Refine(x, v Vector, tol float64) (*RefineStats, error) {
 		r[y] = c*sum + (1-c)*v[y] - x[y]
 		rsum += math.Abs(r[y])
 	}
-	work += g.NumEdges() + int64(n)
+	work := g.NumEdges() + int64(n)
+	stats.EdgesSwept = g.NumEdges()
 	stats.InitialResidual = rsum
 
-	// Worklist processing: relax every node whose residual exceeds a
-	// threshold, letting relaxations cascade, then tighten the
-	// threshold and rescan. Once the threshold reaches tol/(2n), a
-	// drained worklist implies ‖r‖₁ ≤ n·thresh ≤ tol/2. Each scan
-	// recomputes ‖r‖₁ exactly, so incremental tracking drift cannot
-	// accumulate across rounds.
+	pushRun(g, inv, c, x, r, rsum, tol, work, budget, true, nil, stats)
+
+	if sp != nil {
+		sp.SetAttr("pushes", stats.Pushes)
+		sp.SetAttr("scans", stats.Scans)
+		sp.SetAttr("initial_residual", stats.InitialResidual)
+		sp.SetAttr("final_residual", stats.FinalResidual)
+		sp.SetAttr("converged", stats.Converged)
+	}
+	if octx != nil {
+		reg := octx.Registry()
+		reg.Counter("pagerank.refines").Inc()
+		reg.Counter("pagerank.refine_pushes").Add(stats.Pushes)
+	}
+	return stats, nil
+}
+
+// pushRun is the Gauss-Southwell worklist core shared by Refine (bail
+// = true: hand diffuse residuals back to the sweeping solver) and the
+// AlgoGaussSouthwell solver mode (bail = false: push to convergence
+// within the budget). It relaxes x in place given its residual vector
+// r with ‖r‖₁ = rsum: every node whose residual exceeds a threshold is
+// relaxed, relaxations cascade, then the threshold tightens and the
+// residual is rescanned. Once the threshold reaches tol/(2n), a
+// drained worklist implies ‖r‖₁ ≤ n·thresh ≤ tol/2. Each scan
+// recomputes ‖r‖₁ exactly, so incremental tracking drift cannot
+// accumulate across rounds.
+//
+// work is the element-touch count already spent by the caller (the
+// initial residual build); the run stops when it reaches budget.
+// onScan, if non-nil, observes ‖r‖₁ after every rescan. Scans, Pushes,
+// EdgesSwept, FinalResidual, and Converged are accumulated into st.
+func pushRun(g *graph.Graph, inv []float64, c float64, x, r []float64, rsum, tol float64, work, budget int64, bail bool, onScan func(rsum float64), st *RefineStats) {
+	n := len(r)
 	queued := make([]bool, n)
 	q := make([]int32, 0, 256)
 	floor := tol / float64(2*n)
@@ -124,23 +158,27 @@ func (e *Engine) Refine(x, v Vector, tol float64) (*RefineStats, error) {
 			}
 		}
 		work += int64(n)
-		stats.Scans++
+		st.Scans++
+		if onScan != nil {
+			onScan(rsum)
+		}
 		if rsum <= tol {
 			break
 		}
 		// Once a pushing round stops halving the residual, the remaining
-		// error is diffuse rather than churn-localized, and the solver's
+		// error is diffuse rather than churn-localized, and a solver's
 		// streaming sweeps reduce it more cheaply than random-access
 		// pushes can — hand the iterate back. (Rounds that did no pushes
 		// only lowered the threshold; they carry no progress signal.)
-		if stats.Pushes > prevPushes && rsum > 0.5*prevScan {
+		// Solver mode has no sweeps to fall back to and keeps pushing.
+		if bail && st.Pushes > prevPushes && rsum > 0.5*prevScan {
 			break
 		}
 		prevScan = rsum
-		prevPushes = stats.Pushes
+		prevPushes = st.Pushes
 		if len(q) == 0 {
 			if thresh <= floor {
-				break // numerically stuck; the solver takes it from here
+				break // numerically stuck
 			}
 			thresh = math.Max(thresh/8, floor)
 			continue
@@ -167,24 +205,11 @@ func (e *Engine) Refine(x, v Vector, tol float64) (*RefineStats, error) {
 				}
 			}
 			work += int64(len(out)) + 1
-			stats.Pushes++
+			st.EdgesSwept += int64(len(out))
+			st.Pushes++
 		}
 		thresh = math.Max(thresh/8, floor)
 	}
-	stats.FinalResidual = rsum
-	stats.Converged = rsum <= tol
-
-	if sp != nil {
-		sp.SetAttr("pushes", stats.Pushes)
-		sp.SetAttr("scans", stats.Scans)
-		sp.SetAttr("initial_residual", stats.InitialResidual)
-		sp.SetAttr("final_residual", stats.FinalResidual)
-		sp.SetAttr("converged", stats.Converged)
-	}
-	if octx != nil {
-		reg := octx.Registry()
-		reg.Counter("pagerank.refines").Inc()
-		reg.Counter("pagerank.refine_pushes").Add(stats.Pushes)
-	}
-	return stats, nil
+	st.FinalResidual = rsum
+	st.Converged = rsum <= tol
 }

@@ -32,11 +32,29 @@ type Config struct {
 	// column. Its length must equal the batch width. Setting both
 	// WarmStart and WarmStarts is a configuration error.
 	WarmStarts []Vector
-	// Algorithm selects the linear solver: AlgoJacobi (default),
-	// AlgoGaussSeidel, or AlgoPowerIteration. All reach the same
-	// fixpoint (the eigenvector one up to rescaling); Gauss-Seidel
-	// usually needs ~40% fewer iterations but cannot be parallelized.
+	// Algorithm selects the solver: AlgoJacobi (default),
+	// AlgoGaussSeidel, AlgoPowerIteration, or AlgoGaussSouthwell. All
+	// return the linear-system solution of (I − cTᵀ)p = (1−c)v (power
+	// iteration's eigenvector is rescaled to it, see the Engine docs);
+	// Gauss-Seidel usually needs ~40% fewer iterations but cannot be
+	// parallelized, and Gauss-Southwell does work proportional to where
+	// the residual lives rather than sweeping every edge.
 	Algorithm Algorithm
+	// Layout selects the in-memory adjacency layout of the engine.
+	// LayoutAuto picks LayoutBlocked when Precision is PrecisionFloat32
+	// and LayoutFlat otherwise; the layout is fixed at engine
+	// construction and ignored on per-solve overrides. See the Engine
+	// docs for the blocked layout's permutation contract.
+	Layout Layout
+	// Precision selects the solution-vector storage for blocked-layout
+	// sweeps. PrecisionFloat32 stores the iterate and the contribution
+	// vector in float32 — halving the random-access bytes of the sweep —
+	// while every per-node reduction (link sums, residuals, dangling
+	// mass) still accumulates in float64; once the residual approaches
+	// the float32 quantization floor the solve is promoted to a float64
+	// finish phase, so the returned scores meet Epsilon in full
+	// precision. Only AlgoJacobi and AlgoPowerIteration support it.
+	Precision Precision
 	// AllowTruncated accepts solves that hit MaxIter without meeting
 	// Epsilon: the Result is returned with Converged == false and a
 	// nil error. By default such solves surface as *ErrNotConverged so
@@ -59,6 +77,13 @@ const (
 	AlgoJacobi Algorithm = iota
 	AlgoGaussSeidel
 	AlgoPowerIteration
+	// AlgoGaussSouthwell is the frontier-based push solver grown out of
+	// Engine.Refine: instead of sweeping every edge per iteration it
+	// relaxes individual nodes in residual order, so the cost tracks
+	// where the error actually lives. It shines when the solution is
+	// localized (concentrated jump vectors, warm starts); on a cold
+	// uniform solve it degenerates to sweep-like cost.
+	AlgoGaussSouthwell
 )
 
 func (a Algorithm) String() string {
@@ -69,8 +94,61 @@ func (a Algorithm) String() string {
 		return "gauss-seidel"
 	case AlgoPowerIteration:
 		return "power-iteration"
+	case AlgoGaussSouthwell:
+		return "gauss-southwell"
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Layout names an in-memory adjacency layout.
+type Layout int
+
+// Adjacency layouts.
+const (
+	// LayoutAuto resolves to LayoutBlocked when Precision is
+	// PrecisionFloat32 and to LayoutFlat otherwise.
+	LayoutAuto Layout = iota
+	// LayoutFlat is the plain CSR of internal/graph: node IDs as
+	// built, uncompressed adjacency, float64 everywhere.
+	LayoutFlat
+	// LayoutBlocked relabels the graph by descending out-degree and
+	// stores the reverse adjacency as destination-blocked, gap-encoded
+	// varint streams (the format of graph.AppendGapList). Jacobi and
+	// power-iteration sweeps run on the compressed layout;
+	// Gauss-Seidel and Gauss-Southwell solves on the same engine fall
+	// back to the flat adjacency, which is kept alongside.
+	LayoutBlocked
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutAuto:
+		return "auto"
+	case LayoutFlat:
+		return "flat"
+	case LayoutBlocked:
+		return "blocked"
+	}
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// Precision names a solution-vector storage precision.
+type Precision int
+
+// Solve precisions.
+const (
+	PrecisionFloat64 Precision = iota
+	PrecisionFloat32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFloat64:
+		return "float64"
+	case PrecisionFloat32:
+		return "float32"
+	}
+	return fmt.Sprintf("precision(%d)", int(p))
 }
 
 // DefaultConfig returns the configuration used in the paper's
@@ -97,6 +175,13 @@ func (cfg Config) WithDefaults() Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Layout == LayoutAuto {
+		if cfg.Precision == PrecisionFloat32 {
+			cfg.Layout = LayoutBlocked
+		} else {
+			cfg.Layout = LayoutFlat
+		}
+	}
 	return cfg
 }
 
@@ -111,9 +196,28 @@ func (cfg Config) validate() error {
 		return fmt.Errorf("pagerank: MaxIter %d must be positive", cfg.MaxIter)
 	}
 	switch cfg.Algorithm {
-	case AlgoJacobi, AlgoGaussSeidel, AlgoPowerIteration:
+	case AlgoJacobi, AlgoGaussSeidel, AlgoPowerIteration, AlgoGaussSouthwell:
 	default:
 		return fmt.Errorf("pagerank: unknown algorithm %d", int(cfg.Algorithm))
+	}
+	switch cfg.Layout {
+	case LayoutFlat, LayoutBlocked:
+	default:
+		return fmt.Errorf("pagerank: unknown layout %d", int(cfg.Layout))
+	}
+	switch cfg.Precision {
+	case PrecisionFloat64:
+	case PrecisionFloat32:
+		if cfg.Layout != LayoutBlocked {
+			return fmt.Errorf("pagerank: PrecisionFloat32 requires LayoutBlocked, got %v", cfg.Layout)
+		}
+		switch cfg.Algorithm {
+		case AlgoJacobi, AlgoPowerIteration:
+		default:
+			return fmt.Errorf("pagerank: PrecisionFloat32 supports Jacobi and power-iteration sweeps, not %v", cfg.Algorithm)
+		}
+	default:
+		return fmt.Errorf("pagerank: unknown precision %d", int(cfg.Precision))
 	}
 	return nil
 }
@@ -163,13 +267,26 @@ func GaussSeidel(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
 	return solveOnce(g, v, cfg)
 }
 
-// PowerIteration computes the stationary distribution of the augmented
-// chain T” = cT' + (1−c)·1·vᵀ with T' = T + dvᵀ (Section 2.2): the
-// classical eigenvector PageRank. The jump vector v must be a proper
-// distribution (‖v‖₁ = 1). The paper shows this eigenvector equals the
-// linear-system solution up to rescaling; tests reconcile the two.
+// PowerIteration iterates the augmented chain T” = cT' + (1−c)·1·vᵀ
+// with T' = T + dvᵀ (Section 2.2): the classical eigenvector PageRank.
+// The jump vector v must be a proper distribution (‖v‖₁ = 1). The
+// paper shows the stationary eigenvector equals the linear-system
+// solution up to a scale; the solver applies that correction (Vigna's
+// pseudorank rescaling, see Engine) so the returned scores are the
+// solution of (I − cTᵀ)p = (1−c)v — identical across all algorithms,
+// not just up to normalization.
 func PowerIteration(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
 	cfg.Algorithm = AlgoPowerIteration
+	return solveOnce(g, v, cfg)
+}
+
+// GaussSouthwell solves the linear system with residual-ordered push
+// relaxations (the Engine.Refine machinery run to convergence) instead
+// of full sweeps. Cost is proportional to where the residual lives,
+// which makes it the solver of choice for localized jump vectors;
+// MaxIter bounds its work in full-sweep equivalents.
+func GaussSouthwell(g *graph.Graph, v Vector, cfg Config) (*Result, error) {
+	cfg.Algorithm = AlgoGaussSouthwell
 	return solveOnce(g, v, cfg)
 }
 

@@ -57,6 +57,10 @@ func Generate(cfg Config) (*World, error) {
 	if err := g.layout(); err != nil {
 		return nil, err
 	}
+	// Every host draws ~MeanOutDeg links (directories and farm boosters
+	// draw more, isolated hosts none); reserving slightly above the mean
+	// avoids the append-doubling overshoot at web scale.
+	g.b.Reserve(int(float64(cfg.Hosts) * (cfg.MeanOutDeg + 2)))
 	g.linkMainstream()
 	g.linkCountryWebs()
 	g.linkCore()
