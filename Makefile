@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke serve-smoke delta-smoke verify clean
+.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke serve-smoke delta-smoke obs-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,17 @@ test:
 # bench runs the acceptance benchmarks — the 1M-host sweep and
 # solve-to-epsilon suite (fixed-sweep layout comparison plus the
 # Gauss-Southwell vs full-sweep wall-clock headline), the 10k-node
-# mass-estimation sweep, the serving-layer lookup benchmark, and the
-# incremental (delta + warm start) refresh against its cold baseline —
-# with -benchmem, and converts the combined output into the
-# machine-readable benchmark summary for this PR.
-BENCH_OUT ?= BENCH_pr6.json
+# mass-estimation sweep, the serving-layer lookup benchmarks (plain,
+# metrics-only, fully instrumented, and the paired telemetry-overhead
+# measurement backing the <=3% budget), and the incremental (delta +
+# warm start) refresh against its cold baseline — with -benchmem, and
+# converts the combined output into the machine-readable benchmark
+# summary for this PR.
+BENCH_OUT ?= BENCH_pr7.json
 bench:
 	{ $(GO) test -run='^$$' -bench=1M -benchtime=2x -timeout 1800s ./internal/pagerank/ && \
 	  $(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ && \
-	  $(GO) test -run='^$$' -bench=ServeLookup -benchmem ./internal/serve/ && \
+	  $(GO) test -run='^$$' -bench='ServeLookup|ServeTelemetryOverhead' -benchmem ./internal/serve/ && \
 	  $(GO) test -run='^$$' -bench=Refresh10k -benchmem ./internal/delta/; } \
 	  | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -38,7 +40,7 @@ vet:
 
 # lint runs spamlint, the repo's own static-analysis suite
 # (internal/analysis): sliceexport, floatcmp, f32acc, solveerr,
-# spanend, printcall. Suppress intentional findings with
+# spanend, printcall, metricname. Suppress intentional findings with
 # `// lint:ignore <analyzer> <reason>`.
 lint:
 	$(GO) run ./cmd/spamlint ./...
@@ -72,6 +74,14 @@ serve-smoke:
 # delta, and assert the snapshot generation advanced.
 delta-smoke:
 	sh scripts/delta_smoke.sh
+
+# obs-smoke exercises the telemetry surface end to end: boot
+# spamserver with tracing, the metric recorder, and the drift watchdog
+# enabled, validate /metrics with the strict Prometheus parser
+# (cmd/promcheck), check trace headers on a lookup, and assert a forced
+# refresh grows the /admin/timeseries history.
+obs-smoke:
+	sh scripts/obs_smoke.sh
 
 # verify is the tier-1 gate: vet, spamlint, full build, full test
 # suite, the race detector over every package, and the pagerank tests

@@ -1,0 +1,52 @@
+// promcheck validates Prometheus text-format (0.0.4) input against the
+// strict parser in internal/obs: every # TYPE must precede its samples,
+// histogram buckets must be cumulative with +Inf equal to _count, and
+// names must be legal. It reads stdin or the files named on the command
+// line and exits non-zero on the first invalid input, printing the
+// parse error. The obs smoke test uses it to gate /metrics scrapes.
+//
+// Usage:
+//
+//	promcheck [file ...]
+//	curl -s host:port/metrics | promcheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"spammass/internal/obs"
+)
+
+func check(name string, r io.Reader) error {
+	fams, err := obs.ParsePrometheus(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("%s: %d metric families OK\n", name, len(fams))
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := check("stdin", os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+		err = check(path, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -13,10 +13,23 @@
 //	           [-max-inflight 256] [-timeout 5s] [-max-batch 1000]
 //	           [-addr-file path] [-debug-addr :6060] [-v]
 //	           [-solver-layout blocked|flat] [-solver-precision float64|float32]
+//	           [-metrics=true] [-tracing=true] [-sample-interval 15s]
+//	           [-flight-dir path] [-drift-window 12] [-drift-z 4]
 //
 // Endpoints: GET /v1/host/{name}, POST /v1/batch, GET /v1/top,
 // GET /healthz, GET /readyz, POST /admin/refresh, POST /admin/delta,
-// GET /admin/status.
+// GET /admin/status, GET /metrics, GET /admin/timeseries,
+// GET /admin/flightrecorder.
+//
+// Telemetry is on by default: /metrics serves the registry in
+// Prometheus text format (disable with -metrics=false), every request
+// carries a trace ID echoed in X-Trace-Id/Traceparent response
+// headers, a ring-buffer sampler keeps a day of metric history behind
+// /admin/timeseries, slow and failed requests land in the flight
+// recorder behind /admin/flightrecorder (with -flight-dir, failed
+// refreshes also dump their span tree to disk), and a drift watchdog
+// fingerprints every published epoch, alerting on serve.drift_* and
+// /readyz?verbose when the detector's operating point jumps.
 //
 // Refreshes reload all three input files from disk, so replacing them
 // in place and sending SIGHUP (or POST /admin/refresh) picks up a new
@@ -77,6 +90,12 @@ func main() {
 	verbose := flag.Bool("v", false, "log refreshes and solver progress to stderr")
 	layoutFlag := flag.String("solver-layout", "blocked", "solver adjacency layout: blocked (degree-sorted compressed sweeps) or flat")
 	precisionFlag := flag.String("solver-precision", "float64", "solver storage precision: float64, or float32 for mixed-precision blocked sweeps")
+	metrics := flag.Bool("metrics", true, "serve Prometheus text exposition at GET /metrics")
+	tracing := flag.Bool("tracing", true, "per-request trace IDs, flight recorder, and admin span trees")
+	sampleInterval := flag.Duration("sample-interval", 15*time.Second, "metric history sampling interval for /admin/timeseries (0 disables history)")
+	flightDir := flag.String("flight-dir", "", "write failed-refresh span trees to this directory")
+	driftWindow := flag.Int("drift-window", 12, "trailing epochs the drift watchdog compares against")
+	driftZ := flag.Float64("drift-z", 4, "bounded z-score above which an epoch fingerprint counts as drifted")
 	flag.Parse()
 	if *graphPath == "" || *namesPath == "" || *corePath == "" {
 		die("missing -graph, -names, or -core")
@@ -120,8 +139,13 @@ func main() {
 	}
 
 	dcfg := mass.DetectConfig{RelMassThreshold: *tau, ScaledPageRankThreshold: *rho}
+	// Solve telemetry: the latest solve's iteration count as a gauge,
+	// so convergence regressions show up on a dashboard next to
+	// pagerank.iterations_total.
+	solveIters := octx.Gauge("pagerank.solve_iterations")
 	solver := pagerank.Config{Damping: *damping, Epsilon: 1e-10, MaxIter: 1000, Obs: octx,
-		Layout: layout, Precision: precision}
+		Layout: layout, Precision: precision,
+		OnStats: func(st *pagerank.SolveStats) { solveIters.Set(float64(st.Iterations)) }}
 	build := func(ctx context.Context, prev *serve.Snapshot, epoch int64) (*serve.Snapshot, error) {
 		g, _, err := graph.LoadFile(*graphPath, octx)
 		if err != nil {
@@ -153,12 +177,28 @@ func main() {
 		}, epoch)
 	}
 
+	var recorder *obs.Recorder
+	if *sampleInterval > 0 {
+		recorder = obs.NewRecorder(reg, obs.RecorderConfig{Interval: *sampleInterval})
+	}
+	var flight *obs.FlightRecorder
+	if *tracing {
+		flight = obs.NewFlightRecorder(obs.FlightConfig{})
+	}
+	watchdog := serve.NewWatchdog(serve.WatchdogConfig{
+		Window: *driftWindow, ZThreshold: *driftZ, Obs: octx,
+	})
+
 	store := serve.NewStore()
 	ref := serve.NewRefresher(store, build, serve.RefresherConfig{
 		Interval:   *refresh,
 		Timeout:    *refreshTimeout,
 		ApplyDelta: serve.NewDeltaBuilder(serve.DeltaBuilderConfig{Solver: solver, Obs: octx}),
 		Obs:        octx,
+		Recorder:   recorder,
+		Watchdog:   watchdog,
+		Flight:     flight,
+		FlightDir:  *flightDir,
 	})
 	// Fail fast if the inputs cannot produce even one snapshot; after
 	// that, refresh failures only log and the old snapshot keeps serving.
@@ -170,10 +210,15 @@ func main() {
 	startCancel()
 
 	srv := serve.NewServer(store, ref, serve.Config{
-		MaxInFlight: *maxInflight,
-		Timeout:     *reqTimeout,
-		MaxBatch:    *maxBatch,
-		Obs:         octx,
+		MaxInFlight:    *maxInflight,
+		Timeout:        *reqTimeout,
+		MaxBatch:       *maxBatch,
+		Obs:            octx,
+		Tracing:        *tracing,
+		Flight:         flight,
+		Recorder:       recorder,
+		Watchdog:       watchdog,
+		DisableMetrics: !*metrics,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -194,6 +239,9 @@ func main() {
 		defer close(refresherDone)
 		ref.Run(runCtx)
 	}()
+	if recorder != nil {
+		go recorder.Run(runCtx)
+	}
 	if *deltaWatch != "" {
 		go watchDelta(runCtx, *deltaWatch, *deltaPoll, ref, octx)
 	}

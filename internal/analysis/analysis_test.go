@@ -23,6 +23,8 @@ func TestSpanEndGolden(t *testing.T) { analysistest.Run(t, "spanend", analysis.S
 
 func TestPrintCallGolden(t *testing.T) { analysistest.Run(t, "printcall", analysis.PrintCall) }
 
+func TestMetricNameGolden(t *testing.T) { analysistest.Run(t, "metricname", analysis.MetricName) }
+
 // TestModuleIsClean is the lint gate as a test: the default rule set
 // over the whole module must produce zero diagnostics. Any new finding
 // must be fixed or carry a written lint:ignore reason.
@@ -62,7 +64,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 			t.Errorf("analyzer %s is in All() but has no default rule", a.Name)
 		}
 	}
-	if len(analysis.All()) < 6 {
-		t.Errorf("expected at least 6 analyzers, have %d", len(analysis.All()))
+	if len(analysis.All()) < 7 {
+		t.Errorf("expected at least 7 analyzers, have %d", len(analysis.All()))
 	}
 }

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricName enforces the repo's metric naming convention at every
+// obs.Registry / obs.Context metric-creation call site: names must be
+// literal dotted snake_case ("subsystem.name_unit"), counters must end
+// in `_total`, histograms in a unit suffix (`_seconds` or `_bytes`),
+// and gauges either carry a unit suffix or appear in the unitless
+// whitelist below. The Prometheus exposition derives family names
+// mechanically from these strings, so a malformed name is invisible
+// until a scrape fails or a dashboard query silently matches nothing —
+// the lint makes the convention a compile-time-adjacent check instead.
+//
+// Only literal names are accepted: a name computed at runtime cannot
+// be checked here and cannot be grepped for from a dashboard. Helpers
+// that genuinely forward caller-supplied names (the obs package
+// itself) are excluded by rule scope, not by suppression.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric name is not literal dotted snake_case with the unit suffix its kind requires (_total/_seconds/_bytes)",
+	Run:  runMetricName,
+}
+
+// metricNameRE is the shape of a well-formed metric name: dotted
+// snake_case segments, each starting with a letter, no leading,
+// trailing, or doubled underscores.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*(\.[a-z][a-z0-9]*(_[a-z0-9]+)*)+$`)
+
+// unitlessGauges are gauges whose value is a dimensionless quantity —
+// a count of things that exist right now, an epoch number, a pure
+// ratio or score — where a unit suffix would be noise. Additions need
+// a row here (reviewed like any API change) or a lint:ignore with a
+// written reason.
+var unitlessGauges = map[string]bool{
+	"graph.nodes":               true,
+	"graph.edges":               true,
+	"mass.gamma":                true,
+	"serve.snapshot_epoch":      true,
+	"serve.snapshot_hosts":      true,
+	"serve.drift_alert":         true,
+	"serve.drift_max_z":         true,
+	"pagerank.solve_iterations": true,
+}
+
+// metricKinds maps the obs metric-creation methods to the kind whose
+// suffix rule applies.
+var metricKinds = map[string]string{
+	"Counter":       "counter",
+	"Gauge":         "gauge",
+	"Histogram":     "histogram",
+	"HistogramWith": "histogram",
+}
+
+// obsMetricCall reports whether call is a metric-creation method on
+// obs.Registry or obs.Context, and which kind it creates.
+func obsMetricCall(info *types.Info, call *ast.CallExpr) (kind string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	obj, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", false
+	}
+	kind, isMetric := metricKinds[obj.Name()]
+	if !isMetric {
+		return "", false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	t := recv.Type()
+	if !namedIn(t, "internal/obs", "Registry") && !namedIn(t, "internal/obs", "Context") {
+		return "", false
+	}
+	return kind, true
+}
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := obsMetricCall(pass.Info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			lit, isLit := arg.(*ast.BasicLit)
+			if !isLit {
+				pass.Reportf(arg.Pos(), "%s name must be a string literal so dashboards can grep for it", kind)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(lit.Pos(), "metric name %q is not dotted snake_case (want subsystem.name_unit)", name)
+				return true
+			}
+			switch kind {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					pass.Reportf(lit.Pos(), "counter %q must end in _total", name)
+				}
+			case "histogram":
+				if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+					pass.Reportf(lit.Pos(), "histogram %q must end in a unit suffix (_seconds or _bytes)", name)
+				}
+			case "gauge":
+				if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") && !unitlessGauges[name] {
+					pass.Reportf(lit.Pos(), "gauge %q needs a unit suffix (_seconds or _bytes) or an entry in the unitless-gauge whitelist", name)
+				}
+			}
+			return true
+		})
+	}
+}

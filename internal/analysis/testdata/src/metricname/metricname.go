@@ -1,0 +1,47 @@
+// Fixture for the metricname analyzer: metric names at obs
+// creation sites must be literal dotted snake_case with the unit
+// suffix their kind requires. Uses the real obs package so the
+// analyzer's receiver matching runs against production types.
+package metricname
+
+import "spammass/internal/obs"
+
+// Bad names: wrong shape, wrong suffix, or not a literal.
+func Bad(c *obs.Context, reg *obs.Registry, dynamic string) {
+	c.Counter("serve.requests")            // want `counter "serve\.requests" must end in _total`
+	c.Counter("requests_total")            // want `metric name "requests_total" is not dotted snake_case`
+	c.Counter("serve.Requests_total")      // want `not dotted snake_case`
+	c.Counter("serve.requests__total")     // want `not dotted snake_case`
+	reg.Counter("serve._requests_total")   // want `not dotted snake_case`
+	c.Histogram("serve.refresh")           // want `histogram "serve\.refresh" must end in a unit suffix`
+	c.Histogram("serve.refresh_millis")    // want `histogram "serve\.refresh_millis" must end in a unit suffix`
+	reg.HistogramWith("serve.lat", nil)    // want `histogram "serve\.lat" must end in a unit suffix`
+	c.Gauge("serve.queue_depth")           // want `gauge "serve\.queue_depth" needs a unit suffix`
+	c.Counter(dynamic)                     // want `counter name must be a string literal`
+	reg.Gauge("serve." + "epoch")          // want `gauge name must be a string literal`
+}
+
+// Good names: proper kind suffixes, whitelisted unitless gauges, and
+// a suppressed special case.
+func Good(c *obs.Context, reg *obs.Registry) {
+	c.Counter("serve.requests_total")
+	c.Counter("delta.hosts_added_total")
+	reg.Histogram("serve.request_seconds")
+	c.Histogram("graph.segment_bytes")
+	reg.HistogramWith("pagerank.solve_seconds", []float64{0.1, 1})
+	c.Gauge("serve.snapshot_age_seconds")
+	c.Gauge("graph.nodes")
+	c.Gauge("serve.drift_max_z")
+	// lint:ignore metricname fixture demonstrates a whitelisted-by-reason gauge
+	c.Gauge("serve.special_case")
+}
+
+// NotAMetricCall exercises the receiver filter: same method names on
+// an unrelated type are not checked.
+type fake struct{}
+
+func (fake) Counter(name string) int { return len(name) }
+
+func Unrelated(f fake) int {
+	return f.Counter("whatever shape")
+}

@@ -31,6 +31,10 @@ type Options struct {
 	// DebugAddr is the -debug-addr listen address for /debug/vars and
 	// /debug/pprof/.
 	DebugAddr string
+	// MetricsOut is the -metrics-out path: the run's final metrics in
+	// Prometheus text format, for pushing into file-based collectors
+	// (node_exporter textfile directory) from batch jobs.
+	MetricsOut string
 	// Verbose is -v: per-iteration solver residuals on stderr.
 	Verbose bool
 }
@@ -40,6 +44,7 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.Report, "report", "", "write a JSON run report (graph, solves, mass, metrics, trace) to this file")
 	fs.StringVar(&o.Trace, "trace", "", "write the JSON span trace to this file")
 	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof/ on this address while running")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write final metrics in Prometheus text format to this file")
 	fs.BoolVar(&o.Verbose, "v", false, "print per-iteration solver residual traces to stderr")
 }
 
@@ -64,7 +69,7 @@ type Pipeline struct {
 // args go into the report verbatim (pass os.Args[1:]).
 func Start(tool string, o Options, args []string) (*Pipeline, error) {
 	p := &Pipeline{opts: o}
-	if o.Report != "" || o.DebugAddr != "" {
+	if o.Report != "" || o.DebugAddr != "" || o.MetricsOut != "" {
 		p.reg = obs.NewRegistry()
 	}
 	if o.Report != "" || o.Trace != "" {
@@ -116,6 +121,12 @@ func (p *Pipeline) Close() error {
 	}
 	if p.opts.Trace != "" && p.root != nil {
 		err := writeTo(p.opts.Trace, func(w io.Writer) error { return obs.WriteTrace(w, p.root) })
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if p.opts.MetricsOut != "" && p.reg != nil {
+		err := writeTo(p.opts.MetricsOut, func(w io.Writer) error { return p.reg.WritePrometheus(w) })
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}

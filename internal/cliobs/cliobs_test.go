@@ -89,6 +89,44 @@ func TestStartReportAndTrace(t *testing.T) {
 	}
 }
 
+func TestStartMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{MetricsOut: filepath.Join(dir, "metrics.prom")}
+	p, err := Start("tool", o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ctx == nil {
+		t.Fatal("-metrics-out alone must still create a registry-backed context")
+	}
+	if p.Report != nil || p.Root() != nil {
+		t.Fatal("-metrics-out alone must not create report or root span")
+	}
+	p.Ctx.Counter("tool.items_total").Add(7)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(o.MetricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fams, err := obs.ParsePrometheus(f)
+	if err != nil {
+		t.Fatalf("metrics file does not parse as Prometheus text: %v", err)
+	}
+	found := false
+	for _, fam := range fams {
+		if fam.Name == "tool_items_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metrics file misses tool_items_total: %+v", fams)
+	}
+}
+
 func TestStartVerboseOnly(t *testing.T) {
 	p, err := Start("tool", Options{Verbose: true}, nil)
 	if err != nil {

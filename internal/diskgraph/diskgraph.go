@@ -247,8 +247,8 @@ func (dg *DiskGraph) PageRank(v pagerank.Vector, cfg pagerank.Config) (*pagerank
 	}
 	res.Scores = cur
 	if octx != nil {
-		octx.Counter("diskgraph.bytes_read").Add(cr.N)
-		octx.Counter("diskgraph.sweeps").Add(int64(res.Iterations))
+		octx.Counter("diskgraph.bytes_read_total").Add(cr.N)
+		octx.Counter("diskgraph.sweeps_total").Add(int64(res.Iterations))
 	}
 	if sp != nil {
 		sp.SetAttr("iterations", res.Iterations)

@@ -57,7 +57,7 @@ func LoadFile(path string, octx *obs.Context) (*Graph, *obs.GraphInfo, error) {
 	if octx != nil {
 		octx.Gauge("graph.nodes").Set(float64(info.Nodes))
 		octx.Gauge("graph.edges").Set(float64(info.Edges))
-		octx.Counter("graph.bytes_read").Add(cr.N)
+		octx.Counter("graph.bytes_read_total").Add(cr.N)
 		octx.Histogram("graph.load_seconds").Observe(time.Since(start).Seconds())
 	}
 	return g, info, nil

@@ -82,7 +82,7 @@ func DetectWith(e *Estimates, cfg DetectConfig, octx *obs.Context) []Candidate {
 		sp.SetAttr("nodes_above_rho", examined)
 		sp.SetAttr("candidates", len(out))
 	}
-	octx.Counter("mass.candidates").Add(int64(len(out)))
+	octx.Counter("mass.candidates_total").Add(int64(len(out)))
 	return out
 }
 

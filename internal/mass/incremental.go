@@ -125,8 +125,8 @@ func (es *Estimator) EstimateFromCoreWarm(core []graph.NodeID, warm *WarmStart) 
 	dsp := cfg.Obs.Span("mass.derive")
 	e := Derive(rs[0].Scores, rs[1].Scores, es.damping())
 	dsp.End()
-	octx.Counter("mass.estimations").Inc()
-	octx.Counter("mass.warm_estimations").Inc()
+	octx.Counter("mass.estimations_total").Inc()
+	octx.Counter("mass.warm_estimations_total").Inc()
 	e.SolveStats = rs[0].Stats
 	return e, nil
 }

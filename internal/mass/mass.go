@@ -203,7 +203,7 @@ func (es *Estimator) EstimateFromCore(core []graph.NodeID) (*Estimates, error) {
 	dsp := cfg.Obs.Span("mass.derive")
 	e := Derive(rs[0].Scores, rs[1].Scores, es.damping())
 	dsp.End()
-	octx.Counter("mass.estimations").Inc()
+	octx.Counter("mass.estimations_total").Inc()
 	e.SolveStats = rs[0].Stats
 	return e, nil
 }
@@ -255,7 +255,7 @@ func (es *Estimator) RecomputeMany(prev *Estimates, cores [][]graph.NodeID) ([]*
 		out[i].SolveStats = r.Stats
 	}
 	dsp.End()
-	octx.Counter("mass.recomputes").Add(int64(len(cores)))
+	octx.Counter("mass.recomputes_total").Add(int64(len(cores)))
 	return out, nil
 }
 

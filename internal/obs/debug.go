@@ -11,8 +11,9 @@ import (
 )
 
 // DebugServer serves the runtime-introspection endpoints while a run
-// is in flight: /debug/vars (expvar, including a published Registry)
-// and /debug/pprof/ (CPU, heap, goroutine, … profiles). It is the
+// is in flight: /debug/vars (expvar, including a published Registry),
+// /metrics (Prometheus text exposition of the same registry), and
+// /debug/pprof/ (CPU, heap, goroutine, … profiles). It is the
 // -debug-addr endpoint of the CLIs.
 type DebugServer struct {
 	ln  net.Listener
@@ -31,6 +32,7 @@ func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", PrometheusHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder keeps the span trees worth looking at after the
+// fact: a bounded set of the slowest requests/refreshes seen and a
+// ring of the most recent errored ones. The serve tier records into
+// it from its middleware and refresher; /admin/flightrecorder dumps
+// it, and a refresh failure can be written straight to disk.
+//
+// The hot path asks QualifiesSlow(d) — a single atomic load — before
+// paying for a span snapshot, so requests that would not enter the
+// slowest set cost nothing beyond their duration measurement.
+//
+// All methods on a nil *FlightRecorder are no-ops.
+
+// FlightEntry is one recorded request or refresh.
+type FlightEntry struct {
+	Kind       string    `json:"kind"` // "request" or "refresh"
+	TraceID    string    `json:"trace_id,omitempty"`
+	Name       string    `json:"name"` // route or operation name
+	Status     int       `json:"status,omitempty"`
+	Err        bool      `json:"error,omitempty"`
+	Error      string    `json:"error_message,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationNS int64     `json:"duration_ns"`
+	Trace      *SpanJSON `json:"trace,omitempty"`
+}
+
+// FlightConfig sizes a FlightRecorder.
+type FlightConfig struct {
+	// SlowestN is how many slowest entries are retained. Default 16.
+	SlowestN int
+	// ErrorN is how many recent errored entries are retained.
+	// Default 64.
+	ErrorN int
+}
+
+func (c FlightConfig) withDefaults() FlightConfig {
+	if c.SlowestN <= 0 {
+		c.SlowestN = 16
+	}
+	if c.ErrorN <= 0 {
+		c.ErrorN = 64
+	}
+	return c
+}
+
+// FlightRecorder holds the slowest-N and recent-error rings.
+type FlightRecorder struct {
+	slowThreshold atomic.Int64 // min duration to enter the slowest set once full
+
+	mu      sync.Mutex
+	slowest []FlightEntry // sorted by DurationNS descending, ≤ slowN
+	slowN   int
+	errors  []FlightEntry // ring, errNext overwritten next
+	errNext int
+	errN    int
+}
+
+// NewFlightRecorder builds a flight recorder.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	cfg = cfg.withDefaults()
+	return &FlightRecorder{
+		slowest: make([]FlightEntry, 0, cfg.SlowestN),
+		slowN:   cfg.SlowestN,
+		errors:  make([]FlightEntry, cfg.ErrorN),
+	}
+}
+
+// QualifiesSlow reports whether an operation of duration d would
+// enter the slowest set right now. It is a single atomic load, safe
+// to call on the hottest path; false means the caller can skip
+// building a span snapshot entirely.
+func (f *FlightRecorder) QualifiesSlow(d time.Duration) bool {
+	if f == nil {
+		return false
+	}
+	return int64(d) > f.slowThreshold.Load()
+}
+
+// Record stores an entry in whichever rings it qualifies for: the
+// slowest set when its duration beats the current floor, the error
+// ring when Err is set.
+func (f *FlightRecorder) Record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int64(e.DurationNS) > f.slowThreshold.Load() || len(f.slowest) < f.slowN {
+		i := sort.Search(len(f.slowest), func(i int) bool {
+			return f.slowest[i].DurationNS < e.DurationNS
+		})
+		if len(f.slowest) < f.slowN {
+			f.slowest = append(f.slowest, FlightEntry{})
+		} else {
+			i = min(i, f.slowN-1)
+		}
+		copy(f.slowest[i+1:], f.slowest[i:])
+		f.slowest[i] = e
+		if len(f.slowest) == f.slowN {
+			f.slowThreshold.Store(f.slowest[len(f.slowest)-1].DurationNS)
+		}
+	}
+	if e.Err {
+		f.errors[f.errNext] = e
+		f.errNext = (f.errNext + 1) % len(f.errors)
+		if f.errN < len(f.errors) {
+			f.errN++
+		}
+	}
+}
+
+// FlightSnapshot is the dump shape served by /admin/flightrecorder.
+type FlightSnapshot struct {
+	// Slowest entries, slowest first.
+	Slowest []FlightEntry `json:"slowest"`
+	// Errors, most recent first.
+	Errors []FlightEntry `json:"errors"`
+}
+
+// Snapshot copies the current state.
+func (f *FlightRecorder) Snapshot() *FlightSnapshot {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := &FlightSnapshot{
+		Slowest: append([]FlightEntry(nil), f.slowest...),
+		Errors:  make([]FlightEntry, 0, f.errN),
+	}
+	for i := 0; i < f.errN; i++ {
+		idx := f.errNext - 1 - i
+		if idx < 0 {
+			idx += len(f.errors)
+		}
+		s.Errors = append(s.Errors, f.errors[idx])
+	}
+	return s
+}
+
+// WriteFile dumps the snapshot as indented JSON to path, for the
+// refresh-failure autopsy file.
+func (f *FlightRecorder) WriteFile(path string) error {
+	if f == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(f.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

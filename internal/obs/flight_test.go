@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(name string, d time.Duration, isErr bool) FlightEntry {
+	return FlightEntry{
+		Kind:       "request",
+		Name:       name,
+		DurationNS: int64(d),
+		Err:        isErr,
+	}
+}
+
+// TestFlightSlowest checks the slowest-N set keeps exactly the
+// slowest entries in order and that QualifiesSlow tracks the floor.
+func TestFlightSlowest(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{SlowestN: 3, ErrorN: 4})
+	// Until full, everything qualifies.
+	if !f.QualifiesSlow(1) {
+		t.Fatalf("empty recorder rejected a 1ns entry")
+	}
+	for _, d := range []time.Duration{10, 30, 20} {
+		f.Record(entry("r", d, false))
+	}
+	// Full at {30,20,10}; floor is 10ns.
+	if f.QualifiesSlow(10) {
+		t.Fatalf("duration equal to floor qualified")
+	}
+	if !f.QualifiesSlow(11) {
+		t.Fatalf("duration above floor did not qualify")
+	}
+	f.Record(entry("slow", 100, false)) // evicts 10
+	f.Record(entry("fast", 5, false))   // below floor: Record tolerates it, set unchanged
+	s := f.Snapshot()
+	if len(s.Slowest) != 3 {
+		t.Fatalf("slowest has %d entries, want 3", len(s.Slowest))
+	}
+	wantDur := []int64{100, 30, 20}
+	for i, e := range s.Slowest {
+		if e.DurationNS != wantDur[i] {
+			t.Fatalf("slowest[%d].DurationNS = %d, want %d (%+v)", i, e.DurationNS, wantDur[i], s.Slowest)
+		}
+	}
+	if s.Slowest[0].Name != "slow" {
+		t.Fatalf("slowest[0] = %q, want slow", s.Slowest[0].Name)
+	}
+}
+
+// TestFlightErrors checks the error ring keeps the most recent N,
+// most recent first, regardless of duration.
+func TestFlightErrors(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{SlowestN: 2, ErrorN: 3})
+	for i, name := range []string{"e1", "e2", "e3", "e4"} {
+		f.Record(entry(name, time.Duration(i+1), true))
+	}
+	s := f.Snapshot()
+	want := []string{"e4", "e3", "e2"}
+	if len(s.Errors) != len(want) {
+		t.Fatalf("errors has %d entries, want %d", len(s.Errors), len(want))
+	}
+	for i, e := range s.Errors {
+		if e.Name != want[i] {
+			t.Fatalf("errors[%d] = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}
+
+// TestFlightWriteFile dumps to disk and re-reads the JSON.
+func TestFlightWriteFile(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{})
+	f.Record(FlightEntry{
+		Kind:       "refresh",
+		TraceID:    "cafe",
+		Name:       "serve.refresh",
+		Err:        true,
+		Error:      "solver did not converge",
+		DurationNS: 123,
+		Trace:      &SpanJSON{Name: "serve.refresh"},
+	})
+	path := filepath.Join(t.TempDir(), "flight.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	var s FlightSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(s.Errors) != 1 || s.Errors[0].Error != "solver did not converge" {
+		t.Fatalf("round-tripped snapshot = %+v", s)
+	}
+	if s.Errors[0].Trace == nil || s.Errors[0].Trace.Name != "serve.refresh" {
+		t.Fatalf("span tree lost in round trip: %+v", s.Errors[0])
+	}
+}
+
+// TestFlightNil checks nil-safety.
+func TestFlightNil(t *testing.T) {
+	var f *FlightRecorder
+	if f.QualifiesSlow(time.Hour) {
+		t.Fatalf("nil recorder qualified an entry")
+	}
+	f.Record(entry("x", 1, true))
+	if f.Snapshot() != nil {
+		t.Fatalf("nil recorder snapshotted")
+	}
+	if err := f.WriteFile("/nonexistent/should/not/write"); err != nil {
+		t.Fatalf("nil WriteFile errored: %v", err)
+	}
+}
+
+// TestFlightConcurrent hammers Record/QualifiesSlow/Snapshot; the
+// -race gate for the flight recorder.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(FlightConfig{SlowestN: 8, ErrorN: 16})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := time.Duration((i*7+w)%1000 + 1)
+				if f.QualifiesSlow(d) {
+					f.Record(entry("req", d, i%13 == 0))
+				}
+				if i%50 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s := f.Snapshot()
+	for i := 1; i < len(s.Slowest); i++ {
+		if s.Slowest[i].DurationNS > s.Slowest[i-1].DurationNS {
+			t.Fatalf("slowest not sorted: %+v", s.Slowest)
+		}
+	}
+}

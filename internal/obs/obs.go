@@ -14,10 +14,13 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"sync"
 	"time"
+	"unsafe"
 )
 
 // Context carries the observability sinks through the pipeline: a
@@ -29,10 +32,11 @@ import (
 // meant for a single driving goroutine (a CLI switching between
 // pipeline stages).
 type Context struct {
-	mu   sync.Mutex
-	reg  *Registry
-	root *Span
-	logf func(format string, args ...any)
+	mu      sync.Mutex
+	reg     *Registry
+	root    *Span
+	logf    func(format string, args ...any)
+	traceID string
 }
 
 // NewContext builds a Context over a registry and a root span; either
@@ -49,7 +53,7 @@ func (c *Context) WithLogf(f func(format string, args ...any)) *Context {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return &Context{reg: c.reg, root: c.root, logf: f}
+	return &Context{reg: c.reg, root: c.root, logf: f, traceID: c.traceID}
 }
 
 // In returns a context rooted at sp, so spans started through it
@@ -61,7 +65,143 @@ func (c *Context) In(sp *Span) *Context {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return &Context{reg: c.reg, root: sp, logf: c.logf}
+	return &Context{reg: c.reg, root: sp, logf: c.logf, traceID: c.traceID}
+}
+
+// WithTraceID returns a copy of the context tagged with a request
+// trace ID; spans and metrics recorded through it can carry the ID so
+// one slow request yields one coherent trace. On a nil context it
+// returns nil — tracing never forces allocation into uninstrumented
+// paths.
+func (c *Context) WithTraceID(id string) *Context {
+	if c == nil || id == "" {
+		return c
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Context{reg: c.reg, root: c.root, logf: c.logf, traceID: id}
+}
+
+// TraceID returns the trace ID the context is tagged with, or "".
+func (c *Context) TraceID() string {
+	if c == nil {
+		return ""
+	}
+	return c.traceID
+}
+
+// NewTraceID returns a 32-hex-digit trace ID (traceparent format).
+// It is generated from math/rand/v2's process-global generator:
+// collision-resistant for correlating logs and spans, not
+// cryptographic — and ~20× cheaper than crypto/rand, which matters
+// at six-figure request rates.
+func NewTraceID() string {
+	var b [32]byte
+	hexEncode(b[:16], rand.Uint64())
+	hexEncode(b[16:], rand.Uint64())
+	return string(b[:])
+}
+
+// NewSpanID returns a 16-hex-digit span ID for traceparent headers.
+func NewSpanID() string {
+	var b [16]byte
+	hexEncode(b[:], rand.Uint64())
+	return string(b[:])
+}
+
+// TraceparentLen is the length of a W3C traceparent header value:
+// "00-<32 hex trace id>-<16 hex span id>-01".
+const TraceparentLen = 55
+
+// Traceparent is a pre-rendered traceparent header value that a
+// caller can embed in a per-request struct, so the header value, the
+// trace ID, and the request bookkeeping all come out of one
+// allocation. Render fills it; String and TraceID return views of the
+// buffer without copying. The zero-copy contract: do not call Render
+// again while strings from a previous Render are still in use — on
+// the serving path the Traceparent lives and dies with its request,
+// which satisfies this by construction.
+//
+// The root span ID reuses the low half of the trace ID: the trace ID
+// is the correlation key, and spending a third PRNG draw plus sixteen
+// more hex digits on an ID nothing dereferences would be pure
+// hot-path tax.
+type Traceparent [TraceparentLen]byte
+
+// Render fills t with a fresh trace ID from math/rand/v2's global
+// generator — collision-resistant for correlating logs and spans, not
+// cryptographic, and far cheaper than crypto/rand at six-figure
+// request rates.
+func (t *Traceparent) Render() {
+	copy(t[0:3], "00-")
+	hexEncode(t[3:19], rand.Uint64())
+	hexEncode(t[19:35], rand.Uint64())
+	t[35] = '-'
+	copy(t[36:52], t[19:35])
+	copy(t[52:55], "-01")
+}
+
+// String returns the full header value, sharing t's storage.
+func (t *Traceparent) String() string {
+	return unsafe.String(&t[0], TraceparentLen)
+}
+
+// TraceID returns the embedded 32-hex-digit trace ID, sharing t's
+// storage.
+func (t *Traceparent) TraceID() string {
+	return unsafe.String(&t[3], 32)
+}
+
+// NewTraceparent returns a fresh traceparent header value as an
+// independent string; the embedded trace ID is value[3:35]. Callers
+// on a hot path should prefer embedding a Traceparent instead.
+func NewTraceparent() string {
+	var t Traceparent
+	t.Render()
+	return string(t[:])
+}
+
+// hexPairs is the 256-entry table of two-digit lowercase hex
+// renderings, so hexEncode emits a byte per iteration instead of a
+// nibble — this runs once per served request.
+var hexPairs = func() (t [256][2]byte) {
+	const digits = "0123456789abcdef"
+	for i := 0; i < 256; i++ {
+		t[i] = [2]byte{digits[i>>4], digits[i&0xf]}
+	}
+	return
+}()
+
+func hexEncode(dst []byte, v uint64) {
+	for i := len(dst) - 2; i >= 0; i -= 2 {
+		p := hexPairs[byte(v)]
+		dst[i], dst[i+1] = p[0], p[1]
+		v >>= 8
+	}
+}
+
+// reqKey keys the obs *Context smuggled through a context.Context.
+type reqKey struct{}
+
+// WithRequest attaches an obs context to a request context, so layers
+// that only see a context.Context (refresh builds, delta appliers,
+// solver calls) can pick up the request's trace root. A nil octx
+// returns ctx unchanged.
+func WithRequest(ctx context.Context, octx *Context) context.Context {
+	if octx == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, reqKey{}, octx)
+}
+
+// RequestContext returns the obs context attached by WithRequest, or
+// nil.
+func RequestContext(ctx context.Context) *Context {
+	if ctx == nil {
+		return nil
+	}
+	octx, _ := ctx.Value(reqKey{}).(*Context)
+	return octx
 }
 
 // SetRoot swaps the span that new spans attach to and returns the

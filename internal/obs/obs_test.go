@@ -186,7 +186,7 @@ func TestContextRerooting(t *testing.T) {
 // byte-identical).
 func TestRunReportRoundTrip(t *testing.T) {
 	reg := NewRegistry()
-	reg.Counter("pagerank.solves").Add(2)
+	reg.Counter("pagerank.solves_total").Add(2)
 	reg.Gauge("graph.nodes").Set(10000)
 	reg.Histogram("pagerank.solve_seconds").Observe(0.25)
 	root := NewSpan("spammass")
@@ -231,7 +231,7 @@ func TestRunReportRoundTrip(t *testing.T) {
 	if decoded.Trace.Find("graph.load") == nil {
 		t.Fatal("trace lost in round-trip")
 	}
-	if decoded.Metrics.Counters["pagerank.solves"] != 2 {
+	if decoded.Metrics.Counters["pagerank.solves_total"] != 2 {
 		t.Fatal("metrics lost in round-trip")
 	}
 }
@@ -285,7 +285,7 @@ func TestDeciles(t *testing.T) {
 
 func TestDebugServer(t *testing.T) {
 	reg := NewRegistry()
-	reg.Counter("pagerank.solves").Inc()
+	reg.Counter("pagerank.solves_total").Inc()
 	d, err := StartDebug("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
@@ -302,7 +302,7 @@ func TestDebugServer(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/vars status %d", resp.StatusCode)
 	}
-	if !strings.Contains(string(body), "spammass") || !strings.Contains(string(body), "pagerank.solves") {
+	if !strings.Contains(string(body), "spammass") || !strings.Contains(string(body), "pagerank.solves_total") {
 		t.Fatalf("/debug/vars missing registry: %s", body)
 	}
 

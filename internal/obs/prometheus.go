@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (text/plain; version=0.0.4), rendered
+// from a MetricsSnapshot. The encoder and the expvar publication are
+// two views of the same snapshot pass — PublishExpvar serializes
+// Registry.Snapshot() to JSON, WritePrometheus renders it as
+// exposition text — so the two surfaces can never disagree about a
+// metric's value within one scrape.
+//
+// Metric names in this repo are dotted (serve.requests_total); the
+// exposition sanitizes them to the Prometheus name charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) by mapping every other rune to '_'.
+// Histograms expand to the conventional <name>_bucket{le="..."} series
+// (cumulative, ending in le="+Inf"), plus <name>_sum and <name>_count.
+
+// PrometheusName sanitizes a registry metric name into the Prometheus
+// exposition charset: runes outside [a-zA-Z0-9_:] become '_', and a
+// leading digit is prefixed with '_'.
+func PrometheusName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatPromValue renders a sample value. ±Inf and NaN use the
+// exposition spellings; finite values use the shortest round-trip
+// form.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format, families sorted by name for a deterministic
+// scrape. A nil snapshot writes nothing (an empty exposition is
+// valid).
+func WritePrometheus(w io.Writer, s *MetricsSnapshot) error {
+	if s == nil {
+		return nil
+	}
+	// Families keyed by sanitized name; a collision after sanitation
+	// (two registry names mapping to one exposition name) would emit a
+	// duplicate family, which the strict parser rejects — tests catch
+	// it at registration time.
+	type family struct {
+		typ   string
+		lines []string
+	}
+	fams := make(map[string]*family)
+	add := func(name, typ string, lines ...string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{typ: typ}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, lines...)
+	}
+	for name, v := range s.Counters {
+		pn := PrometheusName(name)
+		add(pn, "counter", pn+" "+strconv.FormatInt(v, 10))
+	}
+	for name, v := range s.Gauges {
+		pn := PrometheusName(name)
+		add(pn, "gauge", pn+" "+formatPromValue(v))
+	}
+	for name, h := range s.Histograms {
+		pn := PrometheusName(name)
+		lines := make([]string, 0, len(h.Counts)+2)
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatPromValue(h.Bounds[i])
+			}
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", pn, escapeLabelValue(le), cum))
+		}
+		lines = append(lines,
+			pn+"_sum "+formatPromValue(h.Sum),
+			pn+"_count "+strconv.FormatInt(h.Count, 10))
+		add(pn, "histogram", lines...)
+	}
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry's current state in the
+// Prometheus text exposition format. It takes the same single snapshot
+// pass (Registry.Snapshot) that PublishExpvar serves on /debug/vars.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}
+
+// PrometheusContentType is the Content-Type of the text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PrometheusHandler serves GET /metrics for a registry. A nil registry
+// serves an empty (but valid) exposition.
+func PrometheusHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		// A scrape-time write error means the scraper went away.
+		_ = reg.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder keeps a bounded in-memory history of registry values: a
+// ring buffer of flattened snapshots taken on a fixed interval (plus
+// extra points pushed at interesting moments, e.g. one per snapshot
+// publish), so refresh latency, iteration counts, shed rate, and
+// snapshot age are inspectable over a day of operation in fixed
+// memory. Counters and gauges record their value; each histogram
+// contributes two derived series, <name>_count and <name>_sum, from
+// which rates and means are recoverable.
+//
+// All methods on a nil *Recorder are no-ops, matching the rest of the
+// package.
+
+// RecorderConfig sizes a Recorder.
+type RecorderConfig struct {
+	// Interval between automatic samples in Run. Default 15s.
+	Interval time.Duration
+	// Capacity is the number of samples retained. Default 5760
+	// (one day at the default interval).
+	Capacity int
+}
+
+func (c RecorderConfig) withDefaults() RecorderConfig {
+	if c.Interval <= 0 {
+		c.Interval = 15 * time.Second
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 5760
+	}
+	return c
+}
+
+// Point is one observation of one series.
+type Point struct {
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}
+
+// sample is one flattened registry snapshot.
+type sample struct {
+	t      time.Time
+	values map[string]float64
+}
+
+// Recorder is the ring-buffer time-series sampler.
+type Recorder struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu   sync.Mutex
+	ring []sample
+	next int // ring[next] is overwritten by the next sample
+	n    int // number of valid samples, ≤ len(ring)
+}
+
+// NewRecorder builds a recorder over reg. A nil registry yields a nil
+// recorder.
+func NewRecorder(reg *Registry, cfg RecorderConfig) *Recorder {
+	if reg == nil {
+		return nil
+	}
+	cfg = cfg.withDefaults()
+	return &Recorder{
+		reg:      reg,
+		interval: cfg.Interval,
+		ring:     make([]sample, cfg.Capacity),
+	}
+}
+
+// Interval returns the configured sampling interval.
+func (r *Recorder) Interval() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// flatten turns a snapshot into the recorded series values.
+func flatten(s *MetricsSnapshot) map[string]float64 {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(s.Counters)+len(s.Gauges)+2*len(s.Histograms))
+	for name, v := range s.Counters {
+		out[name] = float64(v)
+	}
+	for name, v := range s.Gauges {
+		out[name] = v
+	}
+	for name, h := range s.Histograms {
+		out[name+"_count"] = float64(h.Count)
+		out[name+"_sum"] = h.Sum
+	}
+	return out
+}
+
+// Sample takes one snapshot of the registry and appends it to the
+// ring, evicting the oldest sample when full. The snapshot is taken
+// under the ring lock: with concurrent samplers (the ticker loop plus
+// the refresher's per-publish push) an unlocked snapshot could be
+// appended after a later one, making monotone counter series run
+// backwards.
+func (r *Recorder) Sample(t time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vals := flatten(r.reg.Snapshot())
+	r.ring[r.next] = sample{t: t, values: vals}
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+}
+
+// Run samples on the configured interval until ctx is canceled. It
+// takes one sample immediately so a fresh process has a point before
+// the first tick.
+func (r *Recorder) Run(ctx context.Context) {
+	if r == nil {
+		return
+	}
+	r.Sample(now())
+	tick := time.NewTicker(r.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t := <-tick.C:
+			r.Sample(t)
+		}
+	}
+}
+
+// Len returns the number of retained samples.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// each walks the retained samples oldest-first under the lock.
+func (r *Recorder) each(f func(s *sample)) {
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.n; i++ {
+		f(&r.ring[(start+i)%len(r.ring)])
+	}
+}
+
+// Series returns the points of one series at or after since,
+// oldest-first. Samples in which the series is absent (the metric did
+// not exist yet) are skipped.
+func (r *Recorder) Series(metric string, since time.Time) []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Point
+	r.each(func(s *sample) {
+		if s.t.Before(since) {
+			return
+		}
+		if v, ok := s.values[metric]; ok {
+			out = append(out, Point{Time: s.t, Value: v})
+		}
+	})
+	return out
+}
+
+// Names returns the sorted union of series names across retained
+// samples.
+func (r *Recorder) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool)
+	r.each(func(s *sample) {
+		for name := range s.values {
+			seen[name] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

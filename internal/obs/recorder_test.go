@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderSeries checks basic ring behavior: points accumulate,
+// since filters, histogram series derive _count/_sum, and the ring
+// evicts oldest-first at capacity.
+func TestRecorderSeries(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, RecorderConfig{Capacity: 4})
+	base := time.Unix(1000, 0)
+
+	for i := 0; i < 6; i++ {
+		reg.Counter("reqs_total").Inc()
+		reg.Gauge("epoch").Set(float64(i))
+		reg.Histogram("lat_seconds").Observe(0.01)
+		rec.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	if got := rec.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4 (capacity)", got)
+	}
+	// Oldest two samples (i=0,1) evicted; first retained is i=2 with
+	// counter value 3.
+	pts := rec.Series("reqs_total", time.Time{})
+	if len(pts) != 4 {
+		t.Fatalf("Series returned %d points, want 4", len(pts))
+	}
+	if pts[0].Value != 3 || pts[3].Value != 6 {
+		t.Fatalf("counter series = %+v, want 3..6", pts)
+	}
+	if !pts[0].Time.Before(pts[3].Time) {
+		t.Fatalf("series not oldest-first: %+v", pts)
+	}
+	// since filter.
+	late := rec.Series("reqs_total", base.Add(4*time.Second))
+	if len(late) != 2 {
+		t.Fatalf("since filter returned %d points, want 2", len(late))
+	}
+	// Histogram-derived series.
+	cnt := rec.Series("lat_seconds_count", time.Time{})
+	if len(cnt) != 4 || cnt[3].Value != 6 {
+		t.Fatalf("lat_seconds_count = %+v", cnt)
+	}
+	sum := rec.Series("lat_seconds_sum", time.Time{})
+	if len(sum) != 4 || sum[3].Value < 0.059 || sum[3].Value > 0.061 {
+		t.Fatalf("lat_seconds_sum = %+v", sum)
+	}
+	// Unknown metric.
+	if pts := rec.Series("nope", time.Time{}); pts != nil {
+		t.Fatalf("unknown series = %+v, want nil", pts)
+	}
+	// Names union.
+	names := rec.Names()
+	want := []string{"epoch", "lat_seconds_count", "lat_seconds_sum", "reqs_total"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestRecorderNil checks every method is a no-op on nil.
+func TestRecorderNil(t *testing.T) {
+	var rec *Recorder
+	rec.Sample(time.Now())
+	rec.Run(context.Background()) // must return immediately, not hang
+	if rec.Len() != 0 || rec.Series("x", time.Time{}) != nil || rec.Names() != nil {
+		t.Fatalf("nil recorder leaked state")
+	}
+	if NewRecorder(nil, RecorderConfig{}) != nil {
+		t.Fatalf("NewRecorder(nil) allocated")
+	}
+}
+
+// TestRecorderConcurrent hammers Sample/Series/Names against
+// concurrent registry writers and snapshot-epoch publishes; run under
+// -race this is the data-race gate for the sampler.
+func TestRecorderConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, RecorderConfig{Capacity: 64})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Registry writers: counters, gauges, histograms.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("hammer_total")
+			g := reg.Gauge("hammer_epoch")
+			h := reg.Histogram("hammer_seconds")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%10) * 1e-4)
+			}
+		}()
+	}
+	// Epoch publisher: simulates the refresher pushing a point per
+	// snapshot publish.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Gauge("snapshot_epoch").Set(float64(i))
+			rec.Sample(time.Now())
+		}
+	}()
+	// Interval sampler + readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec.Sample(time.Now())
+			rec.Series("hammer_total", time.Time{})
+			rec.Names()
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if rec.Len() == 0 {
+		t.Fatalf("no samples recorded")
+	}
+	pts := rec.Series("hammer_total", time.Time{})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value {
+			t.Fatalf("counter series went backwards at %d: %v -> %v", i, pts[i-1].Value, pts[i].Value)
+		}
+	}
+}
+
+// TestRecorderRun checks the ticker loop samples and stops on cancel.
+func TestRecorderRun(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ticks_total").Inc()
+	rec := NewRecorder(reg, RecorderConfig{Interval: 5 * time.Millisecond, Capacity: 16})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		rec.Run(ctx)
+		close(done)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for rec.Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Run did not stop on cancel")
+	}
+	if rec.Len() < 3 {
+		t.Fatalf("Run recorded %d samples, want ≥ 3", rec.Len())
+	}
+}

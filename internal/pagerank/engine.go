@@ -277,6 +277,9 @@ func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
 		sp.SetAttr("batch", k)
 		sp.SetAttr("nodes", n)
 		sp.SetAttr("workers", workers)
+		if tid := octx.TraceID(); tid != "" {
+			sp.SetAttr("trace_id", tid)
+		}
 	}
 	// traced gates all per-iteration telemetry; span events and Logf
 	// lines are rendered from the same TraceEvent, so verbose output
@@ -394,11 +397,14 @@ func (e *Engine) solveBatch(vs []Vector, cfg Config) ([]*Result, error) {
 	stats.finish(time.Since(start))
 	if octx != nil {
 		reg := octx.Registry()
-		reg.Counter("pagerank.solves").Inc()
-		reg.Counter("pagerank.batch_vectors").Add(int64(k))
-		reg.Counter("pagerank.iterations").Add(int64(stats.Iterations))
-		reg.Counter("pagerank.edges_swept").Add(stats.EdgesSwept)
+		reg.Counter("pagerank.solves_total").Inc()
+		reg.Counter("pagerank.batch_vectors_total").Add(int64(k))
+		reg.Counter("pagerank.iterations_total").Add(int64(stats.Iterations))
+		reg.Counter("pagerank.edges_swept_total").Add(stats.EdgesSwept)
 		reg.Histogram("pagerank.solve_seconds").Observe(stats.WallTime.Seconds())
+	}
+	if cfg.OnStats != nil {
+		cfg.OnStats(stats)
 	}
 	if sp != nil {
 		sp.SetAttr("iterations", stats.Iterations)

@@ -114,8 +114,8 @@ func (e *Engine) Refine(x, v Vector, tol float64) (*RefineStats, error) {
 	}
 	if octx != nil {
 		reg := octx.Registry()
-		reg.Counter("pagerank.refines").Inc()
-		reg.Counter("pagerank.refine_pushes").Add(stats.Pushes)
+		reg.Counter("pagerank.refines_total").Inc()
+		reg.Counter("pagerank.refine_pushes_total").Add(stats.Pushes)
 	}
 	return stats, nil
 }

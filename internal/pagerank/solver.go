@@ -62,6 +62,12 @@ type Config struct {
 	AllowTruncated bool
 	// Trace, if non-nil, receives one TraceEvent per solver iteration.
 	Trace TraceFunc
+	// OnStats, if non-nil, receives the finished SolveStats of every
+	// solve, after the stats are final but before the results are
+	// returned. The serve tier uses it to feed per-solve iteration
+	// counts into its metric history without parsing spans. The hook
+	// must not retain the stats past the call if it mutates them.
+	OnStats func(*SolveStats)
 	// Obs, if non-nil, attaches the observability sinks: every solve
 	// records a "pagerank.solve" span (with one event per iteration)
 	// under the context's root and updates the pagerank.* metrics of

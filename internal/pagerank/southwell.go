@@ -46,6 +46,9 @@ func (e *Engine) solveSouthwell(vs []Vector, cfg Config) ([]*Result, error) {
 		sp.SetAttr("batch", k)
 		sp.SetAttr("nodes", n)
 		sp.SetAttr("workers", 1)
+		if tid := octx.TraceID(); tid != "" {
+			sp.SetAttr("trace_id", tid)
+		}
 	}
 	traced := cfg.Trace != nil || sp != nil || octx.Logging()
 	budget := int64(cfg.MaxIter) * (m + int64(n))
@@ -146,11 +149,14 @@ func (e *Engine) solveSouthwell(vs []Vector, cfg Config) ([]*Result, error) {
 	stats.finish(time.Since(start))
 	if octx != nil {
 		reg := octx.Registry()
-		reg.Counter("pagerank.solves").Inc()
-		reg.Counter("pagerank.batch_vectors").Add(int64(k))
-		reg.Counter("pagerank.iterations").Add(int64(stats.Iterations))
-		reg.Counter("pagerank.edges_swept").Add(stats.EdgesSwept)
+		reg.Counter("pagerank.solves_total").Inc()
+		reg.Counter("pagerank.batch_vectors_total").Add(int64(k))
+		reg.Counter("pagerank.iterations_total").Add(int64(stats.Iterations))
+		reg.Counter("pagerank.edges_swept_total").Add(stats.EdgesSwept)
 		reg.Histogram("pagerank.solve_seconds").Observe(stats.WallTime.Seconds())
+	}
+	if cfg.OnStats != nil {
+		cfg.OnStats(stats)
 	}
 	if sp != nil {
 		sp.SetAttr("iterations", stats.Iterations)

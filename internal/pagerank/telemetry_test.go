@@ -105,13 +105,13 @@ func TestSolveObsIntegration(t *testing.T) {
 	if solve.Attrs["iterations"] != res.Stats.Iterations {
 		t.Fatalf("span iterations attr = %v, want %d", solve.Attrs["iterations"], res.Stats.Iterations)
 	}
-	if got := reg.Counter("pagerank.solves").Value(); got != 1 {
-		t.Fatalf("pagerank.solves = %d, want 1", got)
+	if got := reg.Counter("pagerank.solves_total").Value(); got != 1 {
+		t.Fatalf("pagerank.solves_total = %d, want 1", got)
 	}
-	if got := reg.Counter("pagerank.iterations").Value(); got != int64(res.Stats.Iterations) {
+	if got := reg.Counter("pagerank.iterations_total").Value(); got != int64(res.Stats.Iterations) {
 		t.Fatalf("pagerank.iterations = %d, want %d", got, res.Stats.Iterations)
 	}
-	if got := reg.Counter("pagerank.edges_swept").Value(); got != res.Stats.EdgesSwept {
+	if got := reg.Counter("pagerank.edges_swept_total").Value(); got != res.Stats.EdgesSwept {
 		t.Fatalf("pagerank.edges_swept = %d, want %d", got, res.Stats.EdgesSwept)
 	}
 	if got := reg.Histogram("pagerank.solve_seconds").Count(); got != 1 {

@@ -40,6 +40,12 @@ type DeltaBuilderConfig struct {
 func NewDeltaBuilder(cfg DeltaBuilderConfig) DeltaApplyFunc {
 	return func(ctx context.Context, prev *Snapshot, epoch int64, batch *delta.Batch) (*Snapshot, error) {
 		octx := cfg.Obs
+		// A synchronous admin delta carries the request's traced obs
+		// context; build under it so the delta spans (and the solver
+		// span below, via solver.Obs) join the request's span tree.
+		if ro := obs.RequestContext(ctx); ro != nil {
+			octx = ro
+		}
 		sp := octx.Span("serve.delta_build")
 		defer sp.End()
 		sp.SetAttr("ops", batch.NumOps())
@@ -79,10 +85,10 @@ func NewDeltaBuilder(cfg DeltaBuilderConfig) DeltaApplyFunc {
 			return nil, fmt.Errorf("warm estimate: %w", err)
 		}
 
-		octx.Counter("delta.batches").Inc()
-		octx.Counter("delta.applied_edges").Add(res.Stats.AppliedEdges())
-		octx.Counter("delta.hosts_added").Add(int64(res.Stats.HostsAdded))
-		octx.Counter("delta.hosts_removed").Add(int64(res.Stats.HostsRemoved))
+		octx.Counter("delta.batches_total").Inc()
+		octx.Counter("delta.applied_edges_total").Add(res.Stats.AppliedEdges())
+		octx.Counter("delta.hosts_added_total").Add(int64(res.Stats.HostsAdded))
+		octx.Counter("delta.hosts_removed_total").Add(int64(res.Stats.HostsRemoved))
 		sp.SetAttr("stats", res.Stats.String())
 		octx.Logf("serve: delta %s → %d hosts", res.Stats, res.Hosts.Graph.NumNodes())
 

@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spammass/internal/delta"
+	"spammass/internal/mass"
 	"spammass/internal/obs"
 )
 
@@ -48,6 +50,19 @@ type RefresherConfig struct {
 	DeltaQueue int
 	// Obs receives the refresh spans, counters, and snapshot gauges.
 	Obs *obs.Context
+	// Recorder, if non-nil, gets one extra Sample per published
+	// snapshot, so the metric history always has a point at each epoch
+	// boundary regardless of the sampling interval.
+	Recorder *obs.Recorder
+	// Watchdog, if non-nil, observes each published epoch's detection
+	// fingerprint for drift.
+	Watchdog *Watchdog
+	// Flight, if non-nil, records the span tree of every failed
+	// refresh; FlightDir, if also set, additionally writes the flight
+	// snapshot to <FlightDir>/flight-epoch<N>.json on failure so the
+	// autopsy survives a crash-restart.
+	Flight    *obs.FlightRecorder
+	FlightDir string
 }
 
 // Refresher drives snapshot turnover: it runs BuildFunc on a timer or
@@ -55,7 +70,7 @@ type RefresherConfig struct {
 // succeeded end to end. Any failure — input reload, solver
 // non-convergence (pagerank.ErrNotConverged from the estimator),
 // snapshot validation — leaves the previous snapshot serving and is
-// recorded in LastError and the serve.refresh_failures counter.
+// recorded in LastError and the serve.refresh_failures_total counter.
 // Refreshes are serialized; triggers arriving mid-refresh coalesce
 // into one follow-up run.
 type Refresher struct {
@@ -148,8 +163,21 @@ func (r *Refresher) runBuild(ctx context.Context, spanName string, needPrev bool
 		defer cancel()
 	}
 	octx := r.cfg.Obs
+	// A synchronous admin request (POST /admin/refresh?wait=1,
+	// /admin/delta?wait=1) carries its own traced obs context; building
+	// under it threads the refresh and solver spans into the request's
+	// span tree. The registry is shared either way, so metrics land in
+	// one place regardless of who drove the build.
+	if ro := obs.RequestContext(ctx); ro != nil {
+		octx = ro
+	}
 	sp := octx.Span(spanName)
 	defer sp.End()
+	if sp != nil {
+		// Builders that honor obs.RequestContext nest their spans under
+		// this refresh span, so the whole build is one tree.
+		ctx = obs.WithRequest(ctx, octx.In(sp))
+	}
 	prev := r.store.Load()
 	if needPrev && prev == nil {
 		return fmt.Errorf("serve: no snapshot to apply delta to; run a full refresh first")
@@ -173,7 +201,8 @@ func (r *Refresher) runBuild(ctx context.Context, spanName string, needPrev bool
 		sp.SetAttr("error", err.Error())
 		r.failed.Add(1)
 		r.lastErr.Store(&refreshError{err: err})
-		octx.Counter("serve.refresh_failures").Inc()
+		octx.Counter("serve.refresh_failures_total").Inc()
+		r.recordFailure(octx, spanName, sp, epoch, start, time.Since(start), err)
 		return err
 	}
 	r.ok.Add(1)
@@ -182,20 +211,59 @@ func (r *Refresher) runBuild(ctx context.Context, spanName string, needPrev bool
 	}
 	r.lastErr.Store(&refreshError{})
 	r.lastWall.Store(int64(time.Since(start)))
-	octx.Counter("serve.refreshes").Inc()
+	octx.Counter("serve.refreshes_total").Inc()
 	// Warm vs cold solver effort, the incremental path's payoff metric.
 	if st := snap.Estimates().SolveStats; st != nil {
 		if st.WarmStarted {
-			octx.Counter("serve.refresh_iterations_warm").Add(int64(st.Iterations))
+			octx.Counter("serve.refresh_iterations_warm_total").Add(int64(st.Iterations))
 		} else {
-			octx.Counter("serve.refresh_iterations_cold").Add(int64(st.Iterations))
+			octx.Counter("serve.refresh_iterations_cold_total").Add(int64(st.Iterations))
 		}
 	}
 	octx.Gauge("serve.snapshot_epoch").Set(float64(snap.Epoch()))
 	octx.Gauge("serve.snapshot_hosts").Set(float64(snap.NumHosts()))
 	octx.Gauge("serve.snapshot_age_seconds").Set(0)
+	// Per-epoch telemetry: the detection fingerprint feeds the drift
+	// watchdog, and the recorder takes one point at the epoch boundary
+	// so the history captures every publish regardless of interval.
+	if r.cfg.Watchdog != nil {
+		fp := mass.FingerprintOf(snap.Estimates(), snap.Config().Detect)
+		fp.Epoch = uint64(snap.Epoch())
+		r.cfg.Watchdog.ObserveEpoch(snap.Epoch(), fp)
+	}
+	r.cfg.Recorder.Sample(time.Now())
 	octx.Logf("serve: published snapshot epoch %d (%d hosts, %s)", snap.Epoch(), snap.NumHosts(), time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// recordFailure files a failed refresh into the flight recorder and,
+// when FlightDir is set, writes the autopsy file to disk — the
+// snapshot kept serving, but the operator gets the span tree of what
+// went wrong even if the process restarts before anyone scrapes
+// /admin/flightrecorder.
+func (r *Refresher) recordFailure(octx *obs.Context, spanName string, sp *obs.Span, epoch int64, start time.Time, d time.Duration, err error) {
+	if r.cfg.Flight == nil {
+		return
+	}
+	sp.End() // idempotent; the deferred End in runBuild keeps the same timestamp
+	r.cfg.Flight.Record(obs.FlightEntry{
+		Kind:       "refresh",
+		TraceID:    octx.TraceID(),
+		Name:       spanName,
+		Err:        true,
+		Error:      err.Error(),
+		Start:      start,
+		DurationNS: int64(d),
+		Trace:      sp.Snapshot(),
+	})
+	if r.cfg.FlightDir != "" {
+		path := filepath.Join(r.cfg.FlightDir, fmt.Sprintf("flight-epoch%d.json", epoch))
+		if werr := r.cfg.Flight.WriteFile(path); werr != nil {
+			octx.Logf("serve: flight dump to %s failed: %v", path, werr)
+		} else {
+			octx.Logf("serve: refresh failure flight record written to %s", path)
+		}
+	}
 }
 
 // Trigger requests an asynchronous refresh from the Run loop. It never

@@ -32,6 +32,26 @@ type Config struct {
 	// trace, so this is for bounded diagnostic runs, not always-on
 	// production serving; metrics cover the steady state.
 	TraceRequests bool
+	// Tracing enables always-on production request tracing: every
+	// request gets a trace ID echoed in X-Trace-Id and a
+	// traceparent-style header, admin requests carry a full span tree
+	// threaded through the refresher into the solver, and slow or
+	// errored requests land in Flight. Unlike TraceRequests nothing
+	// accumulates unboundedly: hot-path /v1 requests synthesize a
+	// single-span trace only when they qualify for the flight
+	// recorder.
+	Tracing bool
+	// Flight, if non-nil (and Tracing is on), receives the span trees
+	// of the slowest and errored requests.
+	Flight *obs.FlightRecorder
+	// Recorder, if non-nil, is served on GET /admin/timeseries.
+	Recorder *obs.Recorder
+	// Watchdog, if non-nil, contributes the drift detail to
+	// /readyz?verbose. (The refresher feeds it; the server only
+	// reads.)
+	Watchdog *Watchdog
+	// DisableMetrics removes the GET /metrics route.
+	DisableMetrics bool
 }
 
 // Serving defaults.
@@ -65,9 +85,14 @@ func (c Config) withDefaults() Config {
 //	POST /v1/batch                  {"hosts":[...]} → aligned records
 //	GET  /v1/top?metric=relmass&n=  precomputed ranking
 //	GET  /healthz                   process liveness
-//	GET  /readyz                    snapshot readiness (503 before first publish)
+//	GET  /readyz[?verbose]          snapshot readiness (503 before first publish);
+//	                                verbose adds the drift-watchdog detail
+//	GET  /metrics                   Prometheus text exposition of the registry
 //	POST /admin/refresh[?wait=1]    trigger (or run) a refresh
+//	POST /admin/delta[?wait=1]      ingest one mutation batch
 //	GET  /admin/status              epoch, age, refresh counters
+//	GET  /admin/timeseries          bounded metric history (?metric=…&since=…)
+//	GET  /admin/flightrecorder      slowest / errored span trees
 type Server struct {
 	store *Store
 	ref   *Refresher // nil disables /admin/refresh
@@ -93,9 +118,9 @@ func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		mux:      http.NewServeMux(),
-		requests: cfg.Obs.Counter("serve.requests"),
-		shed:     cfg.Obs.Counter("serve.shed"),
-		misses:   cfg.Obs.Counter("serve.lookup_misses"),
+		requests: cfg.Obs.Counter("serve.requests_total"),
+		shed:     cfg.Obs.Counter("serve.shed_total"),
+		misses:   cfg.Obs.Counter("serve.lookup_misses_total"),
 		latency:  cfg.Obs.Histogram("serve.request_seconds"),
 		ageGauge: cfg.Obs.Gauge("serve.snapshot_age_seconds"),
 	}
@@ -104,9 +129,14 @@ func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/host/{name}", s.limited("host", s.handleHost))
 	s.mux.HandleFunc("POST /v1/batch", s.limited("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/top", s.limited("top", s.handleTop))
-	s.mux.HandleFunc("POST /admin/refresh", s.handleRefresh)
-	s.mux.HandleFunc("POST /admin/delta", s.handleDelta)
+	s.mux.HandleFunc("POST /admin/refresh", s.traced("admin/refresh", s.handleRefresh))
+	s.mux.HandleFunc("POST /admin/delta", s.traced("admin/delta", s.handleDelta))
 	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
+	s.mux.HandleFunc("GET /admin/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("GET /admin/flightrecorder", s.handleFlight)
+	if !cfg.DisableMetrics {
+		s.mux.Handle("GET /metrics", obs.PrometheusHandler(cfg.Obs.Registry()))
+	}
 	return s
 }
 
@@ -126,10 +156,52 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// statusWriter captures the response status for tracing and flight
+// qualification. The zero status means no WriteHeader call — an
+// implicit 200. It also carries the request's rendered traceparent
+// and the backing arrays for both trace header values, so the entire
+// per-request tracing state is this one allocation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	tp     obs.Traceparent
+	vals   [2]string
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// traceHeaders stamps the response with the request's trace ID — the
+// X-Trace-Id echo and the W3C traceparent (00-<traceid>-<spanid>-01)
+// — and returns the trace ID. Keys are pre-canonicalized and assigned
+// directly, and the header values are zero-copy views of sw's
+// embedded Traceparent: the whole stamp costs no allocation beyond sw
+// itself, which is what keeps full tracing inside the lookup latency
+// budget.
+func traceHeaders(w http.ResponseWriter, sw *statusWriter) string {
+	sw.tp.Render()
+	tid := sw.tp.TraceID()
+	sw.vals[0] = tid
+	sw.vals[1] = sw.tp.String()
+	h := w.Header()
+	h["X-Trace-Id"] = sw.vals[0:1:1]
+	h["Traceparent"] = sw.vals[1:2:2]
+	return tid
+}
+
 // limited wraps a query handler with the serving guardrails: admission
 // control (shed with 429 when MaxInFlight requests are already in
 // flight), the per-request deadline, and request metrics. Health and
 // admin endpoints bypass it so operators can always see in.
+//
+// Under Config.Tracing the request additionally gets a trace ID in
+// the response headers, and slow or 5xx requests land in the flight
+// recorder. The hot path never builds a live span tree: the trace ID
+// is two PRNG draws, and a single-span trace is synthesized only
+// after the fact for the rare request that qualifies — the 3%
+// telemetry budget of a ~7µs lookup leaves no room for more.
 func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
@@ -148,10 +220,88 @@ func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
 			sp = s.cfg.Obs.Span("serve." + route)
 			defer sp.End()
 		}
+		if !s.cfg.Tracing {
+			start := time.Now()
+			h(w, r.WithContext(ctx))
+			s.latency.ObserveSince(start)
+			s.requests.Inc()
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		tid := traceHeaders(w, sw)
 		start := time.Now()
-		h(w, r.WithContext(ctx))
-		s.latency.ObserveSince(start)
+		h(sw, r.WithContext(ctx))
+		d := time.Since(start)
+		s.latency.Observe(d.Seconds())
 		s.requests.Inc()
+		isErr := sw.status >= 500
+		if s.cfg.Flight != nil && (isErr || s.cfg.Flight.QualifiesSlow(d)) {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.cfg.Flight.Record(obs.FlightEntry{
+				Kind:       "request",
+				TraceID:    tid,
+				Name:       "serve." + route,
+				Status:     status,
+				Err:        isErr,
+				Start:      start,
+				DurationNS: int64(d),
+				Trace: &obs.SpanJSON{
+					Name:       "serve." + route,
+					Start:      start,
+					DurationNS: int64(d),
+					Ended:      true,
+					Attrs:      map[string]any{"trace_id": tid, "path": r.URL.Path, "status": status},
+				},
+			})
+		}
+	}
+}
+
+// traced wraps an admin handler with full tracing: a real root span
+// carried into the request context (obs.WithRequest), so a
+// synchronous refresh or delta apply threads one coherent span tree
+// from the HTTP request through the refresher into the solver. Admin
+// traffic is rare; span cost is irrelevant here.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	if !s.cfg.Tracing {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		tid := traceHeaders(w, sw)
+		root := obs.NewSpan("serve." + route)
+		root.SetAttr("trace_id", tid)
+		root.SetAttr("method", r.Method)
+		root.SetAttr("path", r.URL.Path)
+		reqOctx := s.cfg.Obs
+		if reqOctx == nil {
+			reqOctx = obs.NewContext(nil, nil)
+		}
+		reqOctx = reqOctx.In(root).WithTraceID(tid)
+		start := time.Now()
+		h(sw, r.WithContext(obs.WithRequest(r.Context(), reqOctx)))
+		root.End()
+		d := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		isErr := status >= 500
+		if s.cfg.Flight != nil && (isErr || s.cfg.Flight.QualifiesSlow(d)) {
+			s.cfg.Flight.Record(obs.FlightEntry{
+				Kind:       "request",
+				TraceID:    tid,
+				Name:       "serve." + route,
+				Status:     status,
+				Err:        isErr,
+				Start:      start,
+				DurationNS: int64(d),
+				Trace:      root.Snapshot(),
+			})
+		}
 	}
 }
 
@@ -274,11 +424,76 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	age := snap.Age()
 	s.ageGauge.Set(age.Seconds())
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":      "ready",
 		"epoch":       snap.Epoch(),
 		"age_seconds": age.Seconds(),
+	}
+	// The verbose detail includes the drift watchdog's view. A drifted
+	// epoch degrades the status string but never the HTTP code: a
+	// shifted operating point is an operator signal, while the
+	// snapshot itself is still the best answer available — flipping
+	// readiness would take a healthy serving path out of rotation.
+	if r.URL.Query().Has("verbose") {
+		if st := s.cfg.Watchdog.Status(); st != nil {
+			body["drift"] = st
+			if st.Degraded {
+				body["status"] = "ready-degraded"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// TimeseriesResponse is the GET /admin/timeseries body when a metric
+// is requested.
+type TimeseriesResponse struct {
+	Metric   string      `json:"metric"`
+	Interval float64     `json:"interval_seconds"`
+	Points   []obs.Point `json:"points"`
+}
+
+// handleTimeseries serves the bounded metric history. Without a
+// ?metric= parameter it lists the known series names; with one it
+// returns the points, optionally filtered by ?since= (RFC 3339 or
+// Unix seconds).
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Recorder
+	if rec == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "no metric recorder configured"})
+		return
+	}
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"metrics": rec.Names()})
+		return
+	}
+	var since time.Time
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		if t, err := time.Parse(time.RFC3339, raw); err == nil {
+			since = t
+		} else if sec, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			since = time.Unix(sec, 0)
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad since parameter: want RFC 3339 or Unix seconds"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, &TimeseriesResponse{
+		Metric:   metric,
+		Interval: rec.Interval().Seconds(),
+		Points:   rec.Series(metric, since),
 	})
+}
+
+// handleFlight dumps the flight recorder: the slowest and errored
+// request/refresh span trees.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Flight == nil {
+		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "no flight recorder configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Flight.Snapshot())
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {

@@ -322,10 +322,10 @@ func TestRequestMetrics(t *testing.T) {
 		getJSON(t, ts.URL+"/v1/host/a.example", nil)
 	}
 	getJSON(t, ts.URL+"/v1/host/nosuch.example", nil)
-	if got := reg.Counter("serve.requests").Value(); got != 4 {
-		t.Fatalf("serve.requests = %d, want 4", got)
+	if got := reg.Counter("serve.requests_total").Value(); got != 4 {
+		t.Fatalf("serve.requests_total = %d, want 4", got)
 	}
-	if got := reg.Counter("serve.lookup_misses").Value(); got != 1 {
+	if got := reg.Counter("serve.lookup_misses_total").Value(); got != 1 {
 		t.Fatalf("serve.lookup_misses = %d, want 1", got)
 	}
 	if got := reg.Histogram("serve.request_seconds").Count(); got != 4 {

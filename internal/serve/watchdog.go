@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"time"
+
+	"spammass/internal/mass"
+	"spammass/internal/obs"
+)
+
+// Watchdog is the detection-drift monitor: every published epoch
+// contributes a mass.Fingerprint of the detector's operating point,
+// and each new fingerprint is compared dimension-by-dimension against
+// the trailing window with a bounded z-score. A dimension jumping
+// outside the configured band raises an alert — a metric, a
+// structured log line, and a degraded (but still 200-serving)
+// /readyz?verbose detail — without ever touching the serving path:
+// drift is a signal for an operator, not a reason to stop answering
+// queries with the snapshot we have.
+//
+// The drifted fingerprint still enters the window, so a legitimate
+// step change (threshold retune, graph doubling) alerts exactly once
+// and then becomes the new normal as the window statistics absorb it.
+
+// WatchdogConfig tunes the drift detector.
+type WatchdogConfig struct {
+	// Window is the number of trailing epoch fingerprints the current
+	// epoch is compared against. Default 12.
+	Window int
+	// ZThreshold is the bounded z-score above which a dimension is
+	// drifted. Default 4.
+	ZThreshold float64
+	// MinEpochs is the minimum number of fingerprints in the window
+	// before any comparison happens — with one or two epochs of
+	// history, "normal" is not yet defined. Default 3.
+	MinEpochs int
+	// Obs receives the serve.drift_* metrics and the alert log line.
+	Obs *obs.Context
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.Window <= 0 {
+		c.Window = 12
+	}
+	if c.ZThreshold <= 0 {
+		c.ZThreshold = 4
+	}
+	if c.MinEpochs <= 0 {
+		c.MinEpochs = 3
+	}
+	return c
+}
+
+// DriftAlert describes one drifted epoch: the dimension with the
+// largest excursion and its window statistics.
+type DriftAlert struct {
+	Epoch     int64     `json:"epoch"`
+	Dimension string    `json:"dimension"`
+	Value     float64   `json:"value"`
+	Mean      float64   `json:"mean"`
+	Std       float64   `json:"std"`
+	Z         float64   `json:"z"`
+	Time      time.Time `json:"time"`
+}
+
+// WatchdogStatus is the drift detail surfaced on /readyz?verbose and
+// /admin/status consumers.
+type WatchdogStatus struct {
+	// Epochs is how many fingerprints have been observed in total.
+	Epochs int `json:"epochs"`
+	// Window is how many fingerprints the trailing window holds now.
+	Window int `json:"window"`
+	// LastEpoch and LastMaxZ describe the most recent observation.
+	LastEpoch int64   `json:"last_epoch"`
+	LastMaxZ  float64 `json:"last_max_z"`
+	// Degraded is true when the most recent epoch drifted.
+	Degraded bool `json:"degraded"`
+	// Alerts counts drifted epochs since process start; LastAlert is
+	// the most recent one.
+	Alerts    int64       `json:"alerts"`
+	LastAlert *DriftAlert `json:"last_alert,omitempty"`
+}
+
+// Watchdog compares per-epoch fingerprints against a trailing window.
+// ObserveEpoch is called by the refresher with the publish lock held,
+// so observations are naturally serialized; the mutex makes Status
+// safe from the request path.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu      sync.Mutex
+	history [][]mass.FingerprintDim // trailing window, oldest first
+	status  WatchdogStatus
+
+	alerts *obs.Counter // serve.drift_alerts_total
+	flag   *obs.Gauge   // serve.drift_alert: 1 while the latest epoch is drifted
+	maxZ   *obs.Gauge   // serve.drift_max_z
+}
+
+// NewWatchdog builds a drift watchdog.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	cfg = cfg.withDefaults()
+	return &Watchdog{
+		cfg:    cfg,
+		alerts: cfg.Obs.Counter("serve.drift_alerts_total"),
+		flag:   cfg.Obs.Gauge("serve.drift_alert"),
+		maxZ:   cfg.Obs.Gauge("serve.drift_max_z"),
+	}
+}
+
+// zFloor is the standard-deviation floor of the bounded z-score:
+// a window of near-identical values (std → 0) must not turn ordinary
+// jitter into infinite z, so the denominator never drops below a
+// small absolute term plus 5% of the window mean's magnitude.
+func zFloor(mean, std float64) float64 {
+	return math.Max(std, 1e-9+0.05*math.Abs(mean))
+}
+
+// ObserveEpoch folds one epoch's fingerprint into the watchdog and
+// returns the alert when the epoch drifted, nil otherwise. A nil
+// watchdog or fingerprint observes nothing.
+func (w *Watchdog) ObserveEpoch(epoch int64, f *mass.Fingerprint) *DriftAlert {
+	if w == nil || f == nil {
+		return nil
+	}
+	dims := f.Dims()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	var alert *DriftAlert
+	worst := 0.0
+	if len(w.history) >= w.cfg.MinEpochs {
+		for i, d := range dims {
+			mean, std := w.windowStats(i)
+			z := math.Abs(d.Value-mean) / zFloor(mean, std)
+			if z > worst {
+				worst = z
+				if z > w.cfg.ZThreshold {
+					alert = &DriftAlert{
+						Epoch:     epoch,
+						Dimension: d.Name,
+						Value:     d.Value,
+						Mean:      mean,
+						Std:       std,
+						Z:         z,
+						Time:      time.Now(),
+					}
+				}
+			}
+		}
+	}
+
+	// The fingerprint enters the window whether or not it drifted:
+	// a step change alerts once, then the inflated window std keeps
+	// subsequent epochs at the new level quiet.
+	w.history = append(w.history, dims)
+	if len(w.history) > w.cfg.Window {
+		w.history = w.history[1:]
+	}
+
+	w.status.Epochs++
+	w.status.Window = len(w.history)
+	w.status.LastEpoch = epoch
+	w.status.LastMaxZ = worst
+	w.status.Degraded = alert != nil
+	w.maxZ.Set(worst)
+	if alert != nil {
+		w.status.Alerts++
+		w.status.LastAlert = alert
+		w.alerts.Inc()
+		w.flag.Set(1)
+		// One machine-parseable line per alert; the encode cannot fail
+		// on this struct.
+		line, _ := json.Marshal(alert)
+		w.cfg.Obs.Logf("serve: drift alert %s", line)
+	} else {
+		w.flag.Set(0)
+	}
+	return alert
+}
+
+// windowStats returns mean and standard deviation of dimension i over
+// the trailing window. Caller holds the lock.
+func (w *Watchdog) windowStats(i int) (mean, std float64) {
+	n := float64(len(w.history))
+	for _, dims := range w.history {
+		mean += dims[i].Value
+	}
+	mean /= n
+	for _, dims := range w.history {
+		d := dims[i].Value - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / n)
+}
+
+// Status returns a copy of the current drift status; nil receiver
+// yields nil.
+func (w *Watchdog) Status() *WatchdogStatus {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.status
+	if st.LastAlert != nil {
+		a := *st.LastAlert
+		st.LastAlert = &a
+	}
+	return &st
+}
