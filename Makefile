@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-all race vet lint vectorcheck fuzz-smoke serve-smoke delta-smoke obs-smoke verify clean
+.PHONY: build test bench bench-all race vet lint lint-json vectorcheck fuzz-smoke serve-smoke delta-smoke obs-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -40,10 +40,20 @@ vet:
 
 # lint runs spamlint, the repo's own static-analysis suite
 # (internal/analysis): sliceexport, floatcmp, f32acc, solveerr,
-# spanend, printcall, metricname. Suppress intentional findings with
+# spanend, printcall, metricname, plus the flow-sensitive concurrency
+# family on the shared CFG layer: publishfreeze, lockbal, atomicmix,
+# ctxleak. Suppress intentional findings with
 # `// lint:ignore <analyzer> <reason>`.
 lint:
 	$(GO) run ./cmd/spamlint ./...
+
+# lint-json writes the machine-readable report (every finding,
+# including suppressed ones with their lint:ignore reasons) to
+# LINT_OUT; CI uploads it as a per-commit artifact. Exit status matches
+# `make lint`.
+LINT_OUT ?= spamlint.json
+lint-json:
+	$(GO) run ./cmd/spamlint -json -o $(LINT_OUT) ./...
 
 # vectorcheck builds the engine with the debug guard that scans every
 # solve result for NaN/±Inf/negative scores, and runs the pagerank

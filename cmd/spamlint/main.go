@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	spamlint [-tags tag,tag] [-list] [packages]
+//	spamlint [-tags tag,tag] [-list] [-json] [packages]
 //
 // The package arguments are accepted for familiarity (`spamlint
 // ./...`) but the suite always analyzes the full module containing the
@@ -17,9 +17,18 @@
 //
 // on the flagged line or the line above; the reason is mandatory.
 // Exit status: 0 clean, 1 findings, 2 load or usage error.
+//
+// -json switches to a machine-readable report: a JSON array with one
+// object per finding (file, line, col, analyzer, message) in a stable
+// order (file, line, column, analyzer, message), suitable for diffing
+// between runs and for CI artifact upload. Suppressed findings are
+// included with their lint:ignore reason, so the report is a complete
+// audit of both violations and granted exceptions; the exit status
+// still reflects only non-suppressed findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,15 +38,30 @@ import (
 	"spammass/internal/analysis"
 )
 
+// jsonFinding is the -json wire format of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressed and Reason report lint:ignore coverage; Reason is the
+	// directive's mandatory written justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
 	var (
-		tags = flag.String("tags", "", "comma-separated build tags to satisfy (e.g. vectorcheck)")
-		list = flag.Bool("list", false, "list analyzers and exit")
-		verb = flag.Bool("v", false, "report package and analyzer progress")
+		tags    = flag.String("tags", "", "comma-separated build tags to satisfy (e.g. vectorcheck)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		verb    = flag.Bool("v", false, "report package and analyzer progress")
+		asJSON  = flag.Bool("json", false, "emit findings (including suppressed ones) as a JSON array")
+		jsonOut = flag.String("o", "", "with -json, write the report to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -77,16 +101,66 @@ func run() int {
 	if *verb {
 		fmt.Fprintf(os.Stderr, "spamlint: loaded %d packages of %s\n", len(pkgs), loader.Module)
 	}
-	diags := analysis.Run(analysis.DefaultRules(), pkgs)
-	for _, d := range diags {
+	all := analysis.RunAll(analysis.DefaultRules(), pkgs)
+	relativize := func(name string) string {
+		// Module-relative paths keep the report stable across checkouts
+		// (diff-friendly, and CI artifacts don't leak runner paths).
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+		return name
+	}
+	open := 0
+	for _, d := range all {
+		if !d.Suppressed {
+			open++
+		}
+	}
+	if *asJSON {
+		report := make([]jsonFinding, 0, len(all))
+		for _, d := range all {
+			report = append(report, jsonFinding{
+				File:       relativize(d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				Reason:     d.SuppressReason,
+			})
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spamlint:", err)
+			return 2
+		}
+		buf = append(buf, '\n')
+		if *jsonOut != "" {
+			if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "spamlint:", err)
+				return 2
+			}
+		} else {
+			os.Stdout.Write(buf)
+		}
+		if open > 0 {
+			fmt.Fprintf(os.Stderr, "spamlint: %d finding(s)\n", open)
+			return 1
+		}
+		return 0
+	}
+	for _, d := range all {
+		if d.Suppressed {
+			continue
+		}
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
 		fmt.Printf("%s:%d:%d: %s [%s]\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "spamlint: %d finding(s)\n", len(diags))
+	if open > 0 {
+		fmt.Fprintf(os.Stderr, "spamlint: %d finding(s)\n", open)
 		return 1
 	}
 	return 0

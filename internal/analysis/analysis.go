@@ -50,6 +50,9 @@ type Pass struct {
 	Info *types.Info
 
 	report func(Diagnostic)
+	// funcs shares CFG/dataflow state (FuncInfo) across the analyzers
+	// run over one package; see Pass.FuncInfo.
+	funcs *funcCache
 }
 
 // Reportf records a diagnostic at pos.
@@ -70,6 +73,13 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+
+	// Suppressed marks a finding covered by a lint:ignore directive;
+	// SuppressReason carries the directive's written justification.
+	// Run filters suppressed findings out; RunAll keeps them, so tools
+	// (spamlint -json) can audit every suppression in the module.
+	Suppressed     bool
+	SuppressReason string
 }
 
 func (d Diagnostic) String() string {

@@ -25,6 +25,16 @@ func TestPrintCallGolden(t *testing.T) { analysistest.Run(t, "printcall", analys
 
 func TestMetricNameGolden(t *testing.T) { analysistest.Run(t, "metricname", analysis.MetricName) }
 
+func TestPublishFreezeGolden(t *testing.T) {
+	analysistest.Run(t, "publishfreeze", analysis.PublishFreeze)
+}
+
+func TestLockBalGolden(t *testing.T) { analysistest.Run(t, "lockbal", analysis.LockBal) }
+
+func TestAtomicMixGolden(t *testing.T) { analysistest.Run(t, "atomicmix", analysis.AtomicMix) }
+
+func TestCtxLeakGolden(t *testing.T) { analysistest.Run(t, "ctxleak", analysis.CtxLeak) }
+
 // TestModuleIsClean is the lint gate as a test: the default rule set
 // over the whole module must produce zero diagnostics. Any new finding
 // must be fixed or carry a written lint:ignore reason.
@@ -64,7 +74,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 			t.Errorf("analyzer %s is in All() but has no default rule", a.Name)
 		}
 	}
-	if len(analysis.All()) < 7 {
-		t.Errorf("expected at least 7 analyzers, have %d", len(analysis.All()))
+	if len(analysis.All()) < 11 {
+		t.Errorf("expected at least 11 analyzers, have %d", len(analysis.All()))
 	}
 }

@@ -3,5 +3,8 @@ package analysis
 // All returns every analyzer the suite ships, in the order they are
 // listed by `spamlint -list`.
 func All() []*Analyzer {
-	return []*Analyzer{SliceExport, FloatCmp, F32Acc, SolveErr, SpanEnd, PrintCall, MetricName}
+	return []*Analyzer{
+		SliceExport, FloatCmp, F32Acc, SolveErr, SpanEnd, PrintCall, MetricName,
+		PublishFreeze, LockBal, AtomicMix, CtxLeak,
+	}
 }

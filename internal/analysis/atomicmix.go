@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix flags struct fields accessed both through sync/atomic
+// package functions (atomic.AddInt64(&s.n, 1), atomic.LoadUint32, …)
+// and through plain reads or writes anywhere in the same package. A
+// field is either always atomic or always lock-protected; mixing the
+// two is a data race that -race only reports on the interleavings it
+// happens to observe, and on 32-bit platforms a torn plain read of an
+// atomically-written int64 is silent corruption.
+//
+// Fields of the typed atomic kinds (atomic.Int64, atomic.Pointer[T],
+// …) cannot be mixed — every access goes through methods — which is
+// why the repo prefers them; this analyzer polices the legacy
+// function-based form wherever it appears.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct field accessed both atomically (sync/atomic) and non-atomically in the package",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic package functions whose first
+// argument is the address of the operated-on word.
+var atomicFuncs = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicFuncs[op+ty] = true
+		}
+	}
+}
+
+type fieldAccess struct {
+	pos  token.Pos
+	expr string
+}
+
+func runAtomicMix(pass *Pass) {
+	atomicUses := map[*types.Var][]fieldAccess{}
+	plainUses := map[*types.Var][]fieldAccess{}
+	// Selector expressions consumed as the address argument of an
+	// atomic call, so the plain-access walk can skip them.
+	consumed := map[*ast.SelectorExpr]bool{}
+
+	fieldOf := func(e ast.Expr) (*types.Var, *ast.SelectorExpr) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		s := fieldSelection(pass.Info, sel)
+		if s == nil {
+			return nil, nil
+		}
+		return s.Obj().(*types.Var), sel
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := calleeName(pass.Info, call)
+			if !ok || pkgPath != "sync/atomic" || !atomicFuncs[name] || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if v, sel := fieldOf(addr.X); v != nil {
+				consumed[sel] = true
+				atomicUses[v] = append(atomicUses[v], fieldAccess{pos: call.Pos(), expr: exprPath(addr.X)})
+			}
+			return true
+		})
+	}
+	if len(atomicUses) == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			v, _ := fieldOf(sel)
+			if v == nil {
+				return true
+			}
+			if _, isAtomic := atomicUses[v]; isAtomic {
+				plainUses[v] = append(plainUses[v], fieldAccess{pos: sel.Pos(), expr: exprPath(sel)})
+			}
+			return true
+		})
+	}
+
+	// Deterministic report order: by field name, then position.
+	var fields []*types.Var
+	for v := range plainUses {
+		fields = append(fields, v)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Name() < fields[j].Name() })
+	for _, v := range fields {
+		accesses := plainUses[v]
+		sort.Slice(accesses, func(i, j int) bool { return accesses[i].pos < accesses[j].pos })
+		owner := ownerName(v)
+		for _, a := range accesses {
+			pass.Reportf(a.pos,
+				"field %s of %s is accessed with sync/atomic elsewhere in this package but non-atomically here; every access must go through atomic (or move the field to an atomic.%s)",
+				v.Name(), owner, typedAtomicFor(v.Type()))
+		}
+	}
+}
+
+// ownerName names the struct type declaring field v, best-effort.
+func ownerName(v *types.Var) string {
+	// The field's parent scope does not name the struct; fall back to
+	// the package-qualified field position via its type string.
+	if v.Pkg() != nil {
+		return "a struct in " + v.Pkg().Name()
+	}
+	return "a struct"
+}
+
+// typedAtomicFor suggests the typed replacement for the field's type.
+func typedAtomicFor(t types.Type) string {
+	s := t.String()
+	switch {
+	case strings.HasSuffix(s, "int32"):
+		return "Int32"
+	case strings.HasSuffix(s, "int64"):
+		return "Int64"
+	case strings.HasSuffix(s, "uint32"):
+		return "Uint32"
+	case strings.HasSuffix(s, "uint64"):
+		return "Uint64"
+	case strings.HasSuffix(s, "uintptr"):
+		return "Uintptr"
+	default:
+		return "Pointer[T]"
+	}
+}

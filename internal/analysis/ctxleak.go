@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLeak polices context plumbing in the serving tier:
+//
+//   - a function that receives a ctx parameter must thread it: passing
+//     context.Background() or context.TODO() to a callee while the
+//     caller's ctx is in scope detaches the callee from cancellation
+//     and deadlines, so shutdown no longer propagates;
+//   - a goroutine whose body can never reach its CFG exit — a for or
+//     select loop with no returning ctx.Done()/close-signal case and
+//     no breaking edge — leaks: nothing can ever reclaim it, and on
+//     shutdown it keeps running against torn-down state.
+//
+// The goroutine check covers both `go func() { … }()` literals and
+// `go r.worker()` calls to functions declared in the same package.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "ctx parameter not threaded to callees, or goroutine loop with no exit path",
+	Run:  runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) {
+	checkCtxThreading(pass)
+	checkGoroutineExits(pass)
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool { return namedIn(t, "context", "Context") }
+
+// hasCtxParam reports whether the function type declares a named (non
+// blank) context.Context parameter.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if !isCtxType(pass.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkCtxThreading flags context.Background()/context.TODO() passed as
+// a call argument inside a function whose signature already carries a
+// ctx parameter.
+func checkCtxThreading(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd.Type) {
+				continue
+			}
+			// Nested literals are included: the ctx parameter is still in
+			// scope there, so a fresh root context is just as detached. A
+			// nested literal declaring its own ctx parameter shadows the
+			// outer one and is skipped.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pass, lit.Type) {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					pkgPath, name, ok := calleeName(pass.Info, inner)
+					if !ok || pkgPath != "context" || (name != "Background" && name != "TODO") {
+						continue
+					}
+					pass.Reportf(inner.Pos(),
+						"context.%s() passed to %s while the caller's ctx parameter is in scope; thread ctx so cancellation and deadlines propagate",
+						name, callDisplay(call))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// callDisplay names the callee of a call for diagnostics.
+func callDisplay(call *ast.CallExpr) string {
+	if p := exprPath(call.Fun); p != "" {
+		return p
+	}
+	return "a callee"
+}
+
+// checkGoroutineExits flags goroutine bodies whose CFG exit is
+// unreachable from entry: the goroutine can never terminate.
+func checkGoroutineExits(pass *Pass) {
+	// Map package-level function objects to their declarations so
+	// `go r.worker()` resolves to worker's body.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	// A declared function may be started by several go statements but
+	// is diagnosed once, at its declaration.
+	seen := map[ast.Node]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var fn ast.Node
+			var at ast.Node // where to report
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				fn, at = fun, g
+			case *ast.Ident:
+				if fd := decls[pass.Info.Uses[fun]]; fd != nil {
+					fn, at = fd, fd
+				}
+			case *ast.SelectorExpr:
+				if fd := decls[pass.Info.Uses[fun.Sel]]; fd != nil {
+					fn, at = fd, fd
+				}
+			}
+			if fn == nil || seen[fn] {
+				return true
+			}
+			seen[fn] = true
+			fi := pass.FuncInfo(fn)
+			if loopsForever(fi.CFG) {
+				pass.Reportf(at.Pos(),
+					"goroutine can never reach an exit: its loop has no returning ctx.Done()/close-signal case and no break; shutdown cannot reclaim it")
+			}
+			return true
+		})
+	}
+}
+
+// loopsForever reports whether the function body has no path from
+// entry to exit — every execution is trapped in a loop (or `select{}`).
+// A body that is a bare infinite sleep-free loop with a panic edge
+// still counts as having an exit (panic unwinds).
+func loopsForever(cfg *CFG) bool {
+	if cfg.Entry == cfg.Exit {
+		return false
+	}
+	return !cfg.CanReach(cfg.Entry, cfg.Exit)
+}

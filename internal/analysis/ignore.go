@@ -78,16 +78,22 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]boo
 // suppressed reports whether d is covered by a directive on its line
 // or the line above.
 func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	return idx.directive(d) != nil
+}
+
+// directive returns the lint:ignore directive covering d (on its line
+// or the line above), or nil.
+func (idx ignoreIndex) directive(d Diagnostic) *ignoreDirective {
 	byLine := idx[d.Pos.Filename]
 	if byLine == nil {
-		return false
+		return nil
 	}
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, dir := range byLine[line] {
-			if dir.analyzer == d.Analyzer {
-				return true
+		for i := range byLine[line] {
+			if byLine[line][i].analyzer == d.Analyzer {
+				return &byLine[line][i]
 			}
 		}
 	}
-	return false
+	return nil
 }

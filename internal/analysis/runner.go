@@ -39,6 +39,13 @@ func DefaultRules() []Rule {
 		{Analyzer: SliceExport},
 		{Analyzer: SpanEnd},
 		{Analyzer: SolveErr},
+		// Concurrency-safety family (shared CFG layer): immutability of
+		// published snapshots, lock balance, atomic/plain access mixing,
+		// and context plumbing hold module-wide.
+		{Analyzer: PublishFreeze},
+		{Analyzer: LockBal},
+		{Analyzer: AtomicMix},
+		{Analyzer: CtxLeak},
 		// Exact float comparison is only policed in the numerical core,
 		// where a spurious equality skews M̃ = p − p'.
 		{Analyzer: FloatCmp, Include: []string{
@@ -70,6 +77,21 @@ func DefaultRules() []Rule {
 // Run applies the rules to the packages and returns the diagnostics
 // that survive lint:ignore suppression, sorted by position.
 func Run(rules []Rule, pkgs []*Package) []Diagnostic {
+	all := RunAll(rules, pkgs)
+	out := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: every diagnostic is
+// returned, with suppressed findings annotated with their lint:ignore
+// reason. The order is deterministic (file, line, column, analyzer,
+// message) so successive reports diff cleanly.
+func RunAll(rules []Rule, pkgs []*Package) []Diagnostic {
 	known := map[string]bool{}
 	for _, r := range rules {
 		known[r.Analyzer.Name] = true
@@ -89,6 +111,9 @@ func Run(rules []Rule, pkgs []*Package) []Diagnostic {
 				idx[f] = lines
 			}
 		}
+		// One flow-analysis cache per package: every analyzer sees the
+		// same FuncInfo (CFG + dataflow) instances.
+		cache := newFuncCache()
 		for _, r := range rules {
 			if !r.applies(pkg.Path) {
 				continue
@@ -100,14 +125,16 @@ func Run(rules []Rule, pkgs []*Package) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				report:   report,
+				funcs:    cache,
 			}
 			r.Analyzer.Run(pass)
 		}
 	}
-	out := diags[:0]
-	for _, d := range diags {
-		if !idx.suppressed(d) {
-			out = append(out, d)
+	out := diags
+	for i := range out {
+		if dir := idx.directive(out[i]); dir != nil {
+			out[i].Suppressed = true
+			out[i].SuppressReason = dir.reason
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -121,7 +148,10 @@ func Run(rules []Rule, pkgs []*Package) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out
 }

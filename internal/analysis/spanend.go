@@ -31,21 +31,9 @@ var spanStarters = map[string]bool{
 }
 
 func runSpanEnd(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			}
-			if body != nil {
-				checkSpansIn(pass, body)
-			}
-			return true
-		})
-	}
+	forEachFunc(pass, func(fn ast.Node, body *ast.BlockStmt) {
+		checkSpansIn(pass, fn, body)
+	})
 }
 
 // spanVar is one span-typed local created in the function body.
@@ -55,8 +43,19 @@ type spanVar struct {
 	name string
 }
 
-func checkSpansIn(pass *Pass, body *ast.BlockStmt) {
+// checkSpansIn verifies each non-escaping span variable of one
+// function on the shared CFG: a forward dataflow tracks the span
+// through Pre → Open → Closed, branch edges on `sp != nil` / `sp ==
+// nil` refine the nil arm to Closed (End on a nil span is a no-op, so
+// a nil span carries no obligation), and the solved facts are replayed
+// to report each return — or the natural end of the body — the span
+// can reach still open.
+func checkSpansIn(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
 	vars := findSpanVars(pass, body)
+	if len(vars) == 0 {
+		return
+	}
+	fi := pass.FuncInfo(fn)
 	for _, v := range vars {
 		obj := pass.Info.Defs[v.id]
 		if obj == nil {
@@ -65,15 +64,43 @@ func checkSpansIn(pass *Pass, body *ast.BlockStmt) {
 		if obj == nil || spanEscapes(pass, body, v, obj) {
 			continue
 		}
-		w := &spanWalker{pass: pass, v: v, obj: obj}
-		st := w.walkStmts(body.List, statePre)
-		if !w.sawEnd {
+		t := &spanTracker{pass: pass, v: v, obj: obj}
+		if !t.hasEnd(body) {
 			pass.Reportf(v.stmt.Pos(), "span %q is never ended; its duration stays open in every trace snapshot", v.name)
 			continue
 		}
-		_ = st
-		for _, pos := range w.openReturns {
-			pass.Reportf(pos, "span %q is not ended on this return path; end it before returning or use defer", v.name)
+		res := ForwardSolve(fi.CFG, FlowProblem[endState]{
+			Entry: statePre,
+			Transfer: func(b *Block, in endState) endState {
+				st := in
+				for _, n := range b.Nodes {
+					st = t.step(n, st)
+				}
+				return st
+			},
+			Edge:  t.refineEdge,
+			Merge: mergeStates,
+			Equal: func(a, b endState) bool { return a == b },
+		})
+		// Replay each reachable block to place diagnostics on the exact
+		// return statement (the solver's facts are block-granular).
+		for _, b := range fi.CFG.Blocks {
+			in, reachable := res.In[b]
+			if !reachable {
+				continue
+			}
+			st := in
+			for _, n := range b.Nodes {
+				if ret, ok := n.(*ast.ReturnStmt); ok && st == stateOpen {
+					pass.Reportf(ret.Pos(), "span %q is not ended on this return path; end it before returning or use defer", v.name)
+				}
+				st = t.step(n, st)
+			}
+		}
+		if fo := fi.CFG.FallOff; fo != nil {
+			if out, ok := res.Out[fo]; ok && out == stateOpen {
+				pass.Reportf(v.stmt.Pos(), "span %q is not ended on every path; a fall-through path leaves it open", v.name)
+			}
 		}
 	}
 }
@@ -237,7 +264,7 @@ func usesObj(pass *Pass, n ast.Node, obj types.Object) bool {
 	return found
 }
 
-// endState tracks the span through a sequential walk of the function.
+// endState tracks the span along one CFG path.
 type endState int
 
 const (
@@ -246,15 +273,16 @@ const (
 	stateClosed                 // End called (or deferred) on this path
 )
 
-type spanWalker struct {
-	pass        *Pass
-	v           spanVar
-	obj         types.Object
-	sawEnd      bool
-	openReturns []token.Pos
+// spanTracker holds the per-variable pieces of the spanend dataflow:
+// the transfer function over block nodes and the branch-edge
+// refinement for nil guards.
+type spanTracker struct {
+	pass *Pass
+	v    spanVar
+	obj  types.Object
 }
 
-func (w *spanWalker) isEndCall(e ast.Expr) bool {
+func (t *spanTracker) isEndCall(e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return false
@@ -263,129 +291,94 @@ func (w *spanWalker) isEndCall(e ast.Expr) bool {
 	if !ok || sel.Sel.Name != "End" {
 		return false
 	}
-	return identIs(w.pass, sel.X, w.obj)
+	return identIs(t.pass, sel.X, t.obj)
 }
 
-func (w *spanWalker) walkStmts(stmts []ast.Stmt, st endState) endState {
-	for _, s := range stmts {
-		st = w.walkStmt(s, st)
-	}
-	return st
+// hasEnd reports whether any End call (direct or deferred) on the span
+// appears in the body at all — the "never ended" screen that precedes
+// path checking.
+func (t *spanTracker) hasEnd(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if t.isEndCall(n.X) {
+				found = true
+			}
+		case *ast.DeferStmt:
+			if t.isEndCall(n.Call) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
-func (w *spanWalker) walkStmt(s ast.Stmt, st endState) endState {
-	switch s := s.(type) {
+// step is the per-node transfer function.
+func (t *spanTracker) step(n ast.Node, st endState) endState {
+	switch n := n.(type) {
 	case *ast.AssignStmt:
-		if s == w.v.stmt && st == statePre {
+		if n == t.v.stmt {
 			return stateOpen
 		}
 	case *ast.DeferStmt:
-		if w.isEndCall(s.Call) {
-			w.sawEnd = true
+		if t.isEndCall(n.Call) {
 			return stateClosed
 		}
 	case *ast.ExprStmt:
-		if w.isEndCall(s.X) {
-			w.sawEnd = true
-			if st != statePre {
-				return stateClosed
-			}
+		if t.isEndCall(n.X) && st != statePre {
+			return stateClosed
 		}
-	case *ast.ReturnStmt:
-		if st == stateOpen {
-			w.openReturns = append(w.openReturns, s.Pos())
-		}
-	case *ast.BlockStmt:
-		return w.walkStmts(s.List, st)
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, st)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st = w.walkStmt(s.Init, st)
-		}
-		bodySt := w.walkStmts(s.Body.List, st)
-		elseSt := st
-		if s.Else != nil {
-			elseSt = w.walkStmt(s.Else, st)
-		}
-		// `if sp != nil { ...; sp.End() }` is an unconditional End at
-		// runtime (End on a nil span is a no-op), so the body's state
-		// propagates.
-		if s.Else == nil && w.isNilGuard(s.Cond) {
-			return bodySt
-		}
-		if terminates(s.Body) {
-			// The branch returned or panicked; only the fallthrough
-			// state of the other branch continues.
-			return elseSt
-		}
-		if s.Else != nil && terminatesStmt(s.Else) {
-			return bodySt
-		}
-		return mergeStates(bodySt, elseSt)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st = w.walkStmt(s.Init, st)
-		}
-		w.walkStmts(s.Body.List, st)
-		return st
-	case *ast.RangeStmt:
-		w.walkStmts(s.Body.List, st)
-		return st
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.walkBranches(s, st)
 	}
 	return st
 }
 
-// walkBranches handles switch/select: each clause is checked from the
-// incoming state; the merged fallthrough state is conservative.
-func (w *spanWalker) walkBranches(s ast.Stmt, st endState) endState {
-	var bodies []*ast.CaseClause
-	var comms []*ast.CommClause
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			st = w.walkStmt(s.Init, st)
-		}
-		for _, c := range s.Body.List {
-			bodies = append(bodies, c.(*ast.CaseClause))
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			bodies = append(bodies, c.(*ast.CaseClause))
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			comms = append(comms, c.(*ast.CommClause))
-		}
+// refineEdge closes the obligation on the nil arm of a `sp != nil` /
+// `sp == nil` branch: a nil span has no End obligation (End is
+// nil-safe), so only the non-nil arm keeps it open.
+func (t *spanTracker) refineEdge(b *Block, succ int, out endState) endState {
+	if b.Branch == nil || out != stateOpen {
+		return out
 	}
-	out := st
-	for _, c := range bodies {
-		out = mergeStates(out, w.walkStmts(c.Body, st))
+	op, isGuard := t.nilCheckOp(b.Branch)
+	if !isGuard {
+		return out
 	}
-	for _, c := range comms {
-		out = mergeStates(out, w.walkStmts(c.Body, st))
+	// Succs[0] is the true edge. `sp != nil` is nil on the false edge;
+	// `sp == nil` is nil on the true edge.
+	nilOnTrue := op == token.EQL
+	if (succ == 0) == nilOnTrue {
+		return stateClosed
 	}
 	return out
 }
 
-// isNilGuard reports whether cond is `sp != nil` for the tracked span.
-func (w *spanWalker) isNilGuard(cond ast.Expr) bool {
+// nilCheckOp recognizes `sp != nil` and `sp == nil` for the tracked
+// span, returning the comparison operator.
+func (t *spanTracker) nilCheckOp(cond ast.Expr) (token.Token, bool) {
 	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok || bin.Op != token.NEQ {
-		return false
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return 0, false
 	}
 	isNil := func(e ast.Expr) bool {
 		id, ok := ast.Unparen(e).(*ast.Ident)
 		return ok && id.Name == "nil"
 	}
-	return (identIs(w.pass, bin.X, w.obj) && isNil(bin.Y)) ||
-		(identIs(w.pass, bin.Y, w.obj) && isNil(bin.X))
+	if (identIs(t.pass, bin.X, t.obj) && isNil(bin.Y)) ||
+		(identIs(t.pass, bin.Y, t.obj) && isNil(bin.X)) {
+		return bin.Op, true
+	}
+	return 0, false
 }
 
-// mergeStates joins two branch outcomes conservatively: a path that
-// may still be open keeps the obligation alive.
+// mergeStates joins two path outcomes conservatively: a path that may
+// still be open keeps the obligation alive.
 func mergeStates(a, b endState) endState {
 	if a == stateOpen || b == stateOpen {
 		return stateOpen
@@ -394,31 +387,4 @@ func mergeStates(a, b endState) endState {
 		return stateClosed
 	}
 	return statePre
-}
-
-// terminates reports whether the block always transfers control out
-// (ends in return or panic).
-func terminates(b *ast.BlockStmt) bool {
-	if b == nil || len(b.List) == 0 {
-		return false
-	}
-	return terminatesStmt(b.List[len(b.List)-1])
-}
-
-func terminatesStmt(s ast.Stmt) bool {
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.BlockStmt:
-		return terminates(s)
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	case *ast.IfStmt:
-		return terminates(s.Body) && s.Else != nil && terminatesStmt(s.Else)
-	}
-	return false
 }

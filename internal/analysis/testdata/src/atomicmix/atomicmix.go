@@ -1,0 +1,55 @@
+// Fixture for the atomicmix analyzer: struct fields accessed both
+// through sync/atomic functions and through plain reads/writes in the
+// same package.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64 // mixed: atomic in Record, plain elsewhere
+	misses int64 // atomic-only: clean
+	label  string
+}
+
+// Record is the atomic side of the mix.
+func (s *stats) Record(hit bool) {
+	if hit {
+		atomic.AddInt64(&s.hits, 1)
+	} else {
+		atomic.AddInt64(&s.misses, 1)
+	}
+}
+
+// PlainRead reads the atomically-written field without atomic.Load: a
+// torn read on 32-bit platforms, a race everywhere.
+func (s *stats) PlainRead() int64 {
+	return s.hits // want `field hits .* is accessed with sync/atomic elsewhere in this package but non-atomically here`
+}
+
+// PlainWrite resets the field with a plain store.
+func (s *stats) PlainWrite() {
+	s.hits = 0 // want `field hits .* non-atomically here`
+}
+
+// PlainIncrement mixes an unguarded increment in.
+func (s *stats) PlainIncrement() {
+	s.hits++ // want `field hits .* non-atomically here`
+}
+
+// AtomicOnly keeps every access through the atomic API: clean.
+func (s *stats) AtomicOnly() int64 {
+	return atomic.LoadInt64(&s.hits) + atomic.LoadInt64(&s.misses)
+}
+
+// UntrackedField touches a field that is never accessed atomically:
+// clean.
+func (s *stats) UntrackedField() string {
+	return s.label
+}
+
+// Suppressed reads plainly with a written reason (single-goroutine
+// constructor phase).
+func (s *stats) Suppressed() int64 {
+	// lint:ignore atomicmix fixture demonstrates a pre-publication read
+	return s.hits
+}

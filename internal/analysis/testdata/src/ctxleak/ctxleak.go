@@ -1,0 +1,108 @@
+// Fixture for the ctxleak analyzer: context parameters not threaded to
+// callees, and goroutine loops with no exit path.
+package ctxleak
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// DetachedBackground receives a ctx but hands callees a fresh root
+// context: cancellation no longer propagates.
+func DetachedBackground(ctx context.Context) error {
+	return helper(context.Background()) // want `context\.Background\(\) passed to helper while the caller's ctx parameter is in scope`
+}
+
+// DetachedTODO is the same leak via context.TODO.
+func DetachedTODO(ctx context.Context) error {
+	return helper(context.TODO()) // want `context\.TODO\(\) passed to helper while the caller's ctx parameter is in scope`
+}
+
+// DetachedInClosure loses the ctx inside a nested literal that still
+// has the parameter in scope.
+func DetachedInClosure(ctx context.Context) func() error {
+	return func() error {
+		return helper(context.Background()) // want `context\.Background\(\) passed to helper`
+	}
+}
+
+type pump struct {
+	in   chan int
+	stop chan struct{}
+}
+
+// ForeverSelect spins a goroutine whose select loop has no returning
+// case: nothing can ever reclaim it.
+func (p *pump) ForeverSelect() {
+	go func() { // want `goroutine can never reach an exit`
+		for {
+			select {
+			case v := <-p.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// ForeverDecl loops forever with no break or return.
+func (p *pump) loopForever() { // want `goroutine can never reach an exit`
+	for {
+		<-p.in
+	}
+}
+
+// StartForever launches the never-returning declared worker.
+func (p *pump) StartForever() {
+	go p.loopForever()
+}
+
+// Threaded passes its ctx straight through: clean.
+func Threaded(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// FreshRootAllowed has no ctx parameter, so a root context is the only
+// honest choice: clean.
+func FreshRootAllowed() error {
+	return helper(context.Background())
+}
+
+// ShadowedParam declares its own ctx parameter in the literal; the
+// fresh root inside is that function's own decision: clean here.
+func ShadowedParam(ctx context.Context) func(context.Context) error {
+	return func(ctx context.Context) error {
+		return helper(ctx)
+	}
+}
+
+// DoneGuard is the canonical clean worker: the ctx.Done case returns.
+func (p *pump) DoneGuard(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-p.in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RangeWorker exits when the channel closes: clean.
+func (p *pump) RangeWorker() {
+	go func() {
+		for v := range p.in {
+			_ = v
+		}
+	}()
+}
+
+// Suppressed pins a deliberate daemon with a written reason.
+func (p *pump) Suppressed() {
+	// lint:ignore ctxleak fixture demonstrates a process-lifetime daemon
+	go func() {
+		for {
+			<-p.stop
+		}
+	}()
+}

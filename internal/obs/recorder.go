@@ -55,10 +55,11 @@ type Recorder struct {
 	reg      *Registry
 	interval time.Duration
 
-	mu   sync.Mutex
-	ring []sample
-	next int // ring[next] is overwritten by the next sample
-	n    int // number of valid samples, ≤ len(ring)
+	mu    sync.Mutex
+	ring  []sample
+	next  int       // ring[next] is overwritten by the next sample
+	n     int       // number of valid samples, ≤ len(ring)
+	lastT time.Time // timestamp of the most recent sample
 }
 
 // NewRecorder builds a recorder over reg. A nil registry yields a nil
@@ -107,13 +108,20 @@ func flatten(s *MetricsSnapshot) map[string]float64 {
 // under the ring lock: with concurrent samplers (the ticker loop plus
 // the refresher's per-publish push) an unlocked snapshot could be
 // appended after a later one, making monotone counter series run
-// backwards.
+// backwards. The caller-supplied timestamp is clamped the same way: a
+// tick delivered late must not time-travel behind a publish push that
+// won the lock first, or the series would zig-zag on the time axis
+// even though its values are in order.
 func (r *Recorder) Sample(t time.Time) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if t.Before(r.lastT) {
+		t = r.lastT
+	}
+	r.lastT = t
 	vals := flatten(r.reg.Snapshot())
 	r.ring[r.next] = sample{t: t, values: vals}
 	r.next = (r.next + 1) % len(r.ring)

@@ -152,6 +152,46 @@ func TestRecorderConcurrent(t *testing.T) {
 		if pts[i].Value < pts[i-1].Value {
 			t.Fatalf("counter series went backwards at %d: %v -> %v", i, pts[i-1].Value, pts[i].Value)
 		}
+		if pts[i].Time.Before(pts[i-1].Time) {
+			t.Fatalf("series time went backwards at %d: %v -> %v", i, pts[i-1].Time, pts[i].Time)
+		}
+	}
+}
+
+// TestRecorderClampsTimestamps pins the ordering guarantee for racing
+// samplers: a tick whose timestamp predates a sample that already won
+// the ring lock is clamped forward, so the series never zig-zags on
+// the time axis even though values are appended in lock order.
+func TestRecorderClampsTimestamps(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, RecorderConfig{Capacity: 8})
+	base := time.Unix(2000, 0)
+
+	reg.Counter("c_total").Inc()
+	rec.Sample(base.Add(10 * time.Second)) // publish push, won the lock first
+	reg.Counter("c_total").Inc()
+	rec.Sample(base) // late tick with an older timestamp
+	reg.Counter("c_total").Inc()
+	rec.Sample(base.Add(20 * time.Second))
+
+	pts := rec.Series("c_total", time.Time{})
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if !pts[1].Time.Equal(pts[0].Time) {
+		t.Fatalf("late sample not clamped: %v after %v", pts[1].Time, pts[0].Time)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time.Before(pts[i-1].Time) {
+			t.Fatalf("time went backwards at %d", i)
+		}
+		if pts[i].Value < pts[i-1].Value {
+			t.Fatalf("value went backwards at %d", i)
+		}
+	}
+	// The since filter still sees the clamped point.
+	if got := rec.Series("c_total", base.Add(10*time.Second)); len(got) != 3 {
+		t.Fatalf("since filter over clamped series returned %d points, want 3", len(got))
 	}
 }
 
