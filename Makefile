@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-all race vet lint lint-json vectorcheck fuzz-smoke serve-smoke delta-smoke obs-smoke verify clean
+.PHONY: build test bench bench-all race vet lint lint-json vectorcheck fuzz-smoke serve-smoke delta-smoke obs-smoke shard-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,17 @@ test:
 # Gauss-Southwell vs full-sweep wall-clock headline), the 10k-node
 # mass-estimation sweep, the serving-layer lookup benchmarks (plain,
 # metrics-only, fully instrumented, and the paired telemetry-overhead
-# measurement backing the <=3% budget), and the incremental (delta +
-# warm start) refresh against its cold baseline — with -benchmem, and
-# converts the combined output into the machine-readable benchmark
-# summary for this PR.
-BENCH_OUT ?= BENCH_pr7.json
+# measurement backing the <=3% budget), the routed lookup/batch
+# benchmarks against their single-node ServeLookup baseline, and the
+# incremental (delta + warm start) refresh against its cold baseline —
+# with -benchmem, and converts the combined output into the
+# machine-readable benchmark summary for this PR.
+BENCH_OUT ?= BENCH_pr9.json
 bench:
 	{ $(GO) test -run='^$$' -bench=1M -benchtime=2x -timeout 1800s ./internal/pagerank/ && \
 	  $(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ && \
 	  $(GO) test -run='^$$' -bench='ServeLookup|ServeTelemetryOverhead' -benchmem ./internal/serve/ && \
+	  $(GO) test -run='^$$' -bench='RouterLookup|RouterBatch' -benchmem ./internal/shard/ && \
 	  $(GO) test -run='^$$' -bench=Refresh10k -benchmem ./internal/delta/; } \
 	  | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -84,6 +86,13 @@ serve-smoke:
 # delta, and assert the snapshot generation advanced.
 delta-smoke:
 	sh scripts/delta_smoke.sh
+
+# shard-smoke boots the 2-shard topology end to end: genweb -shards 2
+# pre-partitions a graph, one spamserver per shard plus a -role=router
+# front, routed lookups/batches/rankings, and a cross-shard delta that
+# must advance the generation fence with no torn view.
+shard-smoke:
+	sh scripts/shard_smoke.sh
 
 # obs-smoke exercises the telemetry surface end to end: boot
 # spamserver with tracing, the metric recorder, and the drift watchdog

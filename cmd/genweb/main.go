@@ -14,6 +14,13 @@
 // on recycled hosts) and writes each step's mutations as a delta file
 // web.delta.1 … web.delta.N — the feed format of spamserver's
 // /admin/delta endpoint and -delta-watch flag.
+//
+// With -shards N the world is additionally pre-partitioned for the
+// sharded serving tier: each shard s gets web.shard<s>.graph,
+// web.shard<s>.names, and web.shard<s>.core holding its partition of
+// the host space (graph.ShardOf over host names; cross-shard edges
+// are dropped, their count reported). Boot one spamserver per shard
+// on those files and front them with spamserver -role=router.
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 	out := flag.String("out", "web", "output path prefix")
 	text := flag.Bool("text", false, "write the graph in text format instead of binary")
 	churn := flag.Int("churn", 0, "also evolve N spam generations, writing one delta file per step")
+	shards := flag.Int("shards", 0, "also write a pre-partitioned copy for an N-shard serving tier")
 	configPath := flag.String("config", "", "read the generator configuration from this JSON file")
 	dumpConfig := flag.Bool("dumpconfig", false, "print the default configuration as JSON and exit")
 	flag.Parse()
@@ -106,6 +114,10 @@ func main() {
 	fmt.Printf("wrote %s.graph, %s.names, %s.labels, %s.core (core %d hosts)\n",
 		*out, *out, *out, *out, core.Size())
 
+	if *shards > 1 {
+		writeShardFiles(*out, w, core.Nodes, *shards, *text)
+	}
+
 	cur := w
 	for i := 1; i <= *churn; i++ {
 		next, err := webgen.EvolveSpam(cur, webgen.EvolveConfig{Seed: *seed + int64(i)})
@@ -131,6 +143,58 @@ func main() {
 		fmt.Printf("wrote %s (%d ops)\n", path, b.NumOps())
 		cur = next
 	}
+}
+
+// writeShardFiles partitions the generated world over n shards with
+// the serving tier's partitioner and writes each shard's subgraph,
+// names, and core slice. The good core is mapped through the
+// partition: a core host lands in the core file of the shard that
+// owns it, under its shard-local node ID.
+func writeShardFiles(out string, w *webgen.World, core []graph.NodeID, n int, text bool) {
+	h, err := graph.NewHostGraph(w.Graph, w.Names)
+	if err != nil {
+		die("shard partition: %v", err)
+	}
+	p, err := graph.PartitionHosts(h, n)
+	if err != nil {
+		die("shard partition: %v", err)
+	}
+	coreBy := make([][]graph.NodeID, n)
+	for _, x := range core {
+		s := p.Shard[x]
+		coreBy[s] = append(coreBy[s], p.Local[x])
+	}
+	for s := 0; s < n; s++ {
+		part := p.Parts[s]
+		prefix := fmt.Sprintf("%s.shard%d", out, s)
+		writeFile(prefix+".graph", func(f *bufio.Writer) error {
+			if text {
+				return graph.WriteText(f, part.Graph)
+			}
+			return graph.WriteBinary(f, part.Graph)
+		})
+		writeFile(prefix+".names", func(f *bufio.Writer) error {
+			for _, name := range part.Names {
+				if _, err := fmt.Fprintln(f, name); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if len(coreBy[s]) == 0 {
+			die("shard %d received no good-core hosts; use more hosts or fewer shards", s)
+		}
+		writeFile(prefix+".core", func(f *bufio.Writer) error {
+			for _, x := range coreBy[s] {
+				if _, err := fmt.Fprintln(f, x); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		fmt.Printf("wrote %s.{graph,names,core}: %d hosts, core %d\n", prefix, len(part.Names), len(coreBy[s]))
+	}
+	fmt.Printf("partitioned %d shards, %d cross-shard edges dropped\n", n, p.CrossEdges)
 }
 
 func writeFile(path string, fill func(*bufio.Writer) error) {

@@ -21,6 +21,24 @@
 // GET /admin/status, GET /metrics, GET /admin/timeseries,
 // GET /admin/flightrecorder.
 //
+// With -role=router the process serves the same /v1 API without any
+// local snapshot: it fronts a set of shard nodes (each a plain
+// spamserver over one partition of the host space, see genweb
+// -shards), routing point lookups to the owning shard, fanning
+// batches out and reassembling them aligned, and merging per-shard
+// rankings. A cross-shard POST /admin/delta is split by owner,
+// applied to every replica of each touched shard, and published
+// behind a generation fence — the router never serves a generation a
+// touched shard has not reached.
+//
+//	spamserver -role=router -addr :8080 \
+//	           -shards 'http://s0a:8081,http://s0b:8082;http://s1a:8083' \
+//	           [-hedge-after 100ms] [-probe-interval 1s]
+//
+// Shards are separated by semicolons, replicas of one shard by
+// commas; shard order must match the partitioner (graph.ShardOf with
+// n = number of shards).
+//
 // Telemetry is on by default: /metrics serves the registry in
 // Prometheus text format (disable with -metrics=false), every request
 // carries a trace ID echoed in X-Trace-Id/Traceparent response
@@ -96,9 +114,22 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "write failed-refresh span trees to this directory")
 	driftWindow := flag.Int("drift-window", 12, "trailing epochs the drift watchdog compares against")
 	driftZ := flag.Float64("drift-z", 4, "bounded z-score above which an epoch fingerprint counts as drifted")
+	role := flag.String("role", "serve", "serve (one local snapshot) or router (front a shard topology)")
+	shardsSpec := flag.String("shards", "", "router topology: shards separated by ';', replica URLs within a shard by ','")
+	hedgeAfter := flag.Duration("hedge-after", 100*time.Millisecond, "router: race a second replica when a shard reply is this late (0 disables)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "router: shard health probe period")
 	flag.Parse()
-	if *graphPath == "" || *namesPath == "" || *corePath == "" {
-		die("missing -graph, -names, or -core")
+	switch *role {
+	case "serve":
+		if *graphPath == "" || *namesPath == "" || *corePath == "" {
+			die("missing -graph, -names, or -core")
+		}
+	case "router":
+		if *shardsSpec == "" {
+			die("-role=router needs -shards")
+		}
+	default:
+		die("unknown -role %q (want serve or router)", *role)
 	}
 	var layout pagerank.Layout
 	switch *layoutFlag {
@@ -136,6 +167,23 @@ func main() {
 		}
 		defer dbg.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars http://%s/debug/pprof/\n", dbg.Addr(), dbg.Addr())
+	}
+
+	if *role == "router" {
+		runRouter(routerOptions{
+			addr:          *addr,
+			addrFile:      *addrFile,
+			shardsSpec:    *shardsSpec,
+			hedgeAfter:    *hedgeAfter,
+			probeInterval: *probeInterval,
+			maxInflight:   *maxInflight,
+			reqTimeout:    *reqTimeout,
+			maxBatch:      *maxBatch,
+			metrics:       *metrics,
+			tracing:       *tracing,
+			octx:          octx,
+		})
+		return
 	}
 
 	dcfg := mass.DetectConfig{RelMassThreshold: *tau, ScaledPageRankThreshold: *rho}

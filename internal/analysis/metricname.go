@@ -47,6 +47,8 @@ var unitlessGauges = map[string]bool{
 	"serve.drift_alert":         true,
 	"serve.drift_max_z":         true,
 	"pagerank.solve_iterations": true,
+	"shard.generation":          true,
+	"shard.healthy_replicas":    true,
 }
 
 // metricKinds maps the obs metric-creation methods to the kind whose

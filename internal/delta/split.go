@@ -1,0 +1,68 @@
+package delta
+
+import (
+	"fmt"
+
+	"spammass/internal/graph"
+)
+
+// Split is one batch divided by owning shard: Parts[s] holds the ops
+// shard s must apply (nil when the batch does not touch s), and
+// CrossEdges counts the edge ops that were dropped because their
+// endpoints hash to different shards. Shard-local graphs hold only
+// intra-shard edges by construction (graph.PartitionHosts applies the
+// same rule at partition time), so a cross-shard edge op has no edge
+// to mutate on any shard; dropping it keeps the split consistent with
+// the partitioned graphs instead of producing guaranteed conflicts.
+type Split struct {
+	Parts      []*Batch
+	CrossEdges int
+}
+
+// Touched returns the shard indexes with a non-empty part, ascending.
+func (s *Split) Touched() []int {
+	var out []int
+	for i, p := range s.Parts {
+		if p != nil && p.NumOps() > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SplitByShard divides b into per-shard sub-batches using the shared
+// partitioner (graph.ShardOf over host names): host ops go to the
+// shard owning Src, edge ops to the common shard of both endpoints.
+// Cross-shard edge ops are counted and dropped, not errors — a churn
+// feed diffs whole-graph generations and cannot know the partition.
+// The batch is validated first; op order within each part preserves
+// the input order, so a valid batch splits into valid parts.
+func SplitByShard(b *Batch, shards int) (*Split, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("delta: split into %d shards", shards)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Split{Parts: make([]*Batch, shards)}
+	part := func(i int) *Batch {
+		if s.Parts[i] == nil {
+			s.Parts[i] = &Batch{}
+		}
+		return s.Parts[i]
+	}
+	for _, op := range b.Ops {
+		owner := graph.ShardOf(op.Src, shards)
+		switch op.Kind {
+		case AddHost, RemoveHost:
+			part(owner).Ops = append(part(owner).Ops, op)
+		case AddEdge, RemoveEdge:
+			if graph.ShardOf(op.Dst, shards) != owner {
+				s.CrossEdges++
+				continue
+			}
+			part(owner).Ops = append(part(owner).Ops, op)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,116 @@
+package delta
+
+import (
+	"fmt"
+	"testing"
+
+	"spammass/internal/graph"
+)
+
+// shardPair returns two host names owned by different shards and two
+// owned by the same shard, under the given shard count, so the split
+// tests do not depend on hash luck.
+func shardPair(t *testing.T, shards int) (crossA, crossB, sameA, sameB string) {
+	t.Helper()
+	byShard := make(map[int][]string)
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("split%02d.example", i)
+		s := graph.ShardOf(name, shards)
+		byShard[s] = append(byShard[s], name)
+	}
+	var same []string
+	for _, names := range byShard {
+		if len(names) >= 2 {
+			same = names
+			break
+		}
+	}
+	if same == nil || len(byShard) < 2 {
+		t.Fatal("could not find shard-colocated and shard-crossing host names")
+	}
+	other := ""
+	for _, names := range byShard {
+		if graph.ShardOf(names[0], shards) != graph.ShardOf(same[0], shards) {
+			other = names[0]
+			break
+		}
+	}
+	return same[0], other, same[0], same[1]
+}
+
+func TestSplitByShard(t *testing.T) {
+	const shards = 3
+	crossA, crossB, sameA, sameB := shardPair(t, shards)
+	b := &Batch{Ops: []Op{
+		AddHostOp(crossA),
+		RemoveHostOp(crossB),
+		AddEdgeOp(sameA, sameB),
+		RemoveEdgeOp(sameB, sameA),
+		AddEdgeOp(crossA, crossB), // cross-shard: dropped
+	}}
+	s, err := SplitByShard(b, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CrossEdges != 1 {
+		t.Fatalf("CrossEdges = %d, want 1", s.CrossEdges)
+	}
+	total := 0
+	for shard, part := range s.Parts {
+		if part == nil {
+			continue
+		}
+		total += part.NumOps()
+		for _, op := range part.Ops {
+			if graph.ShardOf(op.Src, shards) != shard {
+				t.Fatalf("op %s landed on shard %d, owner is %d", op, shard, graph.ShardOf(op.Src, shards))
+			}
+			if op.Kind == AddEdge || op.Kind == RemoveEdge {
+				if graph.ShardOf(op.Dst, shards) != shard {
+					t.Fatalf("edge op %s on shard %d has foreign destination", op, shard)
+				}
+			}
+		}
+		if err := part.Validate(); err != nil {
+			t.Fatalf("shard %d part invalid: %v", shard, err)
+		}
+	}
+	if total != len(b.Ops)-1 {
+		t.Fatalf("parts hold %d ops, want %d (input minus the dropped cross edge)", total, len(b.Ops)-1)
+	}
+	touched := s.Touched()
+	if len(touched) == 0 || len(touched) > shards {
+		t.Fatalf("Touched() = %v", touched)
+	}
+	for i := 1; i < len(touched); i++ {
+		if touched[i] <= touched[i-1] {
+			t.Fatalf("Touched() not ascending: %v", touched)
+		}
+	}
+}
+
+func TestSplitByShardSingleShardKeepsEverything(t *testing.T) {
+	b := &Batch{Ops: []Op{
+		AddHostOp("a.example"),
+		AddEdgeOp("b.example", "c.example"),
+	}}
+	s, err := SplitByShard(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CrossEdges != 0 {
+		t.Fatalf("single shard dropped %d edges", s.CrossEdges)
+	}
+	if s.Parts[0] == nil || s.Parts[0].NumOps() != len(b.Ops) {
+		t.Fatalf("single-shard split must keep all ops, got %v", s.Parts[0])
+	}
+}
+
+func TestSplitByShardRejectsInvalid(t *testing.T) {
+	if _, err := SplitByShard(&Batch{Ops: []Op{{Kind: AddEdge, Src: "x", Dst: "x"}}}, 2); err == nil {
+		t.Fatal("self-edge must fail validation before splitting")
+	}
+	if _, err := SplitByShard(&Batch{}, 0); err == nil {
+		t.Fatal("zero shards must be rejected")
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import "fmt"
+
+// ShardOf deterministically assigns a host name to one of n shards.
+// It is the single partitioning function of the serving tier: the
+// router, the shard nodes, the delta splitter, and genweb's
+// pre-partitioned output must all agree on host placement, so they all
+// call this. The hash is FNV-1a over the name bytes (inlined so the
+// hot routing path allocates nothing), reduced modulo n; host names
+// are already canonicalized lower-case by HostOf, so no normalization
+// happens here.
+func ShardOf(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// HostPartition is the result of splitting one host graph into n
+// shard-local subgraphs. Each part keeps only the hosts ShardOf
+// assigns to it and the edges with both endpoints inside the part;
+// edges crossing shards are dropped and counted in CrossEdges — the
+// shard tier serves per-partition records, and each shard's estimates
+// are computed over its local subgraph until a distributed solve
+// lands (see DESIGN.md §7).
+type HostPartition struct {
+	// Parts[s] is shard s's host graph. Hosts keep their relative
+	// order from the source graph, so partitioning is deterministic.
+	Parts []*HostGraph
+	// Shard[x] is the shard owning source node x.
+	Shard []int32
+	// Local[x] is node x's ID inside Parts[Shard[x]].
+	Local []NodeID
+	// CrossEdges counts source edges dropped because their endpoints
+	// landed on different shards.
+	CrossEdges int64
+}
+
+// PartitionHosts splits h into n shard-local host graphs using
+// ShardOf over the host names. Every host lands in exactly one part;
+// parts may be empty for tiny graphs. n must be positive.
+func PartitionHosts(h *HostGraph, n int) (*HostPartition, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: partition into %d shards", n)
+	}
+	nodes := h.Graph.NumNodes()
+	p := &HostPartition{
+		Parts: make([]*HostGraph, n),
+		Shard: make([]int32, nodes),
+		Local: make([]NodeID, nodes),
+	}
+	names := make([][]string, n)
+	for x := 0; x < nodes; x++ {
+		s := ShardOf(h.Names[x], n)
+		p.Shard[x] = int32(s)
+		p.Local[x] = NodeID(len(names[s]))
+		names[s] = append(names[s], h.Names[x])
+	}
+	builders := make([]*Builder, n)
+	for s := 0; s < n; s++ {
+		builders[s] = NewBuilder(len(names[s]))
+	}
+	h.Graph.Edges(func(x, y NodeID) bool {
+		if p.Shard[x] != p.Shard[y] {
+			p.CrossEdges++
+			return true
+		}
+		builders[p.Shard[x]].AddEdge(p.Local[x], p.Local[y])
+		return true
+	})
+	for s := 0; s < n; s++ {
+		part, err := NewHostGraph(builders[s].Build(), names[s])
+		if err != nil {
+			return nil, fmt.Errorf("graph: shard %d: %w", s, err)
+		}
+		p.Parts[s] = part
+	}
+	return p, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		for i := 0; i < 200; i++ {
+			name := fmt.Sprintf("host%03d.example", i)
+			s := ShardOf(name, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", name, n, s)
+			}
+			if again := ShardOf(name, n); again != s {
+				t.Fatalf("ShardOf(%q, %d) unstable: %d then %d", name, n, s, again)
+			}
+		}
+	}
+	if ShardOf("anything", 1) != 0 || ShardOf("anything", 0) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+}
+
+// TestShardOfSpreads checks the hash actually distributes: over 2000
+// generated host names and 4 shards, no shard may be empty or hold
+// more than half the names. (Loose bounds; the point is catching a
+// broken hash, not proving uniformity.)
+func TestShardOfSpreads(t *testing.T) {
+	const hosts, shards = 2000, 4
+	counts := make([]int, shards)
+	for i := 0; i < hosts; i++ {
+		counts[ShardOf(fmt.Sprintf("host%04d.example", i), shards)]++
+	}
+	for s, c := range counts {
+		if c == 0 || c > hosts/2 {
+			t.Fatalf("shard %d holds %d of %d names: hash does not spread", s, c, hosts)
+		}
+	}
+}
+
+func TestPartitionHosts(t *testing.T) {
+	const n = 40
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("host%02d.example", i)
+	}
+	var edges [][2]NodeID
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]NodeID{NodeID(i), NodeID((i + 1) % n)})
+		edges = append(edges, [2]NodeID{NodeID(i), NodeID((i + 7) % n)})
+	}
+	h, err := NewHostGraph(FromEdges(n, edges), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	p, err := PartitionHosts(h, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every host lands in exactly one part, at the recorded local ID,
+	// owned by ShardOf.
+	total := 0
+	for s, part := range p.Parts {
+		total += part.Graph.NumNodes()
+		for local, name := range part.Names {
+			if ShardOf(name, shards) != s {
+				t.Fatalf("host %s in shard %d, ShardOf says %d", name, s, ShardOf(name, shards))
+			}
+			global, ok := h.NodeByName(name)
+			if !ok {
+				t.Fatalf("shard %d holds unknown host %s", s, name)
+			}
+			if int(p.Shard[global]) != s || p.Local[global] != NodeID(local) {
+				t.Fatalf("host %s: Shard/Local say (%d,%d), found at (%d,%d)",
+					name, p.Shard[global], p.Local[global], s, local)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("parts hold %d hosts, source has %d", total, n)
+	}
+
+	// Intra-shard edges survive in local coordinates; cross-shard
+	// edges are dropped and counted.
+	kept := int64(0)
+	h.Graph.Edges(func(x, y NodeID) bool {
+		if p.Shard[x] != p.Shard[y] {
+			return true
+		}
+		kept++
+		part := p.Parts[p.Shard[x]]
+		found := false
+		for _, z := range part.Graph.OutNeighbors(p.Local[x]) {
+			if z == p.Local[y] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("intra-shard edge %s -> %s missing from shard %d", h.Names[x], h.Names[y], p.Shard[x])
+		}
+		return true
+	})
+	partEdges := int64(0)
+	for _, part := range p.Parts {
+		partEdges += part.Graph.NumEdges()
+	}
+	if partEdges != kept {
+		t.Fatalf("parts hold %d edges, expected %d intra-shard edges", partEdges, kept)
+	}
+	if kept+p.CrossEdges != h.Graph.NumEdges() {
+		t.Fatalf("kept %d + cross %d != source %d edges", kept, p.CrossEdges, h.Graph.NumEdges())
+	}
+	if p.CrossEdges == 0 {
+		t.Fatal("test graph produced no cross-shard edges; bounds too weak to mean anything")
+	}
+}
+
+func TestPartitionHostsSingleShardIsIdentity(t *testing.T) {
+	const n = 10
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%d.example", i)
+	}
+	h, err := NewHostGraph(FromEdges(n, [][2]NodeID{{0, 1}, {1, 2}, {4, 9}}), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionHosts(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrossEdges != 0 {
+		t.Fatalf("single shard dropped %d edges", p.CrossEdges)
+	}
+	if !p.Parts[0].Graph.Equal(h.Graph) {
+		t.Fatal("single-shard partition must reproduce the source graph")
+	}
+}

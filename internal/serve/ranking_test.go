@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/mass"
+	"spammass/internal/pagerank"
+)
+
+// tieSnapshot builds a snapshot over hosts whose scores are all equal,
+// with the node↔name assignment given by order. Equal scores force
+// every ranking position to be decided by the tie-break alone.
+func tieSnapshot(t *testing.T, order []string, epoch int64) *Snapshot {
+	t.Helper()
+	n := len(order)
+	h, err := graph.NewHostGraph(graph.FromEdges(n, nil), order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make(pagerank.Vector, n)
+	pCore := make(pagerank.Vector, n)
+	// Scaled PageRank must clear ρ=10 so every host lands in the
+	// evaluated set and shows up in the relmass ranking too.
+	for x := range p {
+		p[x] = 0.5
+		pCore[x] = 0.25
+	}
+	est := mass.Derive(p, pCore, 0.85)
+	snap, err := NewSnapshot(h, est, SnapshotConfig{Detect: mass.DefaultDetectConfig()}, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func topHosts(t *testing.T, snap *Snapshot, metric string, n int) []string {
+	t.Helper()
+	recs, err := snap.Top(metric, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Host
+	}
+	return out
+}
+
+// TestTopTieBreakStableAcrossRenumbering is the regression test for
+// the ranking tie-break: two snapshots over the same hosts with
+// identical scores but different node numbering (what a delta apply's
+// renumbering or a shard-local ID space produces) must serve the same
+// /v1/top order. The old node-ID tie-break failed exactly this.
+func TestTopTieBreakStableAcrossRenumbering(t *testing.T) {
+	names := []string{"d.example", "b.example", "e.example", "a.example", "c.example"}
+	permuted := []string{"c.example", "a.example", "d.example", "e.example", "b.example"}
+	for _, metric := range []string{MetricRelMass, MetricAbsMass, MetricPageRank} {
+		got1 := topHosts(t, tieSnapshot(t, names, 1), metric, len(names))
+		got2 := topHosts(t, tieSnapshot(t, permuted, 2), metric, len(names))
+		if len(got1) != len(names) {
+			t.Fatalf("%s: ranking has %d entries, want %d", metric, len(got1), len(names))
+		}
+		for i := range got1 {
+			if got1[i] != got2[i] {
+				t.Fatalf("%s: rankings diverge under renumbering:\n  %v\n  %v", metric, got1, got2)
+			}
+			// With all scores equal the order must be exactly ascending
+			// host name.
+			if i > 0 && got1[i-1] >= got1[i] {
+				t.Fatalf("%s: tie-break is not ascending host name: %v", metric, got1)
+			}
+		}
+	}
+}
+
+func TestMergeTop(t *testing.T) {
+	mk := func(host string, rel float64, epoch int64) HostRecord {
+		return HostRecord{Host: host, RelMass: rel, Epoch: epoch}
+	}
+	shard0 := []HostRecord{mk("b.example", 0.9, 3), mk("a.example", 0.5, 3)}
+	shard1 := []HostRecord{mk("c.example", 0.9, 7), mk("d.example", 0.7, 7)}
+	got, err := MergeTop(MetricRelMass, 3, shard0, shard1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b.example", "c.example", "d.example"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(got), len(want))
+	}
+	for i, rec := range got {
+		if rec.Host != want[i] {
+			t.Fatalf("merge order %v, want %v", got, want)
+		}
+	}
+	// Records keep their per-shard epochs through the merge.
+	if got[0].Epoch != 3 || got[1].Epoch != 7 {
+		t.Fatalf("merge rewrote epochs: %+v", got)
+	}
+	if _, err := MergeTop("nonsense", 3, shard0); err == nil {
+		t.Fatal("unknown metric must fail")
+	}
+	if out, err := MergeTop(MetricRelMass, 100, shard0, nil, shard1); err != nil || len(out) != 4 {
+		t.Fatalf("over-asking must clamp: %d records, err %v", len(out), err)
+	}
+}
+
+func TestStoreBackend(t *testing.T) {
+	st := NewStore()
+	b := NewStoreBackend(st)
+	ctx := context.Background()
+	if _, _, err := b.Lookup(ctx, "a.example"); err != ErrNoSnapshot {
+		t.Fatalf("empty-store Lookup err = %v, want ErrNoSnapshot", err)
+	}
+	if _, err := b.Batch(ctx, []string{"a.example"}); err != ErrNoSnapshot {
+		t.Fatalf("empty-store Batch err = %v, want ErrNoSnapshot", err)
+	}
+	if _, err := b.Top(ctx, MetricRelMass, 5); err != ErrNoSnapshot {
+		t.Fatalf("empty-store Top err = %v, want ErrNoSnapshot", err)
+	}
+	if b.Generation() != 0 {
+		t.Fatalf("empty-store Generation = %d", b.Generation())
+	}
+
+	h := testHostGraph(t)
+	est := realEstimates(t, h, []graph.NodeID{0, 1})
+	snap, err := NewSnapshot(h, est, SnapshotConfig{Detect: mass.DefaultDetectConfig()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Publish(snap); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, err := b.Lookup(ctx, "a.example")
+	if err != nil || !ok || rec.Host != "a.example" || rec.Epoch != 4 {
+		t.Fatalf("Lookup = (%+v, %v, %v)", rec, ok, err)
+	}
+	if _, ok, err := b.Lookup(ctx, "nosuch.example"); err != nil || ok {
+		t.Fatalf("miss must be ok=false with nil error, got (%v, %v)", ok, err)
+	}
+	resp, err := b.Batch(ctx, []string{"b.example", "nosuch.example", "b.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 4 || resp.Misses != 1 || resp.Records[1] != nil ||
+		resp.Records[0] == nil || resp.Records[2] == nil || *resp.Records[0] != *resp.Records[2] {
+		t.Fatalf("Batch = %+v", resp)
+	}
+	if b.Generation() != 4 {
+		t.Fatalf("Generation = %d, want 4", b.Generation())
+	}
+}

@@ -168,18 +168,53 @@ func NewSnapshot(hosts *graph.HostGraph, est *mass.Estimates, cfg SnapshotConfig
 			Epoch:        epoch,
 		}
 	}
-	s.rankings = map[string][]HostRecord{
-		MetricRelMass:  s.rank(cfg.MaxTop, true, func(r *HostRecord) float64 { return r.RelMass }),
-		MetricAbsMass:  s.rank(cfg.MaxTop, false, func(r *HostRecord) float64 { return r.AbsMass }),
-		MetricPageRank: s.rank(cfg.MaxTop, false, func(r *HostRecord) float64 { return r.PageRank }),
+	s.rankings = map[string][]HostRecord{}
+	for _, metric := range []string{MetricRelMass, MetricAbsMass, MetricPageRank} {
+		key, _ := rankKey(metric)
+		s.rankings[metric] = s.rank(cfg.MaxTop, metric == MetricRelMass, key)
 	}
 	return s, nil
 }
 
-// rank returns the top-k records by key, descending, ties broken by
-// ascending node ID. evaluatedOnly restricts the ranking to the
-// examined set T — the relative-mass ranking is meaningless below ρ,
-// where tiny absolute errors blow up m̃ (Section 3.6).
+// rankKey maps a ranking metric name to its sort key. ok is false for
+// unknown metrics; ValidMetric and MergeTop share this table with the
+// snapshot ranking builder so every layer agrees on what is servable.
+func rankKey(metric string) (func(*HostRecord) float64, bool) {
+	switch metric {
+	case MetricRelMass:
+		return func(r *HostRecord) float64 { return r.RelMass }, true
+	case MetricAbsMass:
+		return func(r *HostRecord) float64 { return r.AbsMass }, true
+	case MetricPageRank:
+		return func(r *HostRecord) float64 { return r.PageRank }, true
+	}
+	return nil, false
+}
+
+// rankedBefore is THE ranking order: key descending, ties broken by
+// ascending host name. The tie-break must be a property of the host,
+// not of the node ID — IDs are renumbered by delta applies and differ
+// across shards, so an ID tie-break would reshuffle equal-scored hosts
+// on every refresh and make merged shard rankings unstable.
+func rankedBefore(ki, kj float64, hi, hj string) bool {
+	// lint:ignore floatcmp exact tie-break keeps the ranking a strict weak ordering
+	if ki != kj {
+		return ki > kj
+	}
+	return hi < hj
+}
+
+// sortRanked sorts records in place into the serving order for key.
+func sortRanked(recs []HostRecord, key func(*HostRecord) float64) {
+	sort.Slice(recs, func(i, j int) bool {
+		return rankedBefore(key(&recs[i]), key(&recs[j]), recs[i].Host, recs[j].Host)
+	})
+}
+
+// rank returns the top-k records by key in the serving order
+// (rankedBefore). evaluatedOnly restricts the ranking to the examined
+// set T — the relative-mass ranking is meaningless below ρ, where tiny
+// absolute errors blow up m̃ (Section 3.6).
 func (s *Snapshot) rank(k int, evaluatedOnly bool, key func(*HostRecord) float64) []HostRecord {
 	idx := make([]int, 0, len(s.records))
 	for x := range s.records {
@@ -189,12 +224,8 @@ func (s *Snapshot) rank(k int, evaluatedOnly bool, key func(*HostRecord) float64
 		idx = append(idx, x)
 	}
 	sort.Slice(idx, func(i, j int) bool {
-		ki, kj := key(&s.records[idx[i]]), key(&s.records[idx[j]])
-		// lint:ignore floatcmp exact tie-break keeps the ranking a strict weak ordering
-		if ki != kj {
-			return ki > kj
-		}
-		return idx[i] < idx[j]
+		a, b := &s.records[idx[i]], &s.records[idx[j]]
+		return rankedBefore(key(a), key(b), a.Host, b.Host)
 	})
 	if k > len(idx) {
 		k = len(idx)

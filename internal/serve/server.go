@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -52,6 +54,17 @@ type Config struct {
 	Watchdog *Watchdog
 	// DisableMetrics removes the GET /metrics route.
 	DisableMetrics bool
+	// Backend, if non-nil, is where /v1 answers come from instead of
+	// the local store — a shard router, a disk-backed store. When nil,
+	// NewServer wraps its store argument in a StoreBackend.
+	Backend Backend
+	// Routes adds or overrides mux routes (Go 1.22 patterns, e.g.
+	// "POST /admin/delta"). An entry whose pattern matches a default
+	// route replaces it; other entries are registered as-is. Handlers
+	// installed here bypass the /v1 guardrails (admission control,
+	// deadline, tracing) — they are for admin surfaces like the shard
+	// router's delta and status endpoints, which own their semantics.
+	Routes map[string]http.HandlerFunc
 }
 
 // Serving defaults.
@@ -94,11 +107,12 @@ func (c Config) withDefaults() Config {
 //	GET  /admin/timeseries          bounded metric history (?metric=…&since=…)
 //	GET  /admin/flightrecorder      slowest / errored span trees
 type Server struct {
-	store *Store
-	ref   *Refresher // nil disables /admin/refresh
-	cfg   Config
-	sem   chan struct{}
-	mux   *http.ServeMux
+	store   *Store // nil when serving a non-local Backend
+	ref     *Refresher
+	backend Backend
+	cfg     Config
+	sem     chan struct{}
+	mux     *http.ServeMux
 
 	requests *obs.Counter
 	shed     *obs.Counter
@@ -109,12 +123,23 @@ type Server struct {
 
 // NewServer builds the query layer over store. ref may be nil, which
 // disables the refresh endpoint (refreshes then come only from
-// whatever drives the store directly).
+// whatever drives the store directly). store may be nil when
+// cfg.Backend supplies the serving state — the shard router mode —
+// in which case the snapshot-specific admin endpoints degrade to
+// their backend-generic answers unless cfg.Routes overrides them.
 func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	backend := cfg.Backend
+	if backend == nil {
+		if store == nil {
+			panic("serve: NewServer needs a store or a Config.Backend")
+		}
+		backend = NewStoreBackend(store)
+	}
 	s := &Server{
 		store:    store,
 		ref:      ref,
+		backend:  backend,
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		mux:      http.NewServeMux(),
@@ -124,16 +149,24 @@ func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
 		latency:  cfg.Obs.Histogram("serve.request_seconds"),
 		ageGauge: cfg.Obs.Gauge("serve.snapshot_age_seconds"),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
-	s.mux.HandleFunc("GET /v1/host/{name}", s.limited("host", s.handleHost))
-	s.mux.HandleFunc("POST /v1/batch", s.limited("batch", s.handleBatch))
-	s.mux.HandleFunc("GET /v1/top", s.limited("top", s.handleTop))
-	s.mux.HandleFunc("POST /admin/refresh", s.traced("admin/refresh", s.handleRefresh))
-	s.mux.HandleFunc("POST /admin/delta", s.traced("admin/delta", s.handleDelta))
-	s.mux.HandleFunc("GET /admin/status", s.handleStatus)
-	s.mux.HandleFunc("GET /admin/timeseries", s.handleTimeseries)
-	s.mux.HandleFunc("GET /admin/flightrecorder", s.handleFlight)
+	routes := map[string]http.HandlerFunc{
+		"GET /healthz":             s.handleHealthz,
+		"GET /readyz":              s.handleReadyz,
+		"GET /v1/host/{name}":      s.limited("host", s.handleHost),
+		"POST /v1/batch":           s.limited("batch", s.handleBatch),
+		"GET /v1/top":              s.limited("top", s.handleTop),
+		"POST /admin/refresh":      s.traced("admin/refresh", s.handleRefresh),
+		"POST /admin/delta":        s.traced("admin/delta", s.handleDelta),
+		"GET /admin/status":        s.handleStatus,
+		"GET /admin/timeseries":    s.handleTimeseries,
+		"GET /admin/flightrecorder": s.handleFlight,
+	}
+	for pattern, h := range cfg.Routes {
+		routes[pattern] = h
+	}
+	for pattern, h := range routes {
+		s.mux.HandleFunc(pattern, h)
+	}
 	if !cfg.DisableMetrics {
 		s.mux.Handle("GET /metrics", obs.PrometheusHandler(cfg.Obs.Registry()))
 	}
@@ -142,6 +175,15 @@ func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
 
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// generation is the served generation: the local store's epoch, or
+// the backend's generation when there is no local store.
+func (s *Server) generation() int64 {
+	if s.store != nil {
+		return s.store.Epoch()
+	}
+	return s.backend.Generation()
+}
 
 // errorBody is the uniform JSON error envelope.
 type errorBody struct {
@@ -305,22 +347,28 @@ func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// snapshot loads the current snapshot, answering 503 itself when none
-// has been published yet.
-func (s *Server) snapshot(w http.ResponseWriter) *Snapshot {
-	snap := s.store.Load()
-	if snap == nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no snapshot published yet"})
+// backendError maps a Backend failure to its HTTP answer: no
+// published state is 503 (retryable, same as before the first
+// publish), an expired request deadline is 503, and anything else —
+// which can only come from a remote backend, e.g. an unreachable
+// shard — is 502.
+func backendError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoSnapshot):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: ErrNoSnapshot.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "request deadline exceeded"})
+	default:
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
 	}
-	return snap
 }
 
 func (s *Server) handleHost(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot(w)
-	if snap == nil {
+	rec, ok, err := s.backend.Lookup(r.Context(), r.PathValue("name"))
+	if err != nil {
+		backendError(w, err)
 		return
 	}
-	rec, ok := snap.Lookup(r.PathValue("name"))
 	if !ok {
 		s.misses.Inc()
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown host"})
@@ -358,25 +406,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			errorBody{Error: "batch of " + strconv.Itoa(len(req.Hosts)) + " exceeds limit " + strconv.Itoa(s.cfg.MaxBatch)})
 		return
 	}
-	snap := s.snapshot(w)
-	if snap == nil {
+	resp, err := s.backend.Batch(r.Context(), req.Hosts)
+	if err != nil {
+		backendError(w, err)
 		return
 	}
-	resp := BatchResponse{Epoch: snap.Epoch(), Records: make([]*HostRecord, len(req.Hosts))}
-	for i, name := range req.Hosts {
-		if i%256 == 255 && r.Context().Err() != nil {
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "request deadline exceeded"})
-			return
-		}
-		if rec, ok := snap.Lookup(name); ok {
-			cp := rec
-			resp.Records[i] = &cp
-		} else {
-			resp.Misses++
-		}
-	}
 	s.misses.Add(int64(resp.Misses))
-	writeJSON(w, http.StatusOK, &resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // TopResponse answers GET /v1/top.
@@ -387,13 +423,14 @@ type TopResponse struct {
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot(w)
-	if snap == nil {
-		return
-	}
 	metric := r.URL.Query().Get("metric")
 	if metric == "" {
 		metric = MetricRelMass
+	}
+	if !ValidMetric(metric) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(
+			"unknown ranking metric %q (want %s, %s, or %s)", metric, MetricRelMass, MetricAbsMass, MetricPageRank)})
+		return
 	}
 	n := 50
 	if raw := r.URL.Query().Get("n"); raw != "" {
@@ -404,12 +441,12 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	recs, err := snap.Top(metric, n)
+	resp, err := s.backend.Top(r.Context(), metric, n)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		backendError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, &TopResponse{Epoch: snap.Epoch(), Metric: metric, Records: recs})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +454,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		// Non-local backend: ready once it serves a generation. A shard
+		// router typically overrides this route with its fence-aware
+		// answer; this is the generic fallback.
+		gen := s.backend.Generation()
+		if gen == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no generation"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "generation": gen})
+		return
+	}
 	snap := s.store.Load()
 	if snap == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no snapshot"})
@@ -510,7 +559,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "refreshed", "epoch": s.store.Epoch()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "refreshed", "epoch": s.generation()})
 }
 
 // maxDeltaBody bounds the POST /admin/delta request body.
@@ -546,7 +595,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "delta applied", "epoch": s.store.Epoch(), "ops": b.NumOps()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "delta applied", "epoch": s.generation(), "ops": b.NumOps()})
 }
 
 // StatusResponse is the GET /admin/status body.
@@ -568,6 +617,11 @@ type StatusResponse struct {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	var resp StatusResponse
+	if s.store == nil {
+		resp.Epoch = s.backend.Generation()
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
 	if snap := s.store.Load(); snap != nil {
 		resp.Epoch = snap.Epoch()
 		resp.BuiltAt = snap.BuiltAt()

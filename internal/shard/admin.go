@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"spammass/internal/delta"
+)
+
+// maxDeltaBody bounds the delta batch a router will accept.
+const maxDeltaBody = 8 << 20
+
+// deltaReply is the subset of a shard's POST /admin/delta?wait=1
+// answer the router needs: the epoch the shard published the batch
+// under.
+type deltaReply struct {
+	Epoch int64 `json:"epoch"`
+}
+
+// DeltaResult reports one fenced delta application.
+type DeltaResult struct {
+	// Generation is the fence generation the delta was published
+	// under.
+	Generation int64 `json:"generation"`
+	// Ops is the total op count of the inbound batch.
+	Ops int `json:"ops"`
+	// CrossEdges counts edge ops dropped because their endpoints live
+	// on different shards (the serving tier keeps shard-local
+	// subgraphs; see internal/delta.SplitByShard).
+	CrossEdges int `json:"cross_edges"`
+	// Shards lists the shard indexes the batch touched.
+	Shards []int `json:"shards"`
+	// ShardEpochs[i] is the epoch shard Shards[i] published, the new
+	// fence floor for that shard.
+	ShardEpochs []int64 `json:"shard_epochs"`
+}
+
+// ApplyDelta splits a batch by owning shard, applies each part to
+// every replica of its shard synchronously (?wait=1), and — only once
+// every touched shard has published — advances the generation fence.
+// Deltas are serialized: the fence must never interleave. On any
+// shard failure the fence is left exactly where it was; replicas that
+// already applied simply run ahead of the floor, which readers
+// tolerate (the fence is a lower bound).
+func (r *Router) ApplyDelta(ctx context.Context, b *delta.Batch) (*DeltaResult, error) {
+	split, err := delta.SplitByShard(b, len(r.shards))
+	if err != nil {
+		return nil, err
+	}
+	touched := split.Touched()
+
+	r.deltaMu.Lock()
+	defer r.deltaMu.Unlock()
+
+	old := r.gen.Load()
+	res := &DeltaResult{Ops: b.NumOps(), CrossEdges: split.CrossEdges, Shards: touched}
+	if old != nil {
+		res.Generation = old.ID
+	}
+	if len(touched) == 0 {
+		return res, nil // nothing but dropped cross edges; fence unchanged
+	}
+
+	// Fan out: each touched shard's part goes to every replica, so the
+	// whole replica set clears the new floor together.
+	epochs := make([]int64, len(touched))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, s := range touched {
+		var buf bytes.Buffer
+		if err := delta.WriteText(&buf, split.Parts[s]); err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i, s int, body []byte) {
+			defer wg.Done()
+			low, err := r.deltaShard(ctx, s, body)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			epochs[i] = low
+		}(i, s, buf.Bytes())
+	}
+	wg.Wait()
+	if firstErr != nil {
+		r.errors.Inc()
+		return nil, firstErr
+	}
+
+	next := &Generation{MinEpoch: make([]int64, len(r.shards))}
+	if old != nil {
+		next.ID = old.ID + 1
+		copy(next.MinEpoch, old.MinEpoch)
+	} else {
+		next.ID = 1
+	}
+	for i, s := range touched {
+		if epochs[i] > next.MinEpoch[s] {
+			next.MinEpoch[s] = epochs[i]
+		}
+	}
+	r.gen.Store(next)
+	r.genGauge.Set(float64(next.ID))
+	r.deltas.Add(1)
+	res.Generation = next.ID
+	res.ShardEpochs = epochs
+	if r.cfg.Obs.Logging() {
+		r.cfg.Obs.Logf("shard: delta of %d ops fenced at generation %d (shards %v, floors %v, %d cross edges dropped)",
+			b.NumOps(), next.ID, touched, epochs, split.CrossEdges)
+	}
+	return res, nil
+}
+
+// deltaShard posts one shard's part to every replica and returns the
+// lowest epoch any replica published it under — the shard's new fence
+// floor.
+func (r *Router) deltaShard(ctx context.Context, s int, body []byte) (int64, error) {
+	ss := r.shards[s]
+	epochs := make([]int64, len(ss.replicas))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, rep := range ss.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			e, err := r.deltaReplica(ctx, s, rep, body)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			epochs[i] = e
+		}(i, rep)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	low := epochs[0]
+	for _, e := range epochs[1:] {
+		if e < low {
+			low = e
+		}
+	}
+	return low, nil
+}
+
+// deltaReplica applies one part to one replica synchronously. This
+// bypasses fetch's replica choice on purpose: a delta is addressed to
+// a specific replica, not to "whichever answers fastest".
+func (r *Router) deltaReplica(ctx context.Context, s int, rep *replica, body []byte) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+"/admin/delta?wait=1", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		rep.healthy.Store(false)
+		return 0, fmt.Errorf("shard %d replica %s: %w", s, rep.base, err)
+	}
+	defer resp.Body.Close()
+	var reply deltaReply
+	dec := json.NewDecoder(http.MaxBytesReader(nil, resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = dec.Decode(&eb)
+		return 0, fmt.Errorf("shard %d replica %s: delta rejected with status %d: %s", s, rep.base, resp.StatusCode, eb.Error)
+	}
+	if err := dec.Decode(&reply); err != nil {
+		return 0, fmt.Errorf("shard %d replica %s: bad delta reply: %w", s, rep.base, err)
+	}
+	if reply.Epoch <= 0 {
+		return 0, fmt.Errorf("shard %d replica %s: delta reply has no epoch", s, rep.base)
+	}
+	rep.lastEpoch.Store(reply.Epoch)
+	return reply.Epoch, nil
+}
+
+// errorBody mirrors the serve package's JSON error shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HandleDelta is the router's POST /admin/delta: parse the batch,
+// split it by owning shard, fence it. Installed over the stock route
+// via serve.Config.Routes.
+func (r *Router) HandleDelta(w http.ResponseWriter, req *http.Request) {
+	b, err := delta.ReadText(http.MaxBytesReader(w, req.Body, maxDeltaBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad delta body: " + err.Error()})
+		return
+	}
+	res, err := r.ApplyDelta(req.Context(), b)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// ReplicaStatus is one replica's row in the router status.
+type ReplicaStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Epoch   int64  `json:"epoch"`
+}
+
+// ShardStatus is one shard's row in the router status.
+type ShardStatus struct {
+	Index    int             `json:"index"`
+	MinEpoch int64           `json:"min_epoch"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// RouterStatus is the GET /admin/status body of a router.
+type RouterStatus struct {
+	Role       string        `json:"role"`
+	Generation int64         `json:"generation"`
+	Deltas     int64         `json:"deltas"`
+	Shards     []ShardStatus `json:"shards"`
+}
+
+// Status assembles the router's current topology view.
+func (r *Router) Status() *RouterStatus {
+	g := r.gen.Load()
+	st := &RouterStatus{Role: "router", Generation: r.Generation(), Deltas: r.deltas.Load()}
+	for s, ss := range r.shards {
+		row := ShardStatus{Index: s, MinEpoch: r.floor(g, s)}
+		for _, rep := range ss.replicas {
+			row.Replicas = append(row.Replicas, ReplicaStatus{
+				URL:     rep.base,
+				Healthy: rep.healthy.Load(),
+				Epoch:   rep.lastEpoch.Load(),
+			})
+		}
+		st.Shards = append(st.Shards, row)
+	}
+	return st
+}
+
+// HandleStatus is the router's GET /admin/status.
+func (r *Router) HandleStatus(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Status())
+}

@@ -1,0 +1,242 @@
+// Package shard is the horizontal serving tier: shard nodes are plain
+// spamserver processes each holding one partition of the host space
+// (internal/graph.ShardOf), and the Router fronts them behind the same
+// JSON API, scatter-gathering batches and rankings and fencing deltas
+// behind a global generation so no reader ever observes a torn
+// cross-shard view.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// maxBodyBytes bounds every sub-response the router will buffer from a
+// shard; /v1/top with MaxTop records is well under this.
+const maxBodyBytes = 8 << 20
+
+// replica is one serving process of a shard. Health and the last
+// observed snapshot epoch are maintained by the router's probe loop
+// and refreshed opportunistically on every proxied response.
+type replica struct {
+	base      string // URL prefix, no trailing slash
+	healthy   atomic.Bool
+	lastEpoch atomic.Int64
+}
+
+// readyBody is the subset of a shard's GET /readyz answer the probe
+// loop cares about.
+type readyBody struct {
+	Status string `json:"status"`
+	Epoch  int64  `json:"epoch"`
+}
+
+// shardSet is the router's view of one shard: its replicas, a bounded
+// in-flight semaphore, and a round-robin cursor for replica choice.
+type shardSet struct {
+	replicas []*replica
+	inflight chan struct{}
+	next     atomic.Uint32
+}
+
+func newShardSet(urls []string, maxInFlight int) *shardSet {
+	ss := &shardSet{inflight: make(chan struct{}, maxInFlight)}
+	for _, u := range urls {
+		ss.replicas = append(ss.replicas, &replica{base: strings.TrimRight(u, "/")})
+	}
+	return ss
+}
+
+// acquire takes an in-flight slot, blocking until one frees or the
+// context ends. One slot covers a request and its hedge: the bound is
+// on logical client requests per shard, not wire attempts.
+func (ss *shardSet) acquire(ctx context.Context) error {
+	select {
+	case ss.inflight <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (ss *shardSet) release() { <-ss.inflight }
+
+// pick returns the next healthy replica in round-robin order, skipping
+// not (the replica a hedge is racing against). When no replica is
+// healthy it falls back to any replica other than not — a probe gap
+// must degrade to trying, not to refusing.
+func (ss *shardSet) pick(not *replica) *replica {
+	n := len(ss.replicas)
+	start := int(ss.next.Add(1))
+	for i := 0; i < n; i++ {
+		r := ss.replicas[(start+i)%n]
+		if r != not && r.healthy.Load() {
+			return r
+		}
+	}
+	for i := 0; i < n; i++ {
+		if r := ss.replicas[(start+i)%n]; r != not {
+			return r
+		}
+	}
+	return nil
+}
+
+func (ss *shardSet) healthyCount() int {
+	n := 0
+	for _, r := range ss.replicas {
+		if r.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// result is one wire attempt's outcome.
+type result struct {
+	status int
+	body   []byte
+	rep    *replica
+	err    error
+}
+
+// fetch performs one logical request against shard s: acquire the
+// in-flight slot, send to a healthy replica, and — if the reply is
+// still outstanding after HedgeAfter and the shard has another usable
+// replica — race a hedge and take whichever usable answer lands first.
+// An attempt that fails at the transport level marks its replica
+// unhealthy (the probe loop rehabilitates it) and falls through to the
+// other attempt. The body is fully read before return, so the
+// semaphore slot is held for the whole transfer.
+func (r *Router) fetch(ctx context.Context, s int, method, path string, reqBody []byte, contentType string) (int, []byte, *replica, error) {
+	ss := r.shards[s]
+	if err := ss.acquire(ctx); err != nil {
+		return 0, nil, nil, err
+	}
+	defer ss.release()
+
+	start := time.Now()
+	defer r.latency.ObserveSince(start)
+	r.requests.Inc()
+
+	attempt := func(ctx context.Context, rep *replica, out chan<- result) {
+		req, err := http.NewRequestWithContext(ctx, method, rep.base+path, bytes.NewReader(reqBody))
+		if err != nil {
+			out <- result{rep: rep, err: err}
+			return
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			rep.healthy.Store(false)
+			out <- result{rep: rep, err: err}
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if err != nil {
+			rep.healthy.Store(false)
+			out <- result{rep: rep, err: err}
+			return
+		}
+		out <- result{status: resp.StatusCode, body: body, rep: rep}
+	}
+
+	primary := ss.pick(nil)
+	if primary == nil {
+		r.errors.Inc()
+		return 0, nil, nil, fmt.Errorf("shard %d has no replicas", s)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan result, 2)
+	go attempt(actx, primary, results)
+	outstanding := 1
+	hedged := false
+
+	var timer *time.Timer
+	var hedgeC <-chan time.Time
+	if r.cfg.HedgeAfter > 0 && len(ss.replicas) > 1 {
+		timer = time.NewTimer(r.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			r.errors.Inc()
+			return 0, nil, nil, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if sec := ss.pick(primary); sec != nil {
+				r.hedges.Inc()
+				hedged = true
+				outstanding++
+				go attempt(actx, sec, results)
+			}
+		case res := <-results:
+			outstanding--
+			if res.err == nil {
+				return res.status, res.body, res.rep, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if outstanding > 0 {
+				continue // the other attempt may still win
+			}
+			// Both attempts (or the only one) failed: try one more
+			// replica immediately if the hedge never launched.
+			if !hedged {
+				if alt := ss.pick(res.rep); alt != nil && alt != res.rep {
+					hedged = true
+					outstanding++
+					go attempt(actx, alt, results)
+					continue
+				}
+			}
+			r.errors.Inc()
+			return 0, nil, nil, fmt.Errorf("shard %d unreachable: %w", s, firstErr)
+		}
+	}
+}
+
+// probeReplica polls one replica's /readyz, updating health and the
+// last observed epoch.
+func (r *Router) probeReplica(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.base+"/readyz", nil)
+	if err != nil {
+		rep.healthy.Store(false)
+		r.probeFailures.Inc()
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		rep.healthy.Store(false)
+		r.probeFailures.Inc()
+		return
+	}
+	defer resp.Body.Close()
+	var body readyBody
+	if resp.StatusCode != http.StatusOK ||
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body) != nil {
+		rep.healthy.Store(false)
+		r.probeFailures.Inc()
+		return
+	}
+	rep.lastEpoch.Store(body.Epoch)
+	rep.healthy.Store(true)
+}

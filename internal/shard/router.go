@@ -1,0 +1,447 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spammass/internal/graph"
+	"spammass/internal/obs"
+	"spammass/internal/serve"
+)
+
+// Config wires a Router to its shard topology.
+type Config struct {
+	// Shards[i] lists the replica base URLs of shard i. Host names are
+	// routed by graph.ShardOf(name, len(Shards)) — the same partitioner
+	// the shard inputs were built with.
+	Shards [][]string
+	// MaxInFlightPerShard bounds concurrent logical requests per shard
+	// (a hedge rides on its request's slot). Default 64.
+	MaxInFlightPerShard int
+	// HedgeAfter is how long to wait on a shard reply before racing a
+	// second replica. Zero disables hedging. Default 100ms.
+	HedgeAfter time.Duration
+	// ProbeInterval is the health-probe period of Run. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe. Default 2s.
+	ProbeTimeout time.Duration
+	// Obs receives router metrics; nil is fine.
+	Obs *obs.Context
+	// Client performs the upstream requests; http.DefaultClient when
+	// nil.
+	Client *http.Client
+}
+
+// Generation is the router's global serving fence. ID is the
+// generation number handed to clients; MinEpoch[s] is the snapshot
+// epoch floor of shard s — every sub-response must carry an epoch at
+// or above the floor to be served under this generation. The fence
+// advances only after every shard touched by a delta has published
+// the new epoch, so a reader can never observe generation G while
+// some shard still serves pre-G data for its partition.
+type Generation struct {
+	ID       int64
+	MinEpoch []int64
+}
+
+// Router fans the serve JSON API out over shard nodes. It implements
+// serve.Backend, so the stock HTTP layer (mux, admission control,
+// telemetry) fronts it unchanged; only the admin delta/status routes
+// are router-specific (HandleDelta, HandleStatus via Config.Routes).
+type Router struct {
+	cfg    Config
+	shards []*shardSet
+	client *http.Client
+
+	gen     atomic.Pointer[Generation]
+	deltaMu sync.Mutex // serializes delta fan-out and fence advance
+	deltas  atomic.Int64
+
+	requests      *obs.Counter
+	hedges        *obs.Counter
+	errors        *obs.Counter
+	staleRetries  *obs.Counter
+	probeFailures *obs.Counter
+	genGauge      *obs.Gauge
+	healthyGauge  *obs.Gauge
+	latency       *obs.Histogram
+}
+
+// NewRouter validates the topology and builds a Router. The fence is
+// unset until the first full probe round (ProbeOnce/Run) sees every
+// shard ready; until then every read answers as "no snapshot yet".
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: router needs at least one shard")
+	}
+	for i, urls := range cfg.Shards {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no replica URLs", i)
+		}
+	}
+	if cfg.MaxInFlightPerShard <= 0 {
+		cfg.MaxInFlightPerShard = 64
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = 100 * time.Millisecond
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	r := &Router{
+		cfg:           cfg,
+		client:        cfg.Client,
+		requests:      cfg.Obs.Counter("shard.requests_total"),
+		hedges:        cfg.Obs.Counter("shard.hedges_total"),
+		errors:        cfg.Obs.Counter("shard.errors_total"),
+		staleRetries:  cfg.Obs.Counter("shard.stale_retries_total"),
+		probeFailures: cfg.Obs.Counter("shard.probe_failures_total"),
+		genGauge:      cfg.Obs.Gauge("shard.generation"),
+		healthyGauge:  cfg.Obs.Gauge("shard.healthy_replicas"),
+		latency:       cfg.Obs.Histogram("shard.request_seconds"),
+	}
+	for _, urls := range cfg.Shards {
+		r.shards = append(r.shards, newShardSet(urls, cfg.MaxInFlightPerShard))
+	}
+	return r, nil
+}
+
+// NumShards returns the topology width.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Generation returns the fence generation ID, 0 before the fence has
+// formed. This is what the router's /readyz and /v1 epochs report.
+func (r *Router) Generation() int64 {
+	if g := r.gen.Load(); g != nil {
+		return g.ID
+	}
+	return 0
+}
+
+// floor returns the fence's epoch floor for shard s (0 with no fence).
+func (r *Router) floor(g *Generation, s int) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.MinEpoch[s]
+}
+
+// upstreamError turns a non-OK shard reply into an error carrying the
+// shard's own message when it sent one.
+func upstreamError(s, status int, body []byte) error {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("shard %d: %s (status %d)", s, eb.Error, status)
+	}
+	return fmt.Errorf("shard %d answered status %d", s, status)
+}
+
+// Lookup routes a point lookup to the owning shard. A sub-response
+// below the fence floor (a replica that has not caught up with a
+// fenced delta) is retried once on another replica before failing —
+// the fence is a floor, never a time machine.
+func (r *Router) Lookup(ctx context.Context, name string) (serve.HostRecord, bool, error) {
+	g := r.gen.Load()
+	if g == nil {
+		return serve.HostRecord{}, false, serve.ErrNoSnapshot
+	}
+	s := graph.ShardOf(name, len(r.shards))
+	path := "/v1/host/" + url.PathEscape(name)
+	for attempt := 0; ; attempt++ {
+		status, body, rep, err := r.fetch(ctx, s, http.MethodGet, path, nil, "")
+		if err != nil {
+			return serve.HostRecord{}, false, err
+		}
+		switch status {
+		case http.StatusOK:
+			var rec serve.HostRecord
+			if err := json.Unmarshal(body, &rec); err != nil {
+				return serve.HostRecord{}, false, fmt.Errorf("shard %d: bad host record: %w", s, err)
+			}
+			rep.lastEpoch.Store(rec.Epoch)
+			if rec.Epoch < r.floor(g, s) {
+				if attempt == 0 {
+					r.staleRetries.Inc()
+					continue
+				}
+				r.errors.Inc()
+				return serve.HostRecord{}, false, fmt.Errorf(
+					"shard %d serves epoch %d below fence floor %d", s, rec.Epoch, r.floor(g, s))
+			}
+			return rec, true, nil
+		case http.StatusNotFound:
+			return serve.HostRecord{}, false, nil
+		default:
+			r.errors.Inc()
+			return serve.HostRecord{}, false, upstreamError(s, status, body)
+		}
+	}
+}
+
+// subBatch is one shard's slice of a batch: the deduplicated names
+// owned by the shard and, per inbound position, where its record sits.
+type subBatch struct {
+	names []string
+	index map[string]int // name → position in names
+}
+
+// Batch fans a batch out to the owning shards — each unique name is
+// sent once, no matter how often the caller repeated it — and
+// reassembles the sub-responses into one aligned answer: Records[i]
+// belongs to names[i], null per miss, duplicates sharing one record.
+// The response epoch is the fence generation ID; records keep their
+// per-shard snapshot epochs.
+func (r *Router) Batch(ctx context.Context, names []string) (*serve.BatchResponse, error) {
+	g := r.gen.Load()
+	if g == nil {
+		return nil, serve.ErrNoSnapshot
+	}
+	subs := make(map[int]*subBatch)
+	for _, name := range names {
+		s := graph.ShardOf(name, len(r.shards))
+		sb := subs[s]
+		if sb == nil {
+			sb = &subBatch{index: make(map[string]int)}
+			subs[s] = sb
+		}
+		if _, seen := sb.index[name]; !seen {
+			sb.index[name] = len(sb.names)
+			sb.names = append(sb.names, name)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	responses := make(map[int]*serve.BatchResponse, len(subs))
+	var firstErr error
+	for s, sb := range subs {
+		wg.Add(1)
+		go func(s int, sb *subBatch) {
+			defer wg.Done()
+			resp, err := r.batchShard(ctx, g, s, sb.names)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			responses[s] = resp
+		}(s, sb)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := &serve.BatchResponse{Epoch: g.ID, Records: make([]*serve.HostRecord, len(names))}
+	for i, name := range names {
+		s := graph.ShardOf(name, len(r.shards))
+		rec := responses[s].Records[subs[s].index[name]]
+		out.Records[i] = rec
+		if rec == nil {
+			out.Misses++
+		}
+	}
+	return out, nil
+}
+
+// batchShard sends one shard's deduplicated sub-batch, retrying once
+// when the sub-response epoch is below the fence floor.
+func (r *Router) batchShard(ctx context.Context, g *Generation, s int, names []string) (*serve.BatchResponse, error) {
+	reqBody, err := json.Marshal(serve.BatchRequest{Hosts: names})
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		status, body, rep, err := r.fetch(ctx, s, http.MethodPost, "/v1/batch", reqBody, "application/json")
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			r.errors.Inc()
+			return nil, upstreamError(s, status, body)
+		}
+		var resp serve.BatchResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, fmt.Errorf("shard %d: bad batch response: %w", s, err)
+		}
+		if len(resp.Records) != len(names) {
+			return nil, fmt.Errorf("shard %d: batch returned %d records for %d names", s, len(resp.Records), len(names))
+		}
+		rep.lastEpoch.Store(resp.Epoch)
+		if resp.Epoch < r.floor(g, s) {
+			if attempt == 0 {
+				r.staleRetries.Inc()
+				continue
+			}
+			r.errors.Inc()
+			return nil, fmt.Errorf("shard %d serves epoch %d below fence floor %d", s, resp.Epoch, r.floor(g, s))
+		}
+		return &resp, nil
+	}
+}
+
+// Top scatter-gathers every shard's top n for metric and merges them
+// into the global ranking with the same deterministic order a single
+// snapshot would serve (metric key descending, host name ascending).
+func (r *Router) Top(ctx context.Context, metric string, n int) (*serve.TopResponse, error) {
+	g := r.gen.Load()
+	if g == nil {
+		return nil, serve.ErrNoSnapshot
+	}
+	if !serve.ValidMetric(metric) {
+		return nil, fmt.Errorf("shard: unknown ranking metric %q", metric)
+	}
+	path := "/v1/top?metric=" + url.QueryEscape(metric) + "&n=" + strconv.Itoa(n)
+	lists := make([][]serve.HostRecord, len(r.shards))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for s := range r.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			list, err := r.topShard(ctx, g, s, path)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			lists[s] = list
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	merged, err := serve.MergeTop(metric, n, lists...)
+	if err != nil {
+		return nil, err
+	}
+	return &serve.TopResponse{Epoch: g.ID, Metric: metric, Records: merged}, nil
+}
+
+func (r *Router) topShard(ctx context.Context, g *Generation, s int, path string) ([]serve.HostRecord, error) {
+	for attempt := 0; ; attempt++ {
+		status, body, rep, err := r.fetch(ctx, s, http.MethodGet, path, nil, "")
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusOK {
+			r.errors.Inc()
+			return nil, upstreamError(s, status, body)
+		}
+		var resp serve.TopResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, fmt.Errorf("shard %d: bad top response: %w", s, err)
+		}
+		rep.lastEpoch.Store(resp.Epoch)
+		if resp.Epoch < r.floor(g, s) {
+			if attempt == 0 {
+				r.staleRetries.Inc()
+				continue
+			}
+			r.errors.Inc()
+			return nil, fmt.Errorf("shard %d serves epoch %d below fence floor %d", s, resp.Epoch, r.floor(g, s))
+		}
+		return resp.Records, nil
+	}
+}
+
+// ProbeOnce probes every replica of every shard and, once each shard
+// has a ready replica, forms the initial fence: generation 1 with each
+// shard's floor at the lowest epoch among its ready replicas (so any
+// of them can answer under the fence).
+func (r *Router) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, ss := range r.shards {
+		for _, rep := range ss.replicas {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				r.probeReplica(ctx, rep)
+			}(rep)
+		}
+	}
+	wg.Wait()
+	healthy := 0
+	for _, ss := range r.shards {
+		healthy += ss.healthyCount()
+	}
+	r.healthyGauge.Set(float64(healthy))
+	if r.gen.Load() != nil {
+		return
+	}
+	// Form the initial fence under the delta lock so a concurrent
+	// HandleDelta cannot publish a competing generation.
+	r.deltaMu.Lock()
+	defer r.deltaMu.Unlock()
+	if r.gen.Load() != nil {
+		return
+	}
+	floors := make([]int64, len(r.shards))
+	for s, ss := range r.shards {
+		low := int64(0)
+		for _, rep := range ss.replicas {
+			if !rep.healthy.Load() {
+				continue
+			}
+			e := rep.lastEpoch.Load()
+			if e <= 0 {
+				continue
+			}
+			if low == 0 || e < low {
+				low = e
+			}
+		}
+		if low == 0 {
+			return // shard s not ready yet; no fence
+		}
+		floors[s] = low
+	}
+	r.gen.Store(&Generation{ID: 1, MinEpoch: floors})
+	r.genGauge.Set(1)
+	if r.cfg.Obs.Logging() {
+		r.cfg.Obs.Logf("shard: fence formed, generation 1, floors %v", floors)
+	}
+}
+
+// Run probes replica health every ProbeInterval until ctx ends. The
+// first successful full round forms the fence and makes the router
+// ready.
+func (r *Router) Run(ctx context.Context) {
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	r.ProbeOnce(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			r.ProbeOnce(ctx)
+		}
+	}
+}
+
+var _ serve.Backend = (*Router)(nil)
