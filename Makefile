@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-all race vet lint lint-json vectorcheck fuzz-smoke serve-smoke delta-smoke obs-smoke shard-smoke verify clean
+.PHONY: build test bench bench-all race vet lint lint-json vectorcheck fuzz-smoke serve-smoke delta-smoke obs-smoke shard-smoke ingest-smoke verify clean
 
 build:
 	$(GO) build ./...
@@ -15,16 +15,19 @@ test:
 # metrics-only, fully instrumented, and the paired telemetry-overhead
 # measurement backing the <=3% budget), the routed lookup/batch
 # benchmarks against their single-node ServeLookup baseline, and the
-# incremental (delta + warm start) refresh against its cold baseline —
-# with -benchmem, and converts the combined output into the
+# incremental (delta + warm start) refresh against its cold baseline,
+# plus the durable-ingest pair (WAL append throughput in both fsync
+# disciplines, and snapshot-load + WAL-replay recovery) — with
+# -benchmem, and converts the combined output into the
 # machine-readable benchmark summary for this PR.
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 bench:
 	{ $(GO) test -run='^$$' -bench=1M -benchtime=2x -timeout 1800s ./internal/pagerank/ && \
 	  $(GO) test -run='^$$' -bench=10k -benchmem ./internal/mass/ && \
 	  $(GO) test -run='^$$' -bench='ServeLookup|ServeTelemetryOverhead' -benchmem ./internal/serve/ && \
 	  $(GO) test -run='^$$' -bench='RouterLookup|RouterBatch' -benchmem ./internal/shard/ && \
-	  $(GO) test -run='^$$' -bench=Refresh10k -benchmem ./internal/delta/; } \
+	  $(GO) test -run='^$$' -bench=Refresh10k -benchmem ./internal/delta/ && \
+	  $(GO) test -run='^$$' -bench='IngestThroughput|RecoveryReplay' -benchtime=3x -benchmem ./internal/ingest/; } \
 	  | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 # bench-all is the full benchmark sweep over every package.
@@ -74,6 +77,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzCollapseToHosts -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run='^$$' -fuzz=FuzzDerive -fuzztime=$(FUZZTIME) ./internal/mass/
 	$(GO) test -run='^$$' -fuzz=FuzzDeltaApply -fuzztime=$(FUZZTIME) ./internal/delta/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/ingest/
 
 # serve-smoke boots cmd/spamserver on an ephemeral port against a
 # generated example graph, curls the health and query endpoints, forces
@@ -93,6 +97,13 @@ delta-smoke:
 # must advance the generation fence with no torn view.
 shard-smoke:
 	sh scripts/shard_smoke.sh
+
+# ingest-smoke is the end-to-end crash-recovery proof: a durable
+# server (-wal-dir) is SIGKILLed mid-churn-stream, restarted on the
+# same WAL, and must serve the recovered epoch and — after the rest of
+# the stream — scores identical to a never-crashed control.
+ingest-smoke:
+	sh scripts/ingest_smoke.sh
 
 # obs-smoke exercises the telemetry surface end to end: boot
 # spamserver with tracing, the metric recorder, and the drift watchdog

@@ -15,6 +15,13 @@
 // web.delta.1 … web.delta.N — the feed format of spamserver's
 // /admin/delta endpoint and -delta-watch flag.
 //
+// With -churn-stream N the generator writes an ingest soak feed: a
+// deterministic timestamped sequence of N delta batch files spread
+// evenly over one simulated week of crawl churn, web.stream.00001.delta
+// … web.stream.<N>.delta, each headed by a `# t=<RFC3339>` comment,
+// plus web.stream.manifest listing `<timestamp>\t<path>` in order. The
+// ingest smoke test and durability benchmarks replay this feed.
+//
 // With -shards N the world is additionally pre-partitioned for the
 // sharded serving tier: each shard s gets web.shard<s>.graph,
 // web.shard<s>.names, and web.shard<s>.core holding its partition of
@@ -29,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"spammass/internal/delta"
 	"spammass/internal/goodcore"
@@ -42,6 +50,7 @@ func main() {
 	out := flag.String("out", "web", "output path prefix")
 	text := flag.Bool("text", false, "write the graph in text format instead of binary")
 	churn := flag.Int("churn", 0, "also evolve N spam generations, writing one delta file per step")
+	churnStream := flag.Int("churn-stream", 0, "also write N timestamped delta batches spread over one simulated week (ingest soak feed)")
 	shards := flag.Int("shards", 0, "also write a pre-partitioned copy for an N-shard serving tier")
 	configPath := flag.String("config", "", "read the generator configuration from this JSON file")
 	dumpConfig := flag.Bool("dumpconfig", false, "print the default configuration as JSON and exit")
@@ -120,22 +129,7 @@ func main() {
 
 	cur := w
 	for i := 1; i <= *churn; i++ {
-		next, err := webgen.EvolveSpam(cur, webgen.EvolveConfig{Seed: *seed + int64(i)})
-		if err != nil {
-			die("churn step %d: %v", i, err)
-		}
-		oldH, err := graph.NewHostGraph(cur.Graph, cur.Names)
-		if err != nil {
-			die("churn step %d: %v", i, err)
-		}
-		newH, err := graph.NewHostGraph(next.Graph, next.Names)
-		if err != nil {
-			die("churn step %d: %v", i, err)
-		}
-		b, err := delta.Diff(oldH, newH)
-		if err != nil {
-			die("churn step %d: diff: %v", i, err)
-		}
+		next, b := evolveStep(cur, *seed+int64(i), i)
 		path := fmt.Sprintf("%s.delta.%d", *out, i)
 		if err := delta.WriteFile(path, b); err != nil {
 			die("churn step %d: %v", i, err)
@@ -143,6 +137,64 @@ func main() {
 		fmt.Printf("wrote %s (%d ops)\n", path, b.NumOps())
 		cur = next
 	}
+
+	if *churnStream > 0 {
+		writeChurnStream(*out, w, *seed, *churnStream)
+	}
+}
+
+// evolveStep advances the world one spam generation and returns the
+// next world with the delta batch that transforms cur into it.
+func evolveStep(cur *webgen.World, seed int64, step int) (*webgen.World, *delta.Batch) {
+	next, err := webgen.EvolveSpam(cur, webgen.EvolveConfig{Seed: seed})
+	if err != nil {
+		die("churn step %d: %v", step, err)
+	}
+	oldH, err := graph.NewHostGraph(cur.Graph, cur.Names)
+	if err != nil {
+		die("churn step %d: %v", step, err)
+	}
+	newH, err := graph.NewHostGraph(next.Graph, next.Names)
+	if err != nil {
+		die("churn step %d: %v", step, err)
+	}
+	b, err := delta.Diff(oldH, newH)
+	if err != nil {
+		die("churn step %d: diff: %v", step, err)
+	}
+	return next, b
+}
+
+// writeChurnStream writes the ingest soak feed: n delta batches evolved
+// from the base world, stamped with simulated crawl times spread evenly
+// over one week. Everything is derived from the seed and a fixed
+// simulated start, so two runs with the same flags produce
+// byte-identical feeds. The seeds sit in a disjoint range from -churn's
+// so the two sequences differ even when both flags are given.
+func writeChurnStream(out string, w *webgen.World, seed int64, n int) {
+	const week = 7 * 24 * time.Hour
+	start := time.Date(2006, time.March, 6, 0, 0, 0, 0, time.UTC) // fixed simulated crawl start
+	step := week / time.Duration(n)
+	cur := w
+	writeFile(out+".stream.manifest", func(mf *bufio.Writer) error {
+		for i := 1; i <= n; i++ {
+			var b *delta.Batch
+			cur, b = evolveStep(cur, seed+1_000_000+int64(i), i)
+			ts := start.Add(time.Duration(i-1) * step)
+			path := fmt.Sprintf("%s.stream.%05d.delta", out, i)
+			writeFile(path, func(f *bufio.Writer) error {
+				if _, err := fmt.Fprintf(f, "# t=%s\n# churn-stream step %d/%d\n", ts.Format(time.RFC3339), i, n); err != nil {
+					return err
+				}
+				return delta.WriteText(f, b)
+			})
+			if _, err := fmt.Fprintf(mf, "%s\t%s\n", ts.Format(time.RFC3339), path); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	fmt.Printf("wrote %s.stream.{00001..%05d}.delta + %s.stream.manifest (one simulated week)\n", out, n, out)
 }
 
 // writeShardFiles partitions the generated world over n shards with

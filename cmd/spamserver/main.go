@@ -10,6 +10,8 @@
 //	           [-tau 0.98] [-rho 10] [-gamma 0.85] [-damping 0.85]
 //	           [-refresh 15m] [-refresh-timeout 5m]
 //	           [-delta-watch path.delta] [-delta-poll 2s]
+//	           [-wal-dir path] [-compact-every 1m] [-wal-group-commit 0]
+//	           [-ingest-queue 16] [-anytime-every 0] [-anytime-walks 100]
 //	           [-max-inflight 256] [-timeout 5s] [-max-batch 1000]
 //	           [-addr-file path] [-debug-addr :6060] [-v]
 //	           [-solver-layout blocked|flat] [-solver-precision float64|float32]
@@ -64,6 +66,18 @@
 // one; the estimation warm-starts from the previous snapshot's
 // vectors, so small-churn batches converge in a fraction of a cold
 // rebuild's iterations.
+//
+// With -wal-dir the ingest path becomes durable: every accepted delta
+// batch is fsynced to a segmented write-ahead log before the server
+// acknowledges it, a compactor folds the applied prefix into a
+// persisted snapshot every -compact-every, and on boot the server
+// recovers — last snapshot plus WAL replay — instead of rebuilding
+// cold, so kill -9 at any point loses nothing acknowledged. A full
+// ingest queue (-ingest-queue) answers 429 + Retry-After.
+// -wal-group-commit batches fsyncs across concurrent submitters.
+// -anytime-every N additionally serves anytime Monte-Carlo estimates
+// (incrementally repaired random walks, -anytime-walks per node)
+// between exact warm solves, which then run every N-th batch only.
 package main
 
 import (
@@ -81,6 +95,7 @@ import (
 	"spammass/internal/cliobs"
 	"spammass/internal/delta"
 	"spammass/internal/graph"
+	"spammass/internal/ingest"
 	"spammass/internal/mass"
 	"spammass/internal/obs"
 	"spammass/internal/pagerank"
@@ -101,6 +116,12 @@ func main() {
 	refreshTimeout := flag.Duration("refresh-timeout", 0, "abort a refresh attempt after this long (0 = unbounded)")
 	deltaWatch := flag.String("delta-watch", "", "watch this delta file and apply each new batch incrementally")
 	deltaPoll := flag.Duration("delta-poll", 2*time.Second, "poll interval for -delta-watch")
+	walDir := flag.String("wal-dir", "", "durability directory: fsync every delta batch to a WAL here before acknowledging, and recover from it on boot")
+	compactEvery := flag.Duration("compact-every", time.Minute, "fold the applied WAL prefix into a persisted snapshot this often (needs -wal-dir)")
+	groupCommit := flag.Duration("wal-group-commit", 0, "batch WAL fsyncs across submitters arriving within this window (0 = fsync per append)")
+	ingestQueue := flag.Int("ingest-queue", 0, "ingest queue capacity before /admin/delta answers 429 (0 = default)")
+	anytimeEvery := flag.Int("anytime-every", 0, "serve anytime Monte-Carlo estimates, running the exact warm solve only every N-th batch (0 or 1 = every batch exact)")
+	anytimeWalks := flag.Int("anytime-walks", 100, "stored random walks per node for -anytime-every")
 	maxInflight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /v1/* requests before shedding with 429")
 	reqTimeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "host limit per POST /v1/batch")
@@ -170,6 +191,9 @@ func main() {
 	}
 
 	if *role == "router" {
+		if *walDir != "" {
+			die("-wal-dir applies to -role=serve; shards own their WALs, the router holds no state")
+		}
 		runRouter(routerOptions{
 			addr:          *addr,
 			addrFile:      *addrFile,
@@ -237,21 +261,89 @@ func main() {
 		Window: *driftWindow, ZThreshold: *driftZ, Obs: octx,
 	})
 
-	store := serve.NewStore()
-	ref := serve.NewRefresher(store, build, serve.RefresherConfig{
+	// The delta apply path: the plain warm-solve builder, or — with
+	// -anytime-every > 1 — the hybrid builder that serves incrementally
+	// repaired Monte-Carlo estimates between exact solves.
+	applyDelta := serve.NewDeltaBuilder(serve.DeltaBuilderConfig{Solver: solver, Obs: octx})
+	if *anytimeEvery > 1 {
+		any, err := ingest.NewAnytime(ingest.AnytimeConfig{
+			WalksPerNode: *anytimeWalks,
+			ExactEvery:   *anytimeEvery,
+			Seed:         1,
+			Obs:          octx,
+		})
+		if err != nil {
+			die("anytime estimator: %v", err)
+		}
+		applyDelta, err = ingest.NewHybridDeltaBuilder(ingest.HybridBuilderConfig{
+			Solver: solver, Anytime: any, Obs: octx,
+		})
+		if err != nil {
+			die("hybrid builder: %v", err)
+		}
+	}
+
+	var pl *ingest.Pipeline
+	rcfg := serve.RefresherConfig{
 		Interval:   *refresh,
 		Timeout:    *refreshTimeout,
-		ApplyDelta: serve.NewDeltaBuilder(serve.DeltaBuilderConfig{Solver: solver, Obs: octx}),
+		ApplyDelta: applyDelta,
+		DeltaQueue: *ingestQueue,
 		Obs:        octx,
 		Recorder:   recorder,
 		Watchdog:   watchdog,
 		Flight:     flight,
 		FlightDir:  *flightDir,
-	})
-	// Fail fast if the inputs cannot produce even one snapshot; after
+	}
+	if *walDir != "" {
+		var err error
+		pl, err = ingest.Open(ingest.Config{
+			Dir:          *walDir,
+			GroupCommit:  *groupCommit,
+			CompactEvery: *compactEvery,
+			Obs:          octx,
+		})
+		if err != nil {
+			die("opening WAL: %v", err)
+		}
+		rcfg.Journal = pl
+	}
+
+	store := serve.NewStore()
+	ref := serve.NewRefresher(store, build, rcfg)
+	// Fail fast if the boot cannot produce even one snapshot; after
 	// that, refresh failures only log and the old snapshot keeps serving.
 	startCtx, startCancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	if err := ref.Refresh(startCtx); err != nil {
+	if pl != nil {
+		// Durable boot: last persisted snapshot (or the initial build
+		// when none exists) plus a WAL replay through the same apply
+		// function the live loop uses — kill -9 at any byte offset
+		// recovers every acknowledged batch.
+		base, baseSeq, err := pl.Latest(dcfg, 0)
+		if err != nil {
+			startCancel()
+			die("loading snapshot: %v", err)
+		}
+		if base == nil {
+			if base, err = build(startCtx, nil, 1); err != nil {
+				startCancel()
+				die("initial snapshot: %v", err)
+			}
+			baseSeq = 0
+		}
+		recovered, replayed, err := pl.Recover(startCtx, base, baseSeq, applyDelta)
+		if err != nil {
+			startCancel()
+			die("WAL recovery: %v", err)
+		}
+		if err := store.Publish(recovered); err != nil {
+			startCancel()
+			die("publishing recovered snapshot: %v", err)
+		}
+		if replayed > 0 {
+			fmt.Fprintf(os.Stderr, "spamserver: recovered %d WAL batches, serving epoch %d\n", replayed, recovered.Epoch())
+		}
+	} else if err := ref.Refresh(startCtx); err != nil {
 		startCancel()
 		die("initial snapshot: %v", err)
 	}
@@ -290,6 +382,15 @@ func main() {
 	if recorder != nil {
 		go recorder.Run(runCtx)
 	}
+	compactorDone := make(chan struct{})
+	if pl != nil {
+		go func() {
+			defer close(compactorDone)
+			pl.RunCompactor(runCtx)
+		}()
+	} else {
+		close(compactorDone)
+	}
 	if *deltaWatch != "" {
 		go watchDelta(runCtx, *deltaWatch, *deltaPoll, ref, octx)
 	}
@@ -321,6 +422,12 @@ func main() {
 	}
 	stopRefresher()
 	<-refresherDone
+	<-compactorDone
+	if pl != nil {
+		if err := pl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "spamserver: closing WAL: %v\n", err)
+		}
+	}
 }
 
 // watchDelta polls path and enqueues its batch whenever the file

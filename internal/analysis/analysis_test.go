@@ -35,6 +35,8 @@ func TestAtomicMixGolden(t *testing.T) { analysistest.Run(t, "atomicmix", analys
 
 func TestCtxLeakGolden(t *testing.T) { analysistest.Run(t, "ctxleak", analysis.CtxLeak) }
 
+func TestSyncRenameGolden(t *testing.T) { analysistest.Run(t, "syncrename", analysis.SyncRename) }
+
 // TestModuleIsClean is the lint gate as a test: the default rule set
 // over the whole module must produce zero diagnostics. Any new finding
 // must be fixed or carry a written lint:ignore reason.

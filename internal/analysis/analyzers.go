@@ -5,6 +5,6 @@ package analysis
 func All() []*Analyzer {
 	return []*Analyzer{
 		SliceExport, FloatCmp, F32Acc, SolveErr, SpanEnd, PrintCall, MetricName,
-		PublishFreeze, LockBal, AtomicMix, CtxLeak,
+		PublishFreeze, LockBal, AtomicMix, CtxLeak, SyncRename,
 	}
 }

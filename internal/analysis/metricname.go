@@ -49,6 +49,8 @@ var unitlessGauges = map[string]bool{
 	"pagerank.solve_iterations": true,
 	"shard.generation":          true,
 	"shard.healthy_replicas":    true,
+	"serve.ingest_queue_depth":  true,
+	"ingest.wal_segments":       true,
 }
 
 // metricKinds maps the obs metric-creation methods to the kind whose

@@ -46,6 +46,9 @@ func DefaultRules() []Rule {
 		{Analyzer: LockBal},
 		{Analyzer: AtomicMix},
 		{Analyzer: CtxLeak},
+		// Atomic-persist durability: temp-file writes renamed into place
+		// must fsync first, wherever files are persisted.
+		{Analyzer: SyncRename},
 		// Exact float comparison is only policed in the numerical core,
 		// where a spurious equality skews M̃ = p − p'.
 		{Analyzer: FloatCmp, Include: []string{

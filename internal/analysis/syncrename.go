@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SyncRename flags the broken half of the atomic-persist idiom: a file
+// is created, written, and renamed into place without an intervening
+// File.Sync. The rename makes the new name durable on the next
+// directory flush, but the data blocks behind it are only guaranteed
+// by fsync on the file itself — a crash between Close and journal
+// writeback can publish the final name pointing at a torn or empty
+// file. The durable order is write temp → Sync → Close → Rename (→
+// fsync the directory).
+//
+// The check is function-local and name-based: an os.Rename whose
+// source path matches the creation path of an *os.File opened in the
+// same function (os.Create / os.OpenFile / os.CreateTemp, the latter
+// matched through File.Name) is reported when that handle never
+// receives a Sync call. Handles that escape the function — passed to
+// another call, returned, stored elsewhere — transfer the obligation
+// and are not checked.
+var SyncRename = &Analyzer{
+	Name: "syncrename",
+	Doc:  "temp file renamed into place without File.Sync (crash can publish a torn or empty file)",
+	Run:  runSyncRename,
+}
+
+// fileCreators are the os functions whose result handle we track; the
+// index is the position of the path argument (-1: path unknown until
+// File.Name).
+var fileCreators = map[string]int{
+	"Create":     0,
+	"OpenFile":   0,
+	"CreateTemp": -1,
+}
+
+// syncFileVar is one *os.File local opened in the function body.
+type syncFileVar struct {
+	obj      types.Object
+	pathExpr ast.Expr // the path argument at creation; nil for CreateTemp
+	name     string
+}
+
+func runSyncRename(pass *Pass) {
+	forEachFunc(pass, func(fn ast.Node, body *ast.BlockStmt) {
+		checkSyncRename(pass, body)
+	})
+}
+
+func checkSyncRename(pass *Pass, body *ast.BlockStmt) {
+	files := findFileVars(pass, body)
+	if len(files) == 0 {
+		return
+	}
+	aliases := findNameAliases(pass, body, files)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := calleeName(pass.Info, call)
+		if !ok || pkg != "os" || name != "Rename" || len(call.Args) != 2 {
+			return true
+		}
+		f := matchRenameSource(pass, call.Args[0], files, aliases)
+		if f == nil {
+			return true
+		}
+		if fileHasSync(pass, body, f.obj) || fileEscapes(pass, body, f) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s is renamed into place without File.Sync; a crash can publish a torn or empty file (write → Sync → Close → Rename)", f.name)
+		return true
+	})
+}
+
+// findFileVars collects `f, err := os.Create(...)`-shaped statements
+// anywhere in the body, including nested blocks and closures.
+func findFileVars(pass *Pass, body *ast.BlockStmt) []*syncFileVar {
+	var out []*syncFileVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) < 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := calleeName(pass.Info, call)
+		if !ok || pkg != "os" {
+			return true
+		}
+		pathIdx, ok := fileCreators[name]
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		v := &syncFileVar{obj: obj, name: id.Name}
+		if pathIdx >= 0 && pathIdx < len(call.Args) {
+			v.pathExpr = call.Args[pathIdx]
+		}
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// findNameAliases maps path variables assigned from f.Name() back to
+// their file handle, so `tmp := f.Name(); os.Rename(tmp, ...)` links
+// a CreateTemp handle to the rename.
+func findNameAliases(pass *Pass, body *ast.BlockStmt, files []*syncFileVar) map[types.Object]*syncFileVar {
+	out := map[types.Object]*syncFileVar{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		f := nameCallOf(pass, as.Rhs[0], files)
+		if f == nil {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = f
+		}
+		return true
+	})
+	return out
+}
+
+// nameCallOf recognizes `f.Name()` for one of the tracked handles.
+func nameCallOf(pass *Pass, e ast.Expr, files []*syncFileVar) *syncFileVar {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Name" {
+		return nil
+	}
+	for _, f := range files {
+		if identIs(pass, sel.X, f.obj) {
+			return f
+		}
+	}
+	return nil
+}
+
+// matchRenameSource links the rename's source path back to a tracked
+// handle: the exact creation-path expression, an alias of f.Name(),
+// or a direct f.Name() call.
+func matchRenameSource(pass *Pass, src ast.Expr, files []*syncFileVar, aliases map[types.Object]*syncFileVar) *syncFileVar {
+	if f := nameCallOf(pass, src, files); f != nil {
+		return f
+	}
+	if id, ok := ast.Unparen(src).(*ast.Ident); ok {
+		if f := aliases[pass.Info.Uses[id]]; f != nil {
+			return f
+		}
+	}
+	srcStr := types.ExprString(ast.Unparen(src))
+	for _, f := range files {
+		if f.pathExpr != nil && types.ExprString(ast.Unparen(f.pathExpr)) == srcStr {
+			return f
+		}
+	}
+	return nil
+}
+
+// fileHasSync reports whether the handle receives a Sync call anywhere
+// in the body — direct, deferred, or inside a closure. Path
+// sensitivity is deliberately not attempted: the invariant is about
+// the idiom being present at all.
+func fileHasSync(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Sync" && identIs(pass, sel.X, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fileEscapes reports whether the handle's durability obligation
+// leaves the function: passed as a call argument (a helper may sync
+// it), returned, or stored into another variable or structure. Method
+// calls on the handle itself (Write, Close, Sync, Name, …) do not
+// escape.
+func fileEscapes(pass *Pass, body *ast.BlockStmt, v *syncFileVar) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && identIs(pass, sel.X, v.obj) {
+				return true // method on the handle; arguments checked below as their own nodes
+			}
+			for _, arg := range n.Args {
+				if identIs(pass, arg, v.obj) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if identIs(pass, res, v.obj) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !identIs(pass, rhs, v.obj) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && pass.Info.Defs[id] == v.obj {
+						continue // the creating statement itself
+					}
+				}
+				escaped = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && identIs(pass, n.X, v.obj) {
+				escaped = true
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if identIs(pass, elt, v.obj) {
+					escaped = true
+					return false
+				}
+				if kv, ok := elt.(*ast.KeyValueExpr); ok && identIs(pass, kv.Value, v.obj) {
+					escaped = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}

@@ -1,0 +1,125 @@
+// Fixture for the syncrename analyzer: temp files renamed into place
+// must receive a File.Sync before the rename, or the crash-recovery
+// story of the atomic-persist idiom silently breaks.
+package syncrename
+
+import (
+	"bufio"
+	"os"
+)
+
+// BadPublish writes and renames without ever syncing: flagged at the
+// rename.
+func BadPublish(final string) error {
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final) // want `f is renamed into place without File.Sync`
+}
+
+// BadCreateTemp links the handle to the rename through f.Name().
+func BadCreateTemp(dir, final string) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	f.Write([]byte("payload"))
+	f.Close()
+	return os.Rename(tmp, final) // want `f is renamed into place without File.Sync`
+}
+
+// BadOpenFile exercises the os.OpenFile creation path.
+func BadOpenFile(final string) error {
+	f, err := os.OpenFile(final+".tmp", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("payload"))
+	f.Close()
+	return os.Rename(final+".tmp", final) // want `f is renamed into place without File.Sync`
+}
+
+// GoodPublish is the full idiom: write → Sync → Close → Rename.
+func GoodPublish(final string) error {
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// GoodEscape hands the handle to a helper, which owns the sync
+// obligation from then on; not flagged.
+func GoodEscape(final string) error {
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := fillAndSync(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// GoodUnrelated renames a path no tracked handle created; the write
+// target is a different file entirely.
+func GoodUnrelated(src, dst, log string) error {
+	f, err := os.Create(log)
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("renaming\n"))
+	f.Close()
+	return os.Rename(src, dst)
+}
+
+// Suppressed documents a deliberate exception with a written reason.
+func Suppressed(final string) error {
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write([]byte("scratch"))
+	f.Close()
+	// lint:ignore syncrename scratch file on tmpfs; durability is not required
+	return os.Rename(tmp, final)
+}
+
+func fillAndSync(f *os.File) error {
+	bw := bufio.NewWriter(f)
+	if _, err := bw.WriteString("payload"); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,260 @@
+package pagerank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spammass/internal/graph"
+)
+
+// IncrementalMC is the Monte-Carlo estimator of MonteCarlo with its
+// walks kept, so the estimate can be maintained under graph churn
+// instead of re-simulated: when a delta dirties some hosts, only the
+// walk suffixes that pass through them are re-sampled (the localized
+// re-walk scheme of Engström & Silvestrov's evolving-link-structure
+// treatment, and of Bahmani et al.'s incremental PageRank). On a batch
+// touching k of n hosts, the expected repair cost is O(k·R·L) against
+// O(n·R·L) for a fresh simulation — the ratio that makes bounded-
+// staleness "anytime" serving affordable between exact solves.
+//
+// The estimator requires a jump vector that is uniform over its
+// support: every start node carries the same weight. Both vectors of
+// the spam-mass pair satisfy this — v is 1/n over all nodes and w is
+// γ/|core| over the good core — which is what lets one stored-walk
+// structure serve either side of M̃ = p − p'.
+type IncrementalMC struct {
+	g      *graph.Graph
+	cfg    MonteCarloConfig
+	rng    *rand.Rand
+	weight float64          // jump weight shared by every start
+	starts []graph.NodeID   // walk origins (the jump vector's support)
+	walks  [][]graph.NodeID // R walks per start; walks[i*R+r] starts at starts[i]
+	counts []float64        // raw visit counts over all stored walks
+}
+
+// MCUpdateStats reports what one Update did.
+type MCUpdateStats struct {
+	// WalksReused survived the delta untouched (after ID remapping).
+	WalksReused int
+	// WalksRepaired had their suffix re-sampled from a dirtied host.
+	WalksRepaired int
+	// WalksNew were simulated from scratch for new start nodes.
+	WalksNew int
+	// Steps is the number of random-walk steps taken (repair + new).
+	Steps int
+}
+
+// NewIncrementalMC simulates the initial walk set: cfg.WalksPerNode
+// walks from each start, every start carrying jump weight `weight`.
+func NewIncrementalMC(g *graph.Graph, starts []graph.NodeID, weight float64, cfg MonteCarloConfig) (*IncrementalMC, error) {
+	if cfg.Damping <= 0 || cfg.Damping >= 1 {
+		return nil, fmt.Errorf("pagerank: damping %v outside (0,1)", cfg.Damping)
+	}
+	if cfg.WalksPerNode <= 0 {
+		return nil, fmt.Errorf("pagerank: WalksPerNode must be positive")
+	}
+	if weight <= 0 {
+		return nil, fmt.Errorf("pagerank: jump weight %v must be positive", weight)
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("pagerank: no start nodes")
+	}
+	n := g.NumNodes()
+	for _, s := range starts {
+		if int(s) >= n {
+			return nil, fmt.Errorf("pagerank: start node %d outside graph of %d nodes", s, n)
+		}
+	}
+	m := &IncrementalMC{
+		g:      g,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		weight: weight,
+		starts: append([]graph.NodeID(nil), starts...),
+		walks:  make([][]graph.NodeID, len(starts)*cfg.WalksPerNode),
+		counts: make([]float64, n),
+	}
+	for i, s := range m.starts {
+		for r := 0; r < cfg.WalksPerNode; r++ {
+			m.walks[i*cfg.WalksPerNode+r] = m.simulate(s, nil)
+		}
+	}
+	m.recount()
+	return m, nil
+}
+
+// simulate runs one walk from s on the current graph, appending to
+// path (which may carry an already-walked prefix ending at s's
+// predecessor — s itself is appended here).
+func (m *IncrementalMC) simulate(s graph.NodeID, path []graph.NodeID) []graph.NodeID {
+	node := s
+	for {
+		path = append(path, node)
+		adj := m.g.OutNeighbors(node)
+		if len(adj) == 0 || m.rng.Float64() >= m.cfg.Damping {
+			return path
+		}
+		node = adj[m.rng.Intn(len(adj))]
+	}
+}
+
+// continueFrom re-samples a walk suffix: the walk is already at `node`
+// (kept in path), and the continue-or-stop decision at node is drawn
+// fresh — required because node's out-distribution changed.
+func (m *IncrementalMC) continueFrom(path []graph.NodeID) ([]graph.NodeID, int) {
+	node := path[len(path)-1]
+	steps := 0
+	for {
+		adj := m.g.OutNeighbors(node)
+		if len(adj) == 0 || m.rng.Float64() >= m.cfg.Damping {
+			return path, steps
+		}
+		node = adj[m.rng.Intn(len(adj))]
+		path = append(path, node)
+		steps++
+	}
+}
+
+// recount rebuilds the visit counts from the stored walks. Linear in
+// total stored steps; cheap next to the simulation itself and immune
+// to drift from incremental bookkeeping.
+func (m *IncrementalMC) recount() {
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	for _, w := range m.walks {
+		for _, y := range w {
+			m.counts[y]++
+		}
+	}
+}
+
+// Scores returns the current estimate: for the uniform-over-support
+// jump, p_y = (1−c) · weight · visits(y) / R.
+func (m *IncrementalMC) Scores() Vector {
+	p := make(Vector, len(m.counts))
+	scale := (1 - m.cfg.Damping) * m.weight / float64(m.cfg.WalksPerNode)
+	for y, c := range m.counts {
+		p[y] = c * scale
+	}
+	return p
+}
+
+// NumWalks returns the number of stored walks.
+func (m *IncrementalMC) NumWalks() int { return len(m.walks) }
+
+// Starts returns a copy of the walk origins.
+func (m *IncrementalMC) Starts() []graph.NodeID {
+	return append([]graph.NodeID(nil), m.starts...)
+}
+
+// Update repairs the walk set after a graph mutation. g2 is the new
+// graph; remap maps every old node ID to its new ID (−1 = removed,
+// the delta.Result.Remap contract); dirty lists the NEW IDs of every
+// surviving host whose out-link set changed (edge sources, including
+// in-neighbors of removed hosts); starts2 and weight2 describe the new
+// jump support (new entries get fresh walks, vanished ones drop
+// theirs).
+//
+// Walk repair: each stored walk is remapped node by node. Reaching a
+// dirty host keeps it and re-samples the rest of the walk there — its
+// old suffix was drawn from out-links that no longer exist as sampled.
+// Reaching a removed host truncates before it and re-samples from the
+// predecessor (a fallback: a complete dirty set already catches the
+// predecessor, whose out-set lost that edge). Walks that avoid dirty
+// and removed hosts are valid samples of the new chain exactly as they
+// are, and survive untouched.
+func (m *IncrementalMC) Update(g2 *graph.Graph, remap []int64, dirty []graph.NodeID, starts2 []graph.NodeID, weight2 float64) (MCUpdateStats, error) {
+	var st MCUpdateStats
+	if len(remap) != m.g.NumNodes() {
+		return st, fmt.Errorf("pagerank: remap covers %d nodes, graph has %d", len(remap), m.g.NumNodes())
+	}
+	if weight2 <= 0 {
+		return st, fmt.Errorf("pagerank: jump weight %v must be positive", weight2)
+	}
+	if len(starts2) == 0 {
+		return st, fmt.Errorf("pagerank: no start nodes")
+	}
+	n2 := g2.NumNodes()
+	for _, s := range starts2 {
+		if int(s) >= n2 {
+			return st, fmt.Errorf("pagerank: start node %d outside graph of %d nodes", s, n2)
+		}
+	}
+	isDirty := make(map[graph.NodeID]bool, len(dirty))
+	for _, d := range dirty {
+		if int(d) >= n2 {
+			return st, fmt.Errorf("pagerank: dirty node %d outside graph of %d nodes", d, n2)
+		}
+		isDirty[d] = true
+	}
+
+	// Index the surviving old starts by their new ID.
+	R := m.cfg.WalksPerNode
+	oldByNew := make(map[graph.NodeID]int, len(m.starts))
+	for i, s := range m.starts {
+		if ns := remap[s]; ns >= 0 {
+			oldByNew[graph.NodeID(ns)] = i
+		}
+	}
+
+	newWalks := make([][]graph.NodeID, len(starts2)*R)
+	m.g = g2 // simulate/continueFrom walk the new graph from here on
+	for j, s := range starts2 {
+		oi, ok := oldByNew[s]
+		if !ok {
+			for r := 0; r < R; r++ {
+				w := m.simulate(s, nil)
+				newWalks[j*R+r] = w
+				st.WalksNew++
+				st.Steps += len(w) - 1
+			}
+			continue
+		}
+		for r := 0; r < R; r++ {
+			old := m.walks[oi*R+r]
+			repaired := old[:0] // reuse the backing array; old IDs are consumed left to right
+			broken := false
+			for _, y := range old {
+				ny := remap[y]
+				if ny < 0 {
+					// Predecessor re-walk fallback; with a complete dirty
+					// set the predecessor already broke the walk.
+					broken = true
+					break
+				}
+				// In-place remap: position k is written only after old[k]
+				// was read, so reusing old's backing array is safe.
+				repaired = append(repaired, graph.NodeID(ny))
+				if isDirty[graph.NodeID(ny)] {
+					broken = true
+					break
+				}
+			}
+			if !broken {
+				newWalks[j*R+r] = repaired
+				st.WalksReused++
+				continue
+			}
+			if len(repaired) == 0 {
+				// The start itself was removed yet reappears in starts2:
+				// impossible under remap, but degrade to a fresh walk.
+				w := m.simulate(s, nil)
+				newWalks[j*R+r] = w
+				st.WalksNew++
+				st.Steps += len(w) - 1
+				continue
+			}
+			w, steps := m.continueFrom(repaired)
+			newWalks[j*R+r] = w
+			st.WalksRepaired++
+			st.Steps += steps
+		}
+	}
+	m.starts = append(m.starts[:0:0], starts2...)
+	m.walks = newWalks
+	m.weight = weight2
+	m.counts = make([]float64, n2)
+	m.recount()
+	return st, nil
+}

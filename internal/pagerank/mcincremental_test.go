@@ -1,0 +1,242 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spammass/internal/graph"
+	"spammass/internal/testutil"
+)
+
+func allStarts(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+// checkWalkInvariants verifies the structural contract of the stored
+// walks: every walk begins at its assigned start and every step follows
+// an edge of the current graph.
+func checkWalkInvariants(t *testing.T, m *IncrementalMC, g *graph.Graph) {
+	t.Helper()
+	starts := m.Starts()
+	R := m.cfg.WalksPerNode
+	edge := map[[2]graph.NodeID]bool{}
+	g.Edges(func(u, v graph.NodeID) bool {
+		edge[[2]graph.NodeID{u, v}] = true
+		return true
+	})
+	for i, s := range starts {
+		for r := 0; r < R; r++ {
+			w := m.walks[i*R+r]
+			if len(w) == 0 || w[0] != s {
+				t.Fatalf("walk %d/%d does not begin at start %d: %v", i, r, s, w)
+			}
+			for k := 1; k < len(w); k++ {
+				if !edge[[2]graph.NodeID{w[k-1], w[k]}] {
+					t.Fatalf("walk %d/%d steps over a non-edge %d->%d", i, r, w[k-1], w[k])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalMCAgreesWithExact: the stored-walk estimate must match
+// the algebraic solution within statistical error, same bar as the
+// one-shot Monte-Carlo estimator.
+func TestIncrementalMCAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 40
+	g := testutil.RandomGraph(rng, n, 4)
+	exact := PR(g, UniformJump(n), DefaultConfig())
+	m, err := NewIncrementalMC(g, allStarts(n), 1/float64(n), MonteCarloConfig{Damping: 0.85, WalksPerNode: 4000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWalkInvariants(t, m, g)
+	mc := m.Scores()
+	if d := mc.Clone().Sub(exact).Norm1() / exact.Norm1(); d > 0.03 {
+		t.Errorf("L1 relative error %v, want < 3%%", d)
+	}
+}
+
+// TestIncrementalMCUpdateTracksEdgeChurn: after rewiring some nodes'
+// out-links and repairing only the dirtied walks, the estimate must
+// agree with the exact solution of the NEW graph — the stale suffixes
+// would fail this if they survived.
+func TestIncrementalMCUpdateTracksEdgeChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 40
+	g1 := testutil.RandomGraph(rng, n, 4)
+	m, err := NewIncrementalMC(g1, allStarts(n), 1/float64(n), MonteCarloConfig{Damping: 0.85, WalksPerNode: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewire nodes 0..9: drop their old out-edges, point each at
+	// (x+17) mod n and (x+23) mod n.
+	dirtySrc := map[graph.NodeID]bool{}
+	for x := 0; x < 10; x++ {
+		dirtySrc[graph.NodeID(x)] = true
+	}
+	var edges [][2]graph.NodeID
+	g1.Edges(func(u, v graph.NodeID) bool {
+		if !dirtySrc[u] {
+			edges = append(edges, [2]graph.NodeID{u, v})
+		}
+		return true
+	})
+	for x := 0; x < 10; x++ {
+		u := graph.NodeID(x)
+		edges = append(edges, [2]graph.NodeID{u, graph.NodeID((x + 17) % n)})
+		edges = append(edges, [2]graph.NodeID{u, graph.NodeID((x + 23) % n)})
+	}
+	g2 := graph.FromEdges(n, edges)
+
+	identity := make([]int64, n)
+	for i := range identity {
+		identity[i] = int64(i)
+	}
+	dirty := make([]graph.NodeID, 0, len(dirtySrc))
+	for x := range dirtySrc {
+		dirty = append(dirty, x)
+	}
+	st, err := m.Update(g2, identity, dirty, allStarts(n), 1/float64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WalksRepaired == 0 {
+		t.Error("no walks repaired despite 10 dirtied sources")
+	}
+	if st.WalksReused == 0 {
+		t.Error("no walks survived a 10/40-node churn; repair is not localized")
+	}
+	if st.WalksNew != 0 {
+		t.Errorf("%d fresh walks on an identity remap, want 0", st.WalksNew)
+	}
+	checkWalkInvariants(t, m, g2)
+	exact := PR(g2, UniformJump(n), DefaultConfig())
+	if d := m.Scores().Clone().Sub(exact).Norm1() / exact.Norm1(); d > 0.03 {
+		t.Errorf("post-update L1 relative error %v, want < 3%%", d)
+	}
+}
+
+// TestIncrementalMCUpdateHandlesRemoval: removing a node compacts IDs
+// through the remap; repaired walks must live entirely in the new ID
+// space and match the exact solution there.
+func TestIncrementalMCUpdateHandlesRemoval(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 30
+	g1 := testutil.RandomGraph(rng, n, 4)
+	m, err := NewIncrementalMC(g1, allStarts(n), 1/float64(n), MonteCarloConfig{Damping: 0.85, WalksPerNode: 4000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove the last node; survivors keep their IDs (remap is
+	// identity-then-drop), so old edges translate directly.
+	removed := graph.NodeID(n - 1)
+	remap := make([]int64, n)
+	for i := range remap {
+		remap[i] = int64(i)
+	}
+	remap[removed] = -1
+	var edges [][2]graph.NodeID
+	dirtyOld := map[graph.NodeID]bool{}
+	g1.Edges(func(u, v graph.NodeID) bool {
+		if u == removed {
+			return true
+		}
+		if v == removed {
+			dirtyOld[u] = true // u lost this out-edge
+			return true
+		}
+		edges = append(edges, [2]graph.NodeID{u, v})
+		return true
+	})
+	g2 := graph.FromEdges(n-1, edges)
+	dirty := make([]graph.NodeID, 0, len(dirtyOld))
+	for x := range dirtyOld {
+		dirty = append(dirty, x) // IDs unchanged for survivors
+	}
+	if _, err := m.Update(g2, remap, dirty, allStarts(n-1), 1/float64(n-1)); err != nil {
+		t.Fatal(err)
+	}
+	checkWalkInvariants(t, m, g2)
+	exact := PR(g2, UniformJump(n-1), DefaultConfig())
+	if d := m.Scores().Clone().Sub(exact).Norm1() / exact.Norm1(); d > 0.04 {
+		t.Errorf("post-removal L1 relative error %v, want < 4%%", d)
+	}
+}
+
+// TestIncrementalMCCoreJump: a start set that is a strict subset with
+// the γ-scaled weight estimates the core PageRank p' of the spam-mass
+// pair.
+func TestIncrementalMCCoreJump(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 40
+	g := testutil.RandomGraph(rng, n, 4)
+	core := []graph.NodeID{0, 3, 7, 11, 19}
+	gamma := 0.9
+	coreU := make([]uint32, len(core))
+	for i, x := range core {
+		coreU[i] = uint32(x)
+	}
+	exact := PR(g, ScaledCoreJump(n, coreU, gamma), DefaultConfig())
+	m, err := NewIncrementalMC(g, core, gamma/float64(len(core)), MonteCarloConfig{Damping: 0.85, WalksPerNode: 8000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Scores().Clone().Sub(exact).Norm1() / exact.Norm1(); d > 0.03 {
+		t.Errorf("core-jump L1 relative error %v, want < 3%%", d)
+	}
+}
+
+// TestIncrementalMCValidation: the constructor and Update reject the
+// inputs the estimator cannot serve.
+func TestIncrementalMCValidation(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}})
+	cfg := MonteCarloConfig{Damping: 0.85, WalksPerNode: 10, Seed: 1}
+	if _, err := NewIncrementalMC(g, nil, 1.0/3, cfg); err == nil {
+		t.Error("accepted empty starts")
+	}
+	if _, err := NewIncrementalMC(g, allStarts(3), 0, cfg); err == nil {
+		t.Error("accepted zero weight")
+	}
+	if _, err := NewIncrementalMC(g, []graph.NodeID{5}, 1.0/3, cfg); err == nil {
+		t.Error("accepted out-of-range start")
+	}
+	bad := cfg
+	bad.Damping = 0
+	if _, err := NewIncrementalMC(g, allStarts(3), 1.0/3, bad); err == nil {
+		t.Error("accepted damping 0")
+	}
+	m, err := NewIncrementalMC(g, allStarts(3), 1.0/3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Update(g, []int64{0, 1}, nil, allStarts(3), 1.0/3); err == nil {
+		t.Error("accepted short remap")
+	}
+	if _, err := m.Update(g, []int64{0, 1, 2}, []graph.NodeID{9}, allStarts(3), 1.0/3); err == nil {
+		t.Error("accepted out-of-range dirty node")
+	}
+	if _, err := m.Update(g, []int64{0, 1, 2}, nil, nil, 1.0/3); err == nil {
+		t.Error("accepted empty new starts")
+	}
+	// Total score mass must match the exact solve's (dangling nodes
+	// leak mass, so it is well below 1 on this graph).
+	var sum, wantSum float64
+	for _, p := range m.Scores() {
+		sum += p
+	}
+	for _, p := range PR(g, UniformJump(3), DefaultConfig()) {
+		wantSum += p
+	}
+	if math.Abs(sum-wantSum) > 0.1*wantSum {
+		t.Errorf("score mass %v, exact %v", sum, wantSum)
+	}
+}

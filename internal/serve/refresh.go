@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -33,6 +34,31 @@ type DeltaApplyFunc func(ctx context.Context, prev *Snapshot, epoch int64, batch
 // RefresherConfig.DeltaQueue is zero.
 const DefaultDeltaQueue = 16
 
+// ErrIngestBackpressure reports that the ingest queue is full: applies
+// are running behind submissions, and the feed should back off and
+// retry. The HTTP layer maps it to 429 + Retry-After.
+var ErrIngestBackpressure = errors.New("serve: ingest queue full")
+
+// Journal is the durability hook of the ingest path (implemented by
+// internal/ingest). When configured, SubmitDelta appends each batch to
+// the journal — fsync before acknowledgment — before enqueueing it, and
+// the Run loop reports the served snapshot that covers each applied
+// sequence so the journal's compactor knows what the log prefix has
+// been folded into.
+type Journal interface {
+	// Append durably records the batch and returns its sequence number.
+	// SubmitDelta acknowledges only after Append returns.
+	Append(b *delta.Batch) (uint64, error)
+	// MarkApplied reports that every journaled batch up to and
+	// including seq is reflected in the now-served snapshot.
+	MarkApplied(seq uint64, snap *Snapshot)
+	// MarkRefreshed reports a full (non-delta) refresh: snap supersedes
+	// the previously served state but does NOT advance the applied
+	// sequence — acknowledged batches still queued will be applied on
+	// top of it, live and during recovery alike.
+	MarkRefreshed(snap *Snapshot)
+}
+
 // RefresherConfig configures the background refresh loop.
 type RefresherConfig struct {
 	// Interval is the timer-driven refresh period; 0 disables the
@@ -48,6 +74,10 @@ type RefresherConfig struct {
 	// DeltaQueue is the SubmitDelta queue capacity; 0 means
 	// DefaultDeltaQueue. A full queue rejects rather than blocks.
 	DeltaQueue int
+	// Journal, if non-nil, makes SubmitDelta durable: every batch is
+	// appended (and fsynced) before it is acknowledged or enqueued, and
+	// apply/refresh outcomes are reported back for compaction.
+	Journal Journal
 	// Obs receives the refresh spans, counters, and snapshot gauges.
 	Obs *obs.Context
 	// Recorder, if non-nil, gets one extra Sample per published
@@ -78,14 +108,30 @@ type Refresher struct {
 	build BuildFunc
 	cfg   RefresherConfig
 
-	trigger  chan struct{}
-	deltaCh  chan *delta.Batch
+	trigger chan struct{}
+	deltaCh chan queuedDelta
+	// slots is the ingest admission semaphore, sized like deltaCh: a
+	// submitter must win a slot before journaling, so the post-journal
+	// enqueue can never block — every acknowledged (fsynced) batch is
+	// guaranteed a queue position and therefore an apply attempt.
+	slots    chan struct{}
+	submitMu sync.Mutex // orders journal append + enqueue atomically
+	depth    atomic.Int64
+	rejected atomic.Int64
 	mu       sync.Mutex // serializes Refresh and ApplyDelta
 	ok       atomic.Int64
 	failed   atomic.Int64
 	deltas   atomic.Int64 // batches applied and published
 	lastErr  atomic.Pointer[refreshError]
 	lastWall atomic.Int64 // nanoseconds of the last successful refresh
+}
+
+// queuedDelta is one admitted batch; seq is its journal sequence (0
+// when no journal is configured).
+type queuedDelta struct {
+	b    *delta.Batch
+	seq  uint64
+	done chan error // non-nil for SubmitDeltaWait callers
 }
 
 type refreshError struct{ err error }
@@ -99,7 +145,8 @@ func NewRefresher(store *Store, build BuildFunc, cfg RefresherConfig) *Refresher
 		if q <= 0 {
 			q = DefaultDeltaQueue
 		}
-		r.deltaCh = make(chan *delta.Batch, q)
+		r.deltaCh = make(chan queuedDelta, q)
+		r.slots = make(chan struct{}, q)
 	}
 	return r
 }
@@ -109,7 +156,7 @@ func NewRefresher(store *Store, build BuildFunc, cfg RefresherConfig) *Refresher
 // keeps serving — and the error is recorded and returned. Concurrent
 // calls are serialized.
 func (r *Refresher) Refresh(ctx context.Context) error {
-	return r.runBuild(ctx, "serve.refresh", false, r.build)
+	return r.runBuild(ctx, "serve.refresh", false, 0, r.build)
 }
 
 // ApplyDelta synchronously applies one mutation batch: the configured
@@ -119,6 +166,11 @@ func (r *Refresher) Refresh(ctx context.Context) error {
 // interleave cleanly — each publish sees a settled predecessor. A
 // failed apply (conflicting batch, non-convergence, validation)
 // leaves the previous snapshot serving, like a failed refresh.
+//
+// ApplyDelta bypasses the Journal: the batch is applied but not
+// logged, so its effect survives only until the next crash or full
+// refresh. With a Journal configured, use SubmitDelta or
+// SubmitDeltaWait instead.
 func (r *Refresher) ApplyDelta(ctx context.Context, b *delta.Batch) error {
 	if r.cfg.ApplyDelta == nil {
 		return fmt.Errorf("serve: delta path not configured")
@@ -126,15 +178,42 @@ func (r *Refresher) ApplyDelta(ctx context.Context, b *delta.Batch) error {
 	if b == nil || b.NumOps() == 0 {
 		return fmt.Errorf("serve: empty delta batch")
 	}
-	return r.runBuild(ctx, "serve.delta_apply", true, func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error) {
+	return r.runBuild(ctx, "serve.delta_apply", true, 0, func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error) {
 		return r.cfg.ApplyDelta(ctx, prev, epoch, b)
 	})
 }
 
+// applyQueued applies one admitted queue item and settles its
+// accounting: apply, journal notification, depth/slot release, and
+// the waiter's outcome.
+func (r *Refresher) applyQueued(ctx context.Context, item queuedDelta) error {
+	err := r.runBuild(ctx, "serve.delta_apply", true, item.seq, func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error) {
+		return r.cfg.ApplyDelta(ctx, prev, epoch, item.b)
+	})
+	if err != nil && item.seq > 0 && r.cfg.Journal != nil {
+		// The apply failed and was skipped; the served snapshot is
+		// nevertheless the state that covers this sequence, because a
+		// recovery replay skips deterministic failures the same way
+		// (see ingest.Pipeline.Recover).
+		if snap := r.store.Load(); snap != nil {
+			r.cfg.Journal.MarkApplied(item.seq, snap)
+		}
+	}
+	r.setDepth(r.depth.Add(-1))
+	<-r.slots
+	if item.done != nil {
+		item.done <- err
+	}
+	return err
+}
+
 // SubmitDelta enqueues a batch for asynchronous application by the Run
 // loop. It never blocks: a full queue (or an unconfigured delta path,
-// or a Run loop that was never started) returns an error and the batch
-// is dropped — the feed can resubmit or fall back to a full refresh.
+// or a Run loop that was never started) fails with
+// ErrIngestBackpressure and the batch is dropped — the feed should back
+// off and resubmit. With a Journal configured, a nil return means the
+// batch is DURABLE: it was fsynced to the log before this call
+// returned, and a crash before the apply loses nothing.
 func (r *Refresher) SubmitDelta(b *delta.Batch) error {
 	if r.deltaCh == nil {
 		return fmt.Errorf("serve: delta path not configured")
@@ -142,19 +221,86 @@ func (r *Refresher) SubmitDelta(b *delta.Batch) error {
 	if b == nil || b.NumOps() == 0 {
 		return fmt.Errorf("serve: empty delta batch")
 	}
-	select {
-	case r.deltaCh <- b:
-		return nil
-	default:
-		return fmt.Errorf("serve: delta queue full (%d pending)", cap(r.deltaCh))
+	return r.submit(b, nil)
+}
+
+// SubmitDeltaWait admits a batch through the same journaled,
+// order-preserving queue as SubmitDelta, then blocks until the Run
+// loop has applied it (returning the apply's outcome) or ctx expires.
+// This is the synchronous ingest path when a Journal is configured:
+// unlike ApplyDelta it keeps journal order equal to apply order even
+// with concurrent asynchronous submissions. It requires a running Run
+// loop.
+func (r *Refresher) SubmitDeltaWait(ctx context.Context, b *delta.Batch) error {
+	if r.deltaCh == nil {
+		return fmt.Errorf("serve: delta path not configured")
 	}
+	if b == nil || b.NumOps() == 0 {
+		return fmt.Errorf("serve: empty delta batch")
+	}
+	done := make(chan error, 1)
+	if err := r.submit(b, done); err != nil {
+		return err
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// The batch stays queued — it is already durable and will be
+		// applied; only the caller stops waiting for the outcome.
+		return ctx.Err()
+	}
+}
+
+func (r *Refresher) submit(b *delta.Batch, done chan error) error {
+	select {
+	case r.slots <- struct{}{}:
+	default:
+		r.rejected.Add(1)
+		r.cfg.Obs.Counter("serve.ingest_rejected_total").Inc()
+		return fmt.Errorf("%w (%d pending)", ErrIngestBackpressure, cap(r.deltaCh))
+	}
+	r.setDepth(r.depth.Add(1))
+	// Journal append and enqueue happen under one lock so queue order
+	// always equals journal order — the property that makes a crash
+	// replay reproduce exactly the live apply sequence. The slot held
+	// above guarantees the channel send cannot block.
+	r.submitMu.Lock()
+	var seq uint64
+	if r.cfg.Journal != nil {
+		var err error
+		if seq, err = r.cfg.Journal.Append(b); err != nil {
+			r.submitMu.Unlock()
+			r.setDepth(r.depth.Add(-1))
+			<-r.slots
+			return fmt.Errorf("serve: journaling delta batch: %w", err)
+		}
+	}
+	// lint:ignore lockbal the slot reserved above guarantees deltaCh has room, so this send never blocks
+	r.deltaCh <- queuedDelta{b: b, seq: seq, done: done}
+	r.submitMu.Unlock()
+	return nil
+}
+
+// QueueDepth returns how many admitted batches have not yet completed
+// their apply, and the queue capacity.
+func (r *Refresher) QueueDepth() (depth int, capacity int) {
+	return int(r.depth.Load()), cap(r.deltaCh)
+}
+
+// RejectedCount returns how many submissions were turned away by
+// backpressure.
+func (r *Refresher) RejectedCount() int64 { return r.rejected.Load() }
+
+func (r *Refresher) setDepth(d int64) {
+	r.cfg.Obs.Gauge("serve.ingest_queue_depth").Set(float64(d))
 }
 
 // runBuild is the shared build-and-publish body of Refresh and
 // ApplyDelta: serialize, bound by Timeout, run the builder for epoch
 // prev+1, publish only on end-to-end success, and record the outcome
 // in metrics and LastError.
-func (r *Refresher) runBuild(ctx context.Context, spanName string, needPrev bool, build BuildFunc) error {
+func (r *Refresher) runBuild(ctx context.Context, spanName string, needPrev bool, seq uint64, build BuildFunc) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cfg.Timeout > 0 {
@@ -208,6 +354,17 @@ func (r *Refresher) runBuild(ctx context.Context, spanName string, needPrev bool
 	r.ok.Add(1)
 	if needPrev {
 		r.deltas.Add(1)
+	}
+	// Tell the journal what the served state now covers, so the
+	// compactor can fold the log prefix into a snapshot. A full refresh
+	// supersedes prior deltas without advancing the applied sequence;
+	// still-queued acknowledged batches apply on top of it.
+	if j := r.cfg.Journal; j != nil {
+		if !needPrev {
+			j.MarkRefreshed(snap)
+		} else if seq > 0 {
+			j.MarkApplied(seq, snap)
+		}
 	}
 	r.lastErr.Store(&refreshError{})
 	r.lastWall.Store(int64(time.Since(start)))
@@ -292,8 +449,8 @@ func (r *Refresher) Run(ctx context.Context) {
 			return
 		case <-tick:
 		case <-r.trigger:
-		case b := <-r.deltaCh: // nil channel when deltas are disabled
-			if err := r.ApplyDelta(ctx, b); err != nil {
+		case item := <-r.deltaCh: // nil channel when deltas are disabled
+			if err := r.applyQueued(ctx, item); err != nil {
 				r.cfg.Obs.Logf("serve: delta apply failed: %v", err)
 			}
 			continue
@@ -316,6 +473,10 @@ func (r *Refresher) DeltaCount() int64 { return r.deltas.Load() }
 // DeltaEnabled reports whether the incremental delta path is
 // configured.
 func (r *Refresher) DeltaEnabled() bool { return r.cfg.ApplyDelta != nil }
+
+// Journaled reports whether a durability journal is configured: when
+// true, acknowledged submissions survive a crash.
+func (r *Refresher) Journaled() bool { return r.cfg.Journal != nil }
 
 // LastError returns the error of the most recent refresh attempt, or
 // nil if it succeeded (or none ran yet).

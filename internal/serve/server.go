@@ -150,15 +150,15 @@ func NewServer(store *Store, ref *Refresher, cfg Config) *Server {
 		ageGauge: cfg.Obs.Gauge("serve.snapshot_age_seconds"),
 	}
 	routes := map[string]http.HandlerFunc{
-		"GET /healthz":             s.handleHealthz,
-		"GET /readyz":              s.handleReadyz,
-		"GET /v1/host/{name}":      s.limited("host", s.handleHost),
-		"POST /v1/batch":           s.limited("batch", s.handleBatch),
-		"GET /v1/top":              s.limited("top", s.handleTop),
-		"POST /admin/refresh":      s.traced("admin/refresh", s.handleRefresh),
-		"POST /admin/delta":        s.traced("admin/delta", s.handleDelta),
-		"GET /admin/status":        s.handleStatus,
-		"GET /admin/timeseries":    s.handleTimeseries,
+		"GET /healthz":              s.handleHealthz,
+		"GET /readyz":               s.handleReadyz,
+		"GET /v1/host/{name}":       s.limited("host", s.handleHost),
+		"POST /v1/batch":            s.limited("batch", s.handleBatch),
+		"GET /v1/top":               s.limited("top", s.handleTop),
+		"POST /admin/refresh":       s.traced("admin/refresh", s.handleRefresh),
+		"POST /admin/delta":         s.traced("admin/delta", s.handleDelta),
+		"GET /admin/status":         s.handleStatus,
+		"GET /admin/timeseries":     s.handleTimeseries,
 		"GET /admin/flightrecorder": s.handleFlight,
 	}
 	for pattern, h := range cfg.Routes {
@@ -567,11 +567,15 @@ const maxDeltaBody = 64 << 20
 
 // handleDelta ingests one mutation batch in the delta text format.
 // Without ?wait=1 the batch is enqueued for the refresher loop and the
-// response is 202; with ?wait=1 the batch is applied synchronously and
-// the response carries the published epoch. A parse or validation
-// failure is the client's fault (400); a full queue is back-pressure
-// (503 + Retry-After); an apply failure (conflicting batch,
-// non-convergence) is 409 — the serving snapshot is unchanged.
+// response is 202 — which, when a durability journal is configured,
+// means the batch is fsynced to the WAL and survives a crash; with
+// ?wait=1 the batch is applied synchronously and the response carries
+// the published epoch. A parse or validation failure is the client's
+// fault (400); a full ingest queue is backpressure (429 + Retry-After
+// — ingest is outrunning refresh, back off and resubmit); other
+// submit failures (e.g. a failed journal append) are 503; an apply
+// failure (conflicting batch, non-convergence) is 409 — the serving
+// snapshot is unchanged.
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if s.ref == nil || !s.ref.DeltaEnabled() {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "no delta path configured"})
@@ -585,13 +589,32 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "" {
 		if err := s.ref.SubmitDelta(b); err != nil {
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, ErrIngestBackpressure) {
+				code = http.StatusTooManyRequests
+			}
+			writeJSON(w, code, errorBody{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]any{"status": "delta scheduled", "ops": b.NumOps()})
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"status": "delta scheduled", "ops": b.NumOps(), "durable": s.ref.Journaled(),
+		})
 		return
 	}
-	if err := s.ref.ApplyDelta(r.Context(), b); err != nil {
+	// With a journal, the synchronous path routes through the same
+	// ordered queue as async submissions — ApplyDelta would apply the
+	// batch without logging it, silently forfeiting crash recovery.
+	if s.ref.Journaled() {
+		err = s.ref.SubmitDeltaWait(r.Context(), b)
+		if errors.Is(err, ErrIngestBackpressure) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+			return
+		}
+	} else {
+		err = s.ref.ApplyDelta(r.Context(), b)
+	}
+	if err != nil {
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
 		return
 	}
@@ -610,9 +633,16 @@ type StatusResponse struct {
 	RefreshFailures int64     `json:"refresh_failures"`
 	// DeltaEnabled reports whether POST /admin/delta is wired;
 	// DeltaBatches counts batches applied and published.
-	DeltaEnabled bool   `json:"delta_enabled"`
-	DeltaBatches int64  `json:"delta_batches"`
-	LastError    string `json:"last_error,omitempty"`
+	DeltaEnabled bool  `json:"delta_enabled"`
+	DeltaBatches int64 `json:"delta_batches"`
+	// Durable reports whether an ingest journal (WAL) is configured;
+	// IngestQueueDepth/Capacity expose the backpressure state, and
+	// IngestRejected counts submissions turned away by it.
+	Durable          bool   `json:"durable"`
+	IngestQueueDepth int    `json:"ingest_queue_depth"`
+	IngestQueueCap   int    `json:"ingest_queue_capacity"`
+	IngestRejected   int64  `json:"ingest_rejected"`
+	LastError        string `json:"last_error,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -635,6 +665,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		resp.Refreshes, resp.RefreshFailures = s.ref.Counts()
 		resp.DeltaEnabled = s.ref.DeltaEnabled()
 		resp.DeltaBatches = s.ref.DeltaCount()
+		resp.Durable = s.ref.Journaled()
+		resp.IngestQueueDepth, resp.IngestQueueCap = s.ref.QueueDepth()
+		resp.IngestRejected = s.ref.RejectedCount()
 		if err := s.ref.LastError(); err != nil {
 			resp.LastError = err.Error()
 		}

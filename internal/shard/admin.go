@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -13,6 +14,22 @@ import (
 
 // maxDeltaBody bounds the delta batch a router will accept.
 const maxDeltaBody = 8 << 20
+
+// BusyError reports a replica that refused a delta with 429: its
+// ingest queue (bounded in front of the per-shard WAL) is full. The
+// router propagates it as its own 429 so backpressure reaches the
+// producer instead of being laundered into a 502.
+type BusyError struct {
+	// Shard and Replica identify who pushed back.
+	Shard   int
+	Replica string
+	// RetryAfter is the replica's Retry-After header value, if any.
+	RetryAfter string
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("shard %d replica %s: ingest queue full", e.Shard, e.Replica)
+}
 
 // deltaReply is the subset of a shard's POST /admin/delta?wait=1
 // answer the router needs: the epoch the shard published the batch
@@ -46,6 +63,14 @@ type DeltaResult struct {
 // shard failure the fence is left exactly where it was; replicas that
 // already applied simply run ahead of the floor, which readers
 // tolerate (the fence is a lower bound).
+//
+// Durability composes per shard: replicas booted with -wal-dir fsync
+// each part to their own WAL before the ?wait=1 reply, so a fence
+// advance implies every touched shard holds its part durably — a
+// replica crash after the advance replays the part from its local log,
+// landing at or beyond the fence floor. A replica whose bounded ingest
+// queue is full answers 429, surfaced here as *BusyError with the
+// fence unmoved.
 func (r *Router) ApplyDelta(ctx context.Context, b *delta.Batch) (*DeltaResult, error) {
 	split, err := delta.SplitByShard(b, len(r.shards))
 	if err != nil {
@@ -176,6 +201,9 @@ func (r *Router) deltaReplica(ctx context.Context, s int, rep *replica, body []b
 	defer resp.Body.Close()
 	var reply deltaReply
 	dec := json.NewDecoder(http.MaxBytesReader(nil, resp.Body, 1<<20))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return 0, &BusyError{Shard: s, Replica: rep.base, RetryAfter: resp.Header.Get("Retry-After")}
+	}
 	if resp.StatusCode != http.StatusOK {
 		var eb struct {
 			Error string `json:"error"`
@@ -215,6 +243,18 @@ func (r *Router) HandleDelta(w http.ResponseWriter, req *http.Request) {
 	}
 	res, err := r.ApplyDelta(req.Context(), b)
 	if err != nil {
+		var busy *BusyError
+		if errors.As(err, &busy) {
+			// A shard's ingest queue pushed back; the fence did not move.
+			// Surface the replica's own pacing hint so the producer slows
+			// down instead of treating this as a topology failure.
+			if busy.RetryAfter != "" {
+				w.Header().Set("Retry-After", busy.RetryAfter)
+			}
+			r.cfg.Obs.Counter("shard.delta_backpressure_total").Inc()
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error()})
 		return
 	}
