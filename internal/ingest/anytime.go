@@ -70,9 +70,6 @@ func NewAnytime(cfg AnytimeConfig) (*Anytime, error) {
 	if cfg.ExactEvery <= 0 {
 		cfg.ExactEvery = DefaultExactEvery
 	}
-	if cfg.ExactEvery < 1 {
-		return nil, fmt.Errorf("ingest: ExactEvery must be >= 1")
-	}
 	return &Anytime{
 		cfg:      cfg,
 		reseeds:  cfg.Obs.Counter("ingest.anytime_reseeds_total"),

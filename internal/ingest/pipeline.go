@@ -90,9 +90,18 @@ func Open(cfg Config) (*Pipeline, error) {
 // WAL exposes the underlying log (for tests and benchmarks).
 func (p *Pipeline) WAL() *WAL { return p.wal }
 
-// Append implements serve.Journal: durably log one batch.
+// Append implements serve.Journal: stage one batch in the log and
+// assign its sequence number. Durability is deferred to WaitDurable so
+// the submitter can release its ordering lock before the group-commit
+// window, letting concurrent submitters share one fsync.
 func (p *Pipeline) Append(b *delta.Batch) (uint64, error) {
-	return p.wal.Append(b)
+	return p.wal.AppendBuffered(b)
+}
+
+// WaitDurable implements serve.Journal: block until every record with
+// sequence ≤ seq is fsynced.
+func (p *Pipeline) WaitDurable(seq uint64) error {
+	return p.wal.WaitDurable(seq)
 }
 
 // MarkApplied implements serve.Journal: the served snapshot now covers

@@ -184,7 +184,10 @@ func OpenWAL(dir string, cfg WALConfig) (*WAL, error) {
 		}
 		last := i == len(w.segments)-1
 		validLen, n, err := scanSegment(seg.path, seg.first, nil)
-		if err != nil && !last {
+		// Only a framing violation in the final segment is a torn tail to
+		// truncate; corruption in a sealed segment or a real I/O error
+		// anywhere must surface instead.
+		if err != nil && (!last || !isFrameError(err)) {
 			return nil, err
 		}
 		w.nextSeq = seg.first + uint64(n)
@@ -313,6 +316,24 @@ func syncDir(dir string) error {
 // write the WAL is poisoned — the in-file tail is untrustworthy until
 // the next Open truncates it — and every later Append fails fast.
 func (w *WAL) Append(b *delta.Batch) (uint64, error) {
+	seq, err := w.AppendBuffered(b)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.WaitDurable(seq); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendBuffered frames b and writes it to the active segment WITHOUT
+// waiting for durability: the record has its sequence number and is
+// visible to Replay, but is not crash-safe until a WaitDurable call
+// covering it returns. Splitting the write from the wait lets a
+// submitter that serializes appends under its own lock release that
+// lock before the group-commit window, so concurrent submitters share
+// one fsync.
+func (w *WAL) AppendBuffered(b *delta.Batch) (uint64, error) {
 	var body bytes.Buffer
 	if err := delta.WriteText(&body, b); err != nil {
 		return 0, fmt.Errorf("ingest: encode batch: %w", err)
@@ -358,22 +379,19 @@ func (w *WAL) Append(b *delta.Batch) (uint64, error) {
 	w.nextSeq++
 	w.written = seq
 	w.segSize += int64(frame.Len())
-	seg := w.seg
 	w.mu.Unlock()
 
 	w.appends.Inc()
 	w.appendedBy.Add(int64(frame.Len()))
-	if err := w.waitDurable(seq, seg); err != nil {
-		return 0, err
-	}
 	w.updateGauges()
 	return seq, nil
 }
 
-// waitDurable blocks until seq is covered by an fsync. With group
-// commit the first waiter becomes leader: it sleeps out the window,
-// syncs once, and publishes the new durable horizon for the group.
-func (w *WAL) waitDurable(seq uint64, seg *os.File) error {
+// WaitDurable blocks until every record with sequence ≤ seq is covered
+// by an fsync. With group commit the first waiter becomes leader: it
+// sleeps out the window, syncs once, and publishes the new durable
+// horizon for the group.
+func (w *WAL) WaitDurable(seq uint64) error {
 	if w.cfg.GroupCommit <= 0 {
 		w.mu.Lock()
 		defer w.mu.Unlock()
@@ -480,12 +498,23 @@ func isFrameError(err error) bool {
 	return errors.As(err, &fe)
 }
 
+// isEOF reports whether a ReadFull failure is EOF-shaped — the file
+// simply ended, the signature of a torn tail. Anything else (EIO, a
+// closed file) is a real read failure and must never be classified as
+// truncatable.
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
 // scanSegment walks one segment file, calling visit for every valid
 // record. It returns the byte offset just past the last valid record
 // and the number of valid records. Framing violations (short header,
 // oversized length, CRC mismatch, out-of-order sequence) return a
 // *frameError wrapped in ErrCorrupt; the caller decides whether that
-// is a truncatable tail (final segment) or real corruption.
+// is a truncatable tail (final segment) or real corruption. Only
+// EOF-shaped reads count as framing violations: a genuine I/O error
+// (e.g. EIO) is returned as-is, never a frameError, so it can never be
+// mistaken for a torn tail and silently truncated.
 func scanSegment(path string, firstSeq uint64, visit func(seq uint64, payload []byte) error) (validLen int64, records int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -496,6 +525,9 @@ func scanSegment(path string, firstSeq uint64, visit func(seq uint64, payload []
 
 	var hdr [segHdrLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if !isEOF(err) {
+			return 0, 0, fmt.Errorf("ingest: %s: reading segment header: %w", path, err)
+		}
 		return 0, 0, fmt.Errorf("%w: %s: short header: %w", ErrCorrupt, path, &frameError{err})
 	}
 	if string(hdr[0:4]) != segMagic || hdr[4] != segVersion {
@@ -509,6 +541,9 @@ func scanSegment(path string, firstSeq uint64, visit func(seq uint64, payload []
 			if err == io.EOF {
 				return validLen, records, nil
 			}
+			if !isEOF(err) {
+				return validLen, records, fmt.Errorf("ingest: %s: reading record header: %w", path, err)
+			}
 			return validLen, records, fmt.Errorf("%w: %s: short record header: %w", ErrCorrupt, path, &frameError{err})
 		}
 		plen := binary.LittleEndian.Uint32(rec[0:4])
@@ -518,6 +553,9 @@ func scanSegment(path string, firstSeq uint64, visit func(seq uint64, payload []
 		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(r, payload); err != nil {
+			if !isEOF(err) {
+				return validLen, records, fmt.Errorf("ingest: %s: reading payload: %w", path, err)
+			}
 			return validLen, records, fmt.Errorf("%w: %s: short payload: %w", ErrCorrupt, path, &frameError{err})
 		}
 		if crc32.Checksum(payload, crcTable) != wantCRC {

@@ -39,6 +39,11 @@ const DefaultDeltaQueue = 16
 // retry. The HTTP layer maps it to 429 + Retry-After.
 var ErrIngestBackpressure = errors.New("serve: ingest queue full")
 
+// ErrJournal reports a failed journal append or fsync during
+// submission: the batch was NOT acknowledged and will not be applied.
+// The HTTP layer maps it to 503.
+var ErrJournal = errors.New("serve: journaling delta batch failed")
+
 // Journal is the durability hook of the ingest path (implemented by
 // internal/ingest). When configured, SubmitDelta appends each batch to
 // the journal — fsync before acknowledgment — before enqueueing it, and
@@ -46,9 +51,18 @@ var ErrIngestBackpressure = errors.New("serve: ingest queue full")
 // sequence so the journal's compactor knows what the log prefix has
 // been folded into.
 type Journal interface {
-	// Append durably records the batch and returns its sequence number.
-	// SubmitDelta acknowledges only after Append returns.
+	// Append stages the batch in the log and assigns its sequence
+	// number. The record need not be durable when Append returns —
+	// the submitter calls WaitDurable before acknowledging, and the
+	// apply loop waits for the same outcome before applying. Appends
+	// are serialized by the submitter, so sequence order equals call
+	// order.
 	Append(b *delta.Batch) (uint64, error)
+	// WaitDurable blocks until every record with sequence ≤ seq is
+	// fsynced. Keeping it separate from Append lets concurrent
+	// submitters share one group-commit fsync instead of serializing
+	// full append+sync cycles.
+	WaitDurable(seq uint64) error
 	// MarkApplied reports that every journaled batch up to and
 	// including seq is reflected in the now-served snapshot.
 	MarkApplied(seq uint64, snap *Snapshot)
@@ -75,7 +89,7 @@ type RefresherConfig struct {
 	// DefaultDeltaQueue. A full queue rejects rather than blocks.
 	DeltaQueue int
 	// Journal, if non-nil, makes SubmitDelta durable: every batch is
-	// appended (and fsynced) before it is acknowledged or enqueued, and
+	// appended (and fsynced) before it is acknowledged or applied, and
 	// apply/refresh outcomes are reported back for compaction.
 	Journal Journal
 	// Obs receives the refresh spans, counters, and snapshot gauges.
@@ -132,6 +146,11 @@ type queuedDelta struct {
 	b    *delta.Batch
 	seq  uint64
 	done chan error // non-nil for SubmitDeltaWait callers
+	// durable carries the batch's fsync outcome from the submitter
+	// (which performs the durability wait outside the submit lock) to
+	// the Run loop, which must not apply a batch that was never
+	// acknowledged. Nil when no journal is configured.
+	durable chan error
 }
 
 type refreshError struct{ err error }
@@ -184,27 +203,56 @@ func (r *Refresher) ApplyDelta(ctx context.Context, b *delta.Batch) error {
 }
 
 // applyQueued applies one admitted queue item and settles its
-// accounting: apply, journal notification, depth/slot release, and
-// the waiter's outcome.
+// accounting: durability wait, apply, journal notification, depth/slot
+// release, and the waiter's outcome.
 func (r *Refresher) applyQueued(ctx context.Context, item queuedDelta) error {
+	defer func() {
+		r.setDepth(r.depth.Add(-1))
+		<-r.slots
+	}()
+	if item.durable != nil {
+		// The submitter parks the fsync outcome here after releasing the
+		// submit lock. A batch whose sync failed was never acknowledged
+		// and must not be applied — and must not advance the journal's
+		// applied sequence either, since its record may not survive a
+		// restart.
+		if derr := <-item.durable; derr != nil {
+			err := fmt.Errorf("serve: dropping unacknowledged delta batch seq %d: %w", item.seq, derr)
+			if item.done != nil {
+				item.done <- err
+			}
+			return err
+		}
+	}
 	err := r.runBuild(ctx, "serve.delta_apply", true, item.seq, func(ctx context.Context, prev *Snapshot, epoch int64) (*Snapshot, error) {
 		return r.cfg.ApplyDelta(ctx, prev, epoch, item.b)
 	})
-	if err != nil && item.seq > 0 && r.cfg.Journal != nil {
-		// The apply failed and was skipped; the served snapshot is
-		// nevertheless the state that covers this sequence, because a
-		// recovery replay skips deterministic failures the same way
-		// (see ingest.Pipeline.Recover).
+	if err != nil && item.seq > 0 && r.cfg.Journal != nil && !transientApplyFailure(ctx, err) {
+		// The apply failed deterministically and was skipped; the served
+		// snapshot is nevertheless the state that covers this sequence,
+		// because a recovery replay skips deterministic failures the same
+		// way (see ingest.Pipeline.Recover). Transient failures — ctx
+		// canceled at shutdown, a refresh-timeout expiry mid-apply — must
+		// NOT be marked: recovery aborts rather than skips on ctx errors,
+		// so the batch stays in the WAL and is replayed on the next boot
+		// instead of being compacted away unapplied.
 		if snap := r.store.Load(); snap != nil {
 			r.cfg.Journal.MarkApplied(item.seq, snap)
 		}
 	}
-	r.setDepth(r.depth.Add(-1))
-	<-r.slots
 	if item.done != nil {
 		item.done <- err
 	}
 	return err
+}
+
+// transientApplyFailure reports whether a failed apply was cut short by
+// cancellation or a deadline rather than rejected deterministically. A
+// transient failure leaves the durable batch in the WAL for replay on
+// the next boot; marking it applied would let the compactor truncate an
+// acknowledged batch that never took effect.
+func transientApplyFailure(ctx context.Context, err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil
 }
 
 // SubmitDelta enqueues a batch for asynchronous application by the Run
@@ -263,22 +311,37 @@ func (r *Refresher) submit(b *delta.Batch, done chan error) error {
 	r.setDepth(r.depth.Add(1))
 	// Journal append and enqueue happen under one lock so queue order
 	// always equals journal order — the property that makes a crash
-	// replay reproduce exactly the live apply sequence. The slot held
-	// above guarantees the channel send cannot block.
+	// replay reproduce exactly the live apply sequence. The durability
+	// wait happens AFTER the lock is released: concurrent submitters'
+	// records land in the same group-commit window and share one fsync,
+	// instead of each holding submitMu through window+sync and reducing
+	// the WAL to one serialized append at a time. The Run loop defers
+	// the apply (and the ack via done) until the durable outcome lands
+	// on the item's channel. The slot held above guarantees the channel
+	// send cannot block.
 	r.submitMu.Lock()
 	var seq uint64
+	var durable chan error
 	if r.cfg.Journal != nil {
 		var err error
 		if seq, err = r.cfg.Journal.Append(b); err != nil {
 			r.submitMu.Unlock()
 			r.setDepth(r.depth.Add(-1))
 			<-r.slots
-			return fmt.Errorf("serve: journaling delta batch: %w", err)
+			return fmt.Errorf("%w: %v", ErrJournal, err)
 		}
+		durable = make(chan error, 1)
 	}
 	// lint:ignore lockbal the slot reserved above guarantees deltaCh has room, so this send never blocks
-	r.deltaCh <- queuedDelta{b: b, seq: seq, done: done}
+	r.deltaCh <- queuedDelta{b: b, seq: seq, done: done, durable: durable}
 	r.submitMu.Unlock()
+	if durable != nil {
+		derr := r.cfg.Journal.WaitDurable(seq)
+		durable <- derr
+		if derr != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, derr)
+		}
+	}
 	return nil
 }
 

@@ -573,9 +573,12 @@ const maxDeltaBody = 64 << 20
 // the published epoch. A parse or validation failure is the client's
 // fault (400); a full ingest queue is backpressure (429 + Retry-After
 // — ingest is outrunning refresh, back off and resubmit); other
-// submit failures (e.g. a failed journal append) are 503; an apply
-// failure (conflicting batch, non-convergence) is 409 — the serving
-// snapshot is unchanged.
+// submit failures (e.g. a failed journal append or fsync) are 503; a
+// request deadline that expires after the batch is durable but before
+// its apply completes is 202 — the batch is journaled and will still
+// be applied (or replayed after a crash); an apply failure
+// (conflicting batch, non-convergence) is 409 — the serving snapshot
+// is unchanged.
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if s.ref == nil || !s.ref.DeltaEnabled() {
 		writeJSON(w, http.StatusNotImplemented, errorBody{Error: "no delta path configured"})
@@ -606,9 +609,22 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	// batch without logging it, silently forfeiting crash recovery.
 	if s.ref.Journaled() {
 		err = s.ref.SubmitDeltaWait(r.Context(), b)
-		if errors.Is(err, ErrIngestBackpressure) {
+		switch {
+		case errors.Is(err, ErrIngestBackpressure):
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+			return
+		case errors.Is(err, ErrJournal):
+			// The batch was never acknowledged and will not be applied.
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			return
+		case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+			// The caller stopped waiting, but the batch is durable and
+			// still queued: it will be applied, or replayed after a
+			// crash. Not a conflict — report it as accepted.
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"status": "delta durable, apply pending", "ops": b.NumOps(), "durable": true,
+			})
 			return
 		}
 	} else {
